@@ -1,0 +1,278 @@
+//! IVF-Flat: inverted-file index with exact distances in probed lists.
+//!
+//! The space-partitioning baseline class (Milvus IVF-Flat/SQ8/PQ, FAISS-IVF)
+//! from the paper's related work and Figure 7. Vectors are bucketed by their
+//! nearest k-means centroid; a query scans the `nprobe` nearest buckets,
+//! applying the predicate as it goes (post-filtering within probed lists).
+
+use std::sync::Arc;
+
+use acorn_hnsw::heap::{Neighbor, TopK};
+use acorn_hnsw::{Metric, SearchStats, VectorStore};
+use acorn_predicate::NodeFilter;
+
+use crate::kmeans::kmeans;
+use crate::sq8::Sq8Store;
+
+/// An IVF-Flat index.
+#[derive(Debug, Clone)]
+pub struct IvfFlat {
+    vecs: Arc<VectorStore>,
+    metric: Metric,
+    centroids: VectorStore,
+    lists: Vec<Vec<u32>>,
+}
+
+impl IvfFlat {
+    /// Build with `nlist` coarse clusters (`kmeans_iters` Lloyd iterations).
+    pub fn build(
+        vecs: Arc<VectorStore>,
+        metric: Metric,
+        nlist: usize,
+        kmeans_iters: usize,
+        seed: u64,
+    ) -> Self {
+        let km = kmeans(&vecs, nlist, kmeans_iters, seed);
+        let mut lists = vec![Vec::new(); km.centroids.len()];
+        for (i, &c) in km.assignments.iter().enumerate() {
+            lists[c as usize].push(i as u32);
+        }
+        Self { vecs, metric, centroids: km.centroids, lists }
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Index-only memory (inverted lists + centroids).
+    pub fn memory_bytes(&self) -> usize {
+        self.centroids.memory_bytes()
+            + self.lists.iter().map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>()).sum::<usize>()
+    }
+
+    /// Convert to an IVF-SQ8 index (quantize the stored vectors).
+    pub fn to_sq8(&self) -> IvfSq8 {
+        IvfSq8 {
+            sq: Sq8Store::train(&self.vecs),
+            metric: self.metric,
+            centroids: self.centroids.clone(),
+            lists: self.lists.clone(),
+        }
+    }
+
+    /// Hybrid search scanning the `nprobe` nearest lists, filtering inline.
+    pub fn search<F: NodeFilter>(
+        &self,
+        query: &[f32],
+        filter: &F,
+        k: usize,
+        nprobe: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let nprobe = nprobe.clamp(1, self.lists.len());
+        // Rank centroids.
+        let mut order: Vec<Neighbor> = (0..self.centroids.len() as u32)
+            .map(|c| {
+                stats.ndis += 1;
+                Neighbor::new(self.centroids.distance_to(self.metric, c, query), c)
+            })
+            .collect();
+        order.sort_unstable();
+
+        let mut top = TopK::new(k.max(1));
+        for probe in &order[..nprobe] {
+            for &id in &self.lists[probe.id as usize] {
+                stats.npred += 1;
+                if filter.passes(id) {
+                    let d = self.vecs.distance_to(self.metric, id, query);
+                    stats.ndis += 1;
+                    top.push(Neighbor::new(d, id));
+                }
+            }
+        }
+        top.into_sorted()
+    }
+}
+
+/// IVF with 8-bit scalar-quantized vectors (the Milvus IVF-SQ8 variant):
+/// same coarse quantizer and probing, distances computed against SQ8 codes.
+#[derive(Debug, Clone)]
+pub struct IvfSq8 {
+    sq: Sq8Store,
+    metric: Metric,
+    centroids: VectorStore,
+    lists: Vec<Vec<u32>>,
+}
+
+impl IvfSq8 {
+    /// Build by training k-means and the SQ8 codec.
+    pub fn build(
+        vecs: Arc<VectorStore>,
+        metric: Metric,
+        nlist: usize,
+        kmeans_iters: usize,
+        seed: u64,
+    ) -> Self {
+        IvfFlat::build(vecs, metric, nlist, kmeans_iters, seed).to_sq8()
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Index + codes memory (the point of SQ8: ~4x smaller than flat).
+    pub fn memory_bytes(&self) -> usize {
+        self.sq.memory_bytes()
+            + self.centroids.memory_bytes()
+            + self.lists.iter().map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>()).sum::<usize>()
+    }
+
+    /// Hybrid search over quantized codes (asymmetric distances).
+    pub fn search<F: NodeFilter>(
+        &self,
+        query: &[f32],
+        filter: &F,
+        k: usize,
+        nprobe: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let nprobe = nprobe.clamp(1, self.lists.len());
+        let mut order: Vec<Neighbor> = (0..self.centroids.len() as u32)
+            .map(|c| {
+                stats.ndis += 1;
+                Neighbor::new(self.centroids.distance_to(self.metric, c, query), c)
+            })
+            .collect();
+        order.sort_unstable();
+
+        let mut top = TopK::new(k.max(1));
+        for probe in &order[..nprobe] {
+            for &id in &self.lists[probe.id as usize] {
+                stats.npred += 1;
+                if filter.passes(id) {
+                    let d = self.sq.l2_sq_to(id, query);
+                    stats.ndis += 1;
+                    top.push(Neighbor::new(d, id));
+                }
+            }
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorn_predicate::AllPass;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_store(n: usize, dim: usize, seed: u64) -> Arc<VectorStore> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::with_capacity(dim, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        Arc::new(s)
+    }
+
+    #[test]
+    fn full_probe_equals_brute_force() {
+        let n = 500;
+        let vecs = random_store(n, 6, 1);
+        let ivf = IvfFlat::build(vecs.clone(), Metric::L2, 8, 5, 2);
+        let q = vec![0.3; 6];
+        let mut stats = SearchStats::default();
+        let got: Vec<u32> = ivf
+            .search(&q, &AllPass, 10, ivf.nlist(), &mut stats)
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        let mut truth: Vec<(f32, u32)> = (0..n as u32)
+            .map(|i| (Metric::L2.distance(vecs.get(i), &q), i))
+            .collect();
+        truth.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let want: Vec<u32> = truth[..10].iter().map(|&(_, i)| i).collect();
+        assert_eq!(got, want, "probing all lists must be exact");
+    }
+
+    #[test]
+    fn partial_probe_has_decent_recall() {
+        let n = 2000;
+        let vecs = random_store(n, 8, 3);
+        let ivf = IvfFlat::build(vecs.clone(), Metric::L2, 32, 8, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hits = 0;
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut stats = SearchStats::default();
+            let got: Vec<u32> =
+                ivf.search(&q, &AllPass, 10, 8, &mut stats).iter().map(|n| n.id).collect();
+            let mut truth: Vec<(f32, u32)> = (0..n as u32)
+                .map(|i| (Metric::L2.distance(vecs.get(i), &q), i))
+                .collect();
+            truth.sort_by(|a, b| a.0.total_cmp(&b.0));
+            hits += truth[..10].iter().filter(|&&(_, i)| got.contains(&i)).count();
+        }
+        assert!(hits as f64 / 200.0 > 0.6, "IVF recall too low: {}", hits as f64 / 200.0);
+    }
+
+    #[test]
+    fn filter_is_respected() {
+        let n = 300;
+        let vecs = random_store(n, 4, 6);
+        let ivf = IvfFlat::build(vecs, Metric::L2, 4, 5, 7);
+        let bits = acorn_predicate::Bitset::from_ids(n, (0..n as u32).filter(|i| i % 5 == 0));
+        let filter = acorn_predicate::BitmapFilter::new(bits);
+        let mut stats = SearchStats::default();
+        let out = ivf.search(&[0.0; 4], &filter, 10, 4, &mut stats);
+        for nb in &out {
+            assert_eq!(nb.id % 5, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod sq8_tests {
+    use super::*;
+    use acorn_predicate::AllPass;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_store(n: usize, dim: usize, seed: u64) -> Arc<VectorStore> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::with_capacity(dim, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        Arc::new(s)
+    }
+
+    #[test]
+    fn sq8_close_to_flat_results() {
+        let n = 1000;
+        let vecs = random_store(n, 16, 1);
+        let flat = IvfFlat::build(vecs.clone(), Metric::L2, 16, 5, 2);
+        let sq = flat.to_sq8();
+        let q = vec![0.2; 16];
+        let mut s1 = SearchStats::default();
+        let mut s2 = SearchStats::default();
+        let a: Vec<u32> =
+            flat.search(&q, &AllPass, 10, 16, &mut s1).iter().map(|n| n.id).collect();
+        let b: Vec<u32> = sq.search(&q, &AllPass, 10, 16, &mut s2).iter().map(|n| n.id).collect();
+        let overlap = a.iter().filter(|x| b.contains(x)).count();
+        assert!(overlap >= 8, "SQ8 top-10 diverges too much from flat: {overlap}/10");
+    }
+
+    #[test]
+    fn sq8_memory_smaller_than_flat() {
+        let vecs = random_store(2000, 64, 3);
+        let flat = IvfFlat::build(vecs.clone(), Metric::L2, 16, 5, 4);
+        let sq = flat.to_sq8();
+        assert!(sq.memory_bytes() < vecs.memory_bytes() / 2 + flat.memory_bytes());
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # acorn-baselines
+//!
+//! Every hybrid-search method the ACORN paper benchmarks against (§7.2),
+//! implemented from scratch on the shared `acorn-hnsw` substrate so that
+//! comparisons use identical distance kernels and data layouts:
+//!
+//! * [`prefilter`] — exact filtered scan (perfect recall, `O(s·n)`).
+//! * [`postfilter`] — HNSW with `K/s` over-search then filtering (the
+//!   paper's *strong* post-filter variant, not the naive `K`-candidate one).
+//! * [`oracle`] — the theoretically ideal oracle partition index (§4): one
+//!   HNSW per predicate, only constructible for small known predicate sets.
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding (substrate for
+//!   IVF).
+//! * [`ivf`] — IVF-Flat and IVF-SQ8: coarse quantizer + probed-list
+//!   post-filtering (the Milvus/FAISS-IVF representatives).
+//! * [`sq8`] — the 8-bit scalar-quantization codec behind IVF-SQ8.
+//! * [`vamana`] — the DiskANN graph with α-robust pruning (substrate for the
+//!   filtered variants).
+//! * [`filtered_vamana`] — FilteredVamana (Gollapudi et al. 2023):
+//!   label-aware candidate generation and pruning; equality labels only.
+//! * [`stitched_vamana`] — StitchedVamana: per-label Vamana graphs unioned
+//!   and re-pruned.
+//! * [`nhq`] — NHQ-style single-layer proximity graph searched with a
+//!   fusion distance (vector distance + attribute-mismatch penalty).
+
+pub mod filtered_vamana;
+pub mod ivf;
+pub mod kmeans;
+pub mod sq8;
+pub mod nhq;
+pub mod oracle;
+pub mod postfilter;
+pub mod prefilter;
+pub mod stitched_vamana;
+pub mod vamana;
+
+pub use filtered_vamana::FilteredVamana;
+pub use ivf::{IvfFlat, IvfSq8};
+pub use nhq::NhqIndex;
+pub use oracle::OraclePartitionIndex;
+pub use postfilter::PostFilterHnsw;
+pub use prefilter::PreFilter;
+pub use stitched_vamana::StitchedVamana;
+pub use vamana::{Vamana, VamanaParams};

@@ -1,0 +1,34 @@
+//! Distance-kernel micro-benchmarks.
+//!
+//! Distance computations dominate search cost (the paper's standing
+//! assumption, §3.2); these benches track the kernels across the
+//! dimensionalities of the four datasets (128/200/512/768).
+
+use acorn_hnsw::vecs::{dot, l2_sq, neg_cosine};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn vectors(dim: usize) -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
+    let b: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.11).cos()).collect();
+    (a, b)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for dim in [128usize, 200, 512, 768] {
+        let (a, b) = vectors(dim);
+        group.bench_with_input(BenchmarkId::new("l2_sq", dim), &dim, |bench, _| {
+            bench.iter(|| l2_sq(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bench, _| {
+            bench.iter(|| dot(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("neg_cosine", dim), &dim, |bench, _| {
+            bench.iter(|| neg_cosine(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Predicate-evaluation micro-benchmarks: the per-neighbor filtering cost
+//! inside ACORN's lookup strategies (§6.3.2 treats it as constant time —
+//! these benches quantify that constant per operator).
+
+use acorn_data::datasets::{laion_like, tripclick_like};
+use acorn_predicate::{BitmapFilter, NodeFilter, Predicate, PredicateFilter, Regex};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_predicates(c: &mut Criterion) {
+    let trip = tripclick_like(2000, 1);
+    let laion = laion_like(2000, 2);
+    let areas = trip.attrs.field("areas").unwrap();
+    let year = trip.attrs.field("year").unwrap();
+    let caption = laion.attrs.field("caption").unwrap();
+
+    let contains = Predicate::ContainsAny { field: areas, mask: 0b1011 };
+    let between = Predicate::Between { field: year, lo: 1990, hi: 2010 };
+    let compound = Predicate::And(vec![contains.clone(), between.clone()]);
+    let regex = Predicate::RegexMatch { field: caption, regex: Regex::new("^[0-9]").unwrap() };
+
+    let mut group = c.benchmark_group("predicate");
+    group.bench_function("eval/contains_any", |b| {
+        let f = PredicateFilter::new(&trip.attrs, &contains);
+        b.iter(|| f.passes(black_box(1234)))
+    });
+    group.bench_function("eval/between", |b| {
+        let f = PredicateFilter::new(&trip.attrs, &between);
+        b.iter(|| f.passes(black_box(1234)))
+    });
+    group.bench_function("eval/compound", |b| {
+        let f = PredicateFilter::new(&trip.attrs, &compound);
+        b.iter(|| f.passes(black_box(1234)))
+    });
+    group.bench_function("eval/regex", |b| {
+        let f = PredicateFilter::new(&laion.attrs, &regex);
+        b.iter(|| f.passes(black_box(1234)))
+    });
+    group.bench_function("eval/bitmap", |b| {
+        let f = BitmapFilter::from_predicate(&trip.attrs, &compound);
+        b.iter(|| f.passes(black_box(1234)))
+    });
+    group.bench_function("materialize/bitmap_2k_rows", |b| {
+        b.iter(|| BitmapFilter::from_predicate(black_box(&trip.attrs), black_box(&compound)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predicates);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regex-engine micro-benchmarks: the per-node predicate-evaluation cost of
+//! the LAION regex workload (§7.1.2), across pattern shapes.
+
+use acorn_predicate::Regex;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_regex(c: &mut Criterion) {
+    let caption = "42 a photo of a large red dog on the sunny beach with a child";
+    let patterns = [
+        ("anchor_class", "^[0-9]"),
+        ("literal", "red dog"),
+        ("alternation", "(cat|dog|bird)"),
+        ("wildcard", "photo .*beach"),
+        ("complex", "^[0-9]+ a photo of .*(red|blue) (dog|cat)"),
+    ];
+
+    let mut group = c.benchmark_group("regex");
+    for (name, pat) in patterns {
+        let re = Regex::new(pat).unwrap();
+        group.bench_function(format!("match/{name}"), |b| {
+            b.iter(|| re.is_match(black_box(caption)))
+        });
+    }
+    group.bench_function("compile/complex", |b| {
+        b.iter(|| Regex::new(black_box("^[0-9]+ a photo of .*(red|blue) (dog|cat)")).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_regex);
+criterion_main!(benches);

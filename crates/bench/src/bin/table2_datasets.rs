@@ -1,0 +1,80 @@
+//! Table 2 reproduction: dataset summary.
+//!
+//! Prints the base-data and query-workload characteristics of the four
+//! synthetic stand-in datasets, mirroring the columns of Table 2 in the
+//! paper (vector count, dimension, structured data, predicate operators,
+//! average query selectivity, predicate cardinality).
+
+use acorn_bench::{bench_n, bench_nq, results_dir};
+use acorn_data::datasets::{laion_like, paper_like, sift_like, tripclick_like};
+use acorn_data::workloads::{
+    area_workload, date_range_workload, equality_workload, keyword_workload, regex_workload,
+    Correlation,
+};
+use acorn_eval::Table;
+
+fn main() {
+    let n = bench_n(5000);
+    let nq = bench_nq(30);
+    println!("Table 2 (datasets) — n = {n}, nq = {nq}\n");
+
+    let mut t = Table::new(
+        "Table 2: Datasets",
+        &["dataset", "#vectors", "dim", "structured data", "operators", "avg sel", "pred cardinality"],
+    );
+
+    let sift = sift_like(n, 1);
+    let w = equality_workload(&sift, nq, 2);
+    t.row(vec![
+        sift.name.clone(),
+        sift.len().to_string(),
+        sift.vectors.dim().to_string(),
+        "random int".into(),
+        "equals(y)".into(),
+        format!("{:.3}", w.avg_selectivity()),
+        "12".into(),
+    ]);
+
+    let paper = paper_like(n, 3);
+    let w = equality_workload(&paper, nq, 4);
+    t.row(vec![
+        paper.name.clone(),
+        paper.len().to_string(),
+        paper.vectors.dim().to_string(),
+        "random int".into(),
+        "equals(y)".into(),
+        format!("{:.3}", w.avg_selectivity()),
+        "12".into(),
+    ]);
+
+    let trip = tripclick_like(n, 5);
+    let wa = area_workload(&trip, nq, 6);
+    let wd = date_range_workload(&trip, 0.36, nq, 7);
+    t.row(vec![
+        trip.name.clone(),
+        trip.len().to_string(),
+        trip.vectors.dim().to_string(),
+        "area list & pub date".into(),
+        "contains(y1∨y2∨...) & between(y1,y2)".into(),
+        format!("{:.2}, {:.2}", wa.avg_selectivity(), wd.avg_selectivity()),
+        "> 2^28".into(),
+    ]);
+
+    let laion = laion_like(n, 8);
+    let wr = regex_workload(&laion, nq, 9);
+    let wk = keyword_workload(&laion, Correlation::None, nq, 10);
+    t.row(vec![
+        laion.name.clone(),
+        laion.len().to_string(),
+        laion.vectors.dim().to_string(),
+        "text captions & keyword list".into(),
+        "regex-match(y) & contains(y1∨y2∨...)".into(),
+        format!("{:.3} - {:.3}", wr.avg_selectivity().min(wk.avg_selectivity()), wr.avg_selectivity().max(wk.avg_selectivity())),
+        "> 10^11".into(),
+    ]);
+
+    print!("{}", t.render());
+    let path = results_dir().join("table2_datasets.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("\nCSV: {}", path.display());
+}

@@ -1,0 +1,88 @@
+//! Table 4 reproduction: time-to-index (TTI) in seconds.
+//!
+//! Paper's finding (§7.4.1): ACORN-1 builds fastest of all listed methods
+//! (9–53× lower TTI than ACORN-γ); ACORN-γ costs up to ~11× HNSW due to its
+//! `M·γ` candidate generation; StitchedVamana is the slowest specialized
+//! index.
+
+use std::sync::Arc;
+
+use acorn_baselines::{FilteredVamana, StitchedVamana};
+use acorn_baselines::stitched_vamana::StitchedParams;
+use acorn_baselines::vamana::VamanaParams;
+use acorn_bench::{bench_n, results_dir};
+use acorn_core::{AcornIndex, AcornParams, AcornVariant};
+use acorn_data::datasets::{laion_like, paper_like, sift_like, tripclick_like, HybridDataset};
+use acorn_eval::{measure, Table};
+use acorn_hnsw::{HnswIndex, HnswParams, VectorStore};
+
+fn labels_or_synthetic(ds: &HybridDataset) -> Option<Vec<i64>> {
+    ds.attrs
+        .field("label")
+        .map(|f| (0..ds.len() as u32).map(|i| ds.attrs.int(f, i)).collect())
+}
+
+fn run(ds: &HybridDataset, t: &mut Table) {
+    let vecs: Arc<VectorStore> = ds.vectors.clone();
+    let acorn_params =
+        AcornParams { m: 32, gamma: 12, m_beta: 64, ef_construction: 40, ..Default::default() };
+    let hnsw_params = HnswParams { m: 32, ef_construction: 40, ..Default::default() };
+
+    eprintln!("[{}] ACORN-gamma...", ds.name);
+    let (_, tti_g) =
+        measure(|| AcornIndex::build(vecs.clone(), acorn_params.clone(), AcornVariant::Gamma));
+    eprintln!("[{}] ACORN-1...", ds.name);
+    let (_, tti_1) =
+        measure(|| AcornIndex::build(vecs.clone(), acorn_params.clone(), AcornVariant::One));
+    eprintln!("[{}] HNSW...", ds.name);
+    let (_, tti_h) = measure(|| HnswIndex::build(vecs.clone(), hnsw_params));
+
+    // The Vamana variants only support equality labels (LCPS datasets).
+    let (tti_fv, tti_sv) = if let Some(labels) = labels_or_synthetic(ds) {
+        eprintln!("[{}] FilteredVamana...", ds.name);
+        let (_, a) = measure(|| {
+            FilteredVamana::build(
+                vecs.clone(),
+                labels.clone(),
+                VamanaParams { r: 32, l: 64, alpha: 1.2, ..Default::default() },
+            )
+        });
+        eprintln!("[{}] StitchedVamana...", ds.name);
+        let (_, b) = measure(|| {
+            StitchedVamana::build(
+                vecs.clone(),
+                labels,
+                StitchedParams { r_small: 16, l_small: 48, r_stitched: 32, ..Default::default() },
+            )
+        });
+        (format!("{:.1}", a.as_secs_f64()), format!("{:.1}", b.as_secs_f64()))
+    } else {
+        ("NA".to_string(), "NA".to_string())
+    };
+
+    t.row(vec![
+        ds.name.clone(),
+        format!("{:.1}", tti_g.as_secs_f64()),
+        format!("{:.1}", tti_1.as_secs_f64()),
+        format!("{:.1}", tti_h.as_secs_f64()),
+        tti_fv,
+        tti_sv,
+    ]);
+}
+
+fn main() {
+    let n = bench_n(8000);
+    println!("Table 4 (TTI seconds) — n = {n}\n");
+    let mut t = Table::new(
+        "Table 4: TTI (s)",
+        &["dataset", "ACORN-gamma", "ACORN-1", "HNSW", "FilteredVamana", "StitchedVamana"],
+    );
+    run(&sift_like(n, 1), &mut t);
+    run(&paper_like(n, 2), &mut t);
+    run(&tripclick_like(n, 3), &mut t);
+    run(&laion_like(n, 4), &mut t);
+    print!("{}", t.render());
+    let path = results_dir().join("table4_tti.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("\nCSV: {}", path.display());
+}

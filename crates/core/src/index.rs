@@ -1,0 +1,668 @@
+//! The ACORN index: predicate-agnostic construction (§5.2) and hybrid
+//! search (§5.1) with the selectivity-based pre-filter fallback.
+
+use std::sync::Arc;
+
+use acorn_hnsw::heap::Neighbor;
+use acorn_hnsw::{LayeredGraph, LevelSampler, SearchScratch, SearchStats, VectorStore};
+use acorn_predicate::{
+    estimate_selectivity, AttrStore, NodeFilter, Predicate, PredicateFilter,
+};
+
+use crate::params::{AcornParams, AcornVariant};
+use crate::prune::{self, PruneStrategy};
+use crate::search::{acorn_search_layer, LookupMode};
+
+/// Number of sampled rows used by the hybrid-search selectivity estimate.
+const SELECTIVITY_SAMPLES: usize = 1000;
+
+/// An ACORN-γ or ACORN-1 index over a shared vector store.
+#[derive(Debug, Clone)]
+pub struct AcornIndex {
+    params: AcornParams,
+    variant: AcornVariant,
+    vecs: Arc<VectorStore>,
+    graph: LayeredGraph,
+    sampler: LevelSampler,
+    scratch: SearchScratch,
+    /// Node labels for the metadata-aware pruning ablation (Figure 12).
+    labels: Option<Vec<i64>>,
+    /// Total candidate edges pruned during construction (Figure 12c).
+    edges_pruned: u64,
+}
+
+impl AcornIndex {
+    /// Create an empty index; insert ids `0..vecs.len()` in order or use
+    /// [`build`](Self::build).
+    ///
+    /// For [`AcornVariant::One`], `γ` and `M_β` in `params` are overridden
+    /// to `1` and `M` per §5.3.
+    ///
+    /// # Panics
+    /// Panics if the parameters are inconsistent (see
+    /// [`AcornParams::validate`]).
+    pub fn new(vecs: Arc<VectorStore>, mut params: AcornParams, variant: AcornVariant) -> Self {
+        if variant == AcornVariant::One {
+            // Preserve the intended serving threshold before forcing the
+            // construction parameters to γ = 1, M_β = M (§5.3): ACORN-1
+            // approximates an ACORN-γ index, including its fallback point.
+            if params.s_min_override.is_none() {
+                params.s_min_override = Some(1.0 / params.gamma as f64);
+            }
+            params.gamma = 1;
+            params.m_beta = params.m;
+        }
+        params.validate();
+        let n = vecs.len();
+        // mL is tied to M, never to M·γ (§5.2) — except when the Qdrant
+        // flattening ablation is explicitly requested.
+        let sampler_m = if params.flatten_hierarchy {
+            (params.m * params.gamma).max(2)
+        } else {
+            params.m.max(2)
+        };
+        Self {
+            sampler: LevelSampler::new(sampler_m, params.seed),
+            scratch: SearchScratch::new(n),
+            graph: LayeredGraph::with_capacity(n),
+            vecs,
+            params,
+            variant,
+            labels: None,
+            edges_pruned: 0,
+        }
+    }
+
+    /// Build an index over every vector in the store.
+    pub fn build(vecs: Arc<VectorStore>, params: AcornParams, variant: AcornVariant) -> Self {
+        let mut idx = Self::new(vecs.clone(), params, variant);
+        for id in 0..vecs.len() as u32 {
+            idx.insert(id);
+        }
+        idx
+    }
+
+    /// Build with per-node labels available to the
+    /// [`PruneStrategy::RngMetadataAware`] ablation.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != vecs.len()`.
+    pub fn build_with_labels(
+        vecs: Arc<VectorStore>,
+        params: AcornParams,
+        variant: AcornVariant,
+        labels: Vec<i64>,
+    ) -> Self {
+        assert_eq!(labels.len(), vecs.len(), "one label per vector required");
+        let mut idx = Self::new(vecs.clone(), params, variant);
+        idx.labels = Some(labels);
+        for id in 0..vecs.len() as u32 {
+            idx.insert(id);
+        }
+        idx
+    }
+
+    /// Reassemble an index from deserialized parts (used by
+    /// [`load`](Self::load); not part of the normal construction API).
+    pub(crate) fn from_parts(
+        params: AcornParams,
+        variant: AcornVariant,
+        vecs: Arc<VectorStore>,
+        graph: LayeredGraph,
+        edges_pruned: u64,
+    ) -> Self {
+        let n = vecs.len();
+        Self {
+            sampler: LevelSampler::new(params.m.max(2), params.seed),
+            scratch: SearchScratch::new(n),
+            graph,
+            vecs,
+            params,
+            variant,
+            labels: None,
+            edges_pruned,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Construction parameters.
+    pub fn params(&self) -> &AcornParams {
+        &self.params
+    }
+
+    /// Which ACORN variant this index implements.
+    pub fn variant(&self) -> AcornVariant {
+        self.variant
+    }
+
+    /// The underlying layered graph (graph-quality analyses, Figure 13).
+    pub fn graph(&self) -> &LayeredGraph {
+        &self.graph
+    }
+
+    /// The shared vector store.
+    pub fn vectors(&self) -> &Arc<VectorStore> {
+        &self.vecs
+    }
+
+    /// Total candidate edges pruned during construction (Figure 12c).
+    pub fn edges_pruned(&self) -> u64 {
+        self.edges_pruned
+    }
+
+    /// Index-only memory footprint in bytes (adjacency lists; excludes
+    /// vector data, which [`VectorStore::memory_bytes`] reports).
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes()
+    }
+
+    /// The search-time lookup mode for this index.
+    fn lookup_mode(&self) -> LookupMode {
+        match self.variant {
+            AcornVariant::Gamma => LookupMode::GammaSearch {
+                m_beta: self.params.m_beta,
+                compressed_levels: self.params.compressed_levels,
+            },
+            AcornVariant::One => LookupMode::TwoHop,
+        }
+    }
+
+    /// Insert vector `id` (ids must be inserted sequentially).
+    ///
+    /// # Panics
+    /// Panics if `id` is not the next unindexed id or is absent from the
+    /// vector store.
+    pub fn insert(&mut self, id: u32) {
+        assert_eq!(id as usize, self.graph.len(), "ids must be inserted sequentially");
+        assert!((id as usize) < self.vecs.len(), "id not present in vector store");
+
+        let level = self.sampler.sample();
+        let prev_entry = self.graph.entry_point();
+        let prev_max = self.graph.max_level();
+        let new_id = self.graph.add_node(level);
+
+        let Some(entry) = prev_entry else {
+            return;
+        };
+
+        let q = self.vecs.get(new_id).to_vec();
+        let metric = self.params.metric;
+        let budget = self.params.edge_budget();
+        let mut stats = SearchStats::default();
+        self.scratch.begin(self.graph.len());
+
+        // Phase 1 (§2.1): greedy descent with ef = 1 down to level l + 1,
+        // using the metadata-agnostic truncated lookup.
+        let mut entries = vec![Neighbor::new(self.vecs.distance_to(metric, entry, &q), entry)];
+        for lev in ((level + 1)..=prev_max).rev() {
+            let found = acorn_search_layer(
+                &self.vecs, &self.graph, metric, &q, &acorn_predicate::AllPass, &entries, 1,
+                lev, self.params.m, LookupMode::Truncate, &mut self.scratch, &mut stats,
+            );
+            if !found.is_empty() {
+                entries = found;
+            }
+            self.scratch.visited.reset();
+        }
+
+        // Phase 2: collect M·γ candidate edges per level and connect.
+        let ef = self.params.ef_construction.max(budget);
+        for lev in (0..=level.min(prev_max)).rev() {
+            let candidates = acorn_search_layer(
+                &self.vecs, &self.graph, metric, &q, &acorn_predicate::AllPass, &entries, ef,
+                lev, self.params.m, LookupMode::Truncate, &mut self.scratch, &mut stats,
+            );
+            let kept = self.select_edges(new_id, lev, &candidates, budget);
+            for &s in &kept {
+                self.graph.push_edge(s, new_id, lev);
+                self.shrink_if_needed(s, lev);
+            }
+            self.graph.set_neighbors(new_id, lev, kept);
+            entries = candidates;
+            self.scratch.visited.reset();
+        }
+    }
+
+    /// ACORN-1's level-0 degree cap: the "original HNSW without pruning"
+    /// construction (§5.3) doubles the bottom-level bound like HNSW does.
+    fn acorn1_level0_cap(&self) -> usize {
+        self.params.m * 2
+    }
+
+    /// Choose the stored edges for a fresh node from its sorted candidates.
+    fn select_edges(
+        &mut self,
+        v: u32,
+        level: usize,
+        candidates: &[Neighbor],
+        budget: usize,
+    ) -> Vec<u32> {
+        if level >= self.params.compressed_levels {
+            // Uncompressed levels: the nearest M·γ candidates.
+            return candidates.iter().take(budget).map(|n| n.id).collect();
+        }
+        if self.variant == AcornVariant::One {
+            // HNSW-without-pruning: nearest 2M, no compression.
+            return candidates.iter().take(self.acorn1_level0_cap()).map(|n| n.id).collect();
+        }
+        let outcome = prune::apply(
+            &self.params.prune,
+            &self.vecs,
+            self.params.metric,
+            &self.graph,
+            level,
+            &candidates[..candidates.len().min(budget)],
+            self.params.m_beta,
+            budget,
+            self.labels.as_deref(),
+            v,
+        );
+        self.edges_pruned += outcome.pruned as u64;
+        outcome.kept
+    }
+
+    /// Level-0 lists re-compress once they exceed `M_β + M` (keeping the
+    /// stored footprint at the `M_β + O(M)` the paper reports in Table 6);
+    /// upper-level lists truncate to the `M·γ` nearest once past budget.
+    /// ACORN-1's level 0 truncates to the nearest `2M` like HNSW.
+    fn shrink_if_needed(&mut self, v: u32, level: usize) {
+        let budget = self.params.edge_budget();
+        let compressed = level < self.params.compressed_levels;
+        let acorn1_l0 = self.variant == AcornVariant::One && level == 0;
+        let trigger = if acorn1_l0 {
+            self.acorn1_level0_cap()
+        } else if compressed && self.params.prune == PruneStrategy::AcornCompress {
+            (self.params.m_beta + self.params.m).min(budget)
+        } else {
+            budget
+        };
+        if self.graph.neighbors(v, level).len() <= trigger {
+            return;
+        }
+        let metric = self.params.metric;
+        let mut cands: Vec<Neighbor> = self
+            .graph
+            .neighbors(v, level)
+            .iter()
+            .map(|&w| Neighbor::new(self.vecs.distance_between(metric, v, w), w))
+            .collect();
+        cands.sort_unstable();
+        cands.dedup_by_key(|n| n.id);
+        let kept = if acorn1_l0 {
+            cands.iter().take(self.acorn1_level0_cap()).map(|n| n.id).collect()
+        } else if compressed {
+            let outcome = prune::apply(
+                &self.params.prune,
+                &self.vecs,
+                metric,
+                &self.graph,
+                level,
+                &cands[..cands.len().min(budget)],
+                self.params.m_beta,
+                budget,
+                self.labels.as_deref(),
+                v,
+            );
+            self.edges_pruned += outcome.pruned as u64;
+            outcome.kept
+        } else {
+            cands.iter().take(budget).map(|n| n.id).collect()
+        };
+        self.graph.set_neighbors(v, level, kept);
+    }
+
+    /// Hybrid search over the predicate subgraph (Algorithm 2): the `k`
+    /// nearest passing nodes, without the pre-filter fallback.
+    ///
+    /// Use this when the caller already decided graph search is appropriate
+    /// (e.g. the benchmark sweeps); [`hybrid_search`](Self::hybrid_search)
+    /// adds ACORN's cost-model routing.
+    pub fn search_filtered<F: NodeFilter>(
+        &self,
+        query: &[f32],
+        filter: &F,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let Some(entry) = self.graph.entry_point() else {
+            return Vec::new();
+        };
+        scratch.begin(self.graph.len());
+        let metric = self.params.metric;
+        let mode = self.lookup_mode();
+        let m = self.params.m;
+
+        let mut entries = vec![Neighbor::new(self.vecs.distance_to(metric, entry, query), entry)];
+        stats.ndis += 1;
+
+        // Stage 1 + upper predicate-subgraph traversal: ef = 1 per level.
+        for lev in (1..=self.graph.max_level()).rev() {
+            let found = acorn_search_layer(
+                &self.vecs, &self.graph, metric, query, filter, &entries, 1, lev, m, mode,
+                scratch, stats,
+            );
+            if !found.is_empty() {
+                entries = found;
+            }
+            scratch.visited.reset();
+        }
+
+        // Bottom level with the full beam.
+        let ef = efs.max(k);
+        let mut found = acorn_search_layer(
+            &self.vecs, &self.graph, metric, query, filter, &entries, ef, 0, m, mode, scratch,
+            stats,
+        );
+        found.truncate(k);
+        found
+    }
+
+    /// Exact pre-filtered scan: the fallback for highly selective queries
+    /// (§5.2) and the building block reused by tests.
+    pub fn prefilter_scan<F: NodeFilter>(
+        &self,
+        query: &[f32],
+        filter: &F,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let metric = self.params.metric;
+        let mut top = acorn_hnsw::heap::TopK::new(k.max(1));
+        for id in 0..self.graph.len() as u32 {
+            stats.npred += 1;
+            if filter.passes(id) {
+                let d = self.vecs.distance_to(metric, id, query);
+                stats.ndis += 1;
+                top.push(Neighbor::new(d, id));
+            }
+        }
+        stats.fallback = true;
+        top.into_sorted()
+    }
+
+    /// Full ACORN hybrid search with the cost-model routing of §5.2:
+    /// estimate the predicate's selectivity; if it falls below
+    /// `s_min = 1/γ`, answer exactly by pre-filtering, otherwise traverse
+    /// the predicate subgraph.
+    pub fn hybrid_search(
+        &self,
+        query: &[f32],
+        predicate: &Predicate,
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let est = estimate_selectivity(attrs, predicate, SELECTIVITY_SAMPLES, self.params.seed);
+        stats.npred += SELECTIVITY_SAMPLES as u64;
+        let filter = PredicateFilter::new(attrs, predicate);
+        let out = if est < self.params.s_min() {
+            self.prefilter_scan(query, &filter, k, &mut stats)
+        } else {
+            self.search_filtered(query, &filter, k, efs, scratch, &mut stats)
+        };
+        (out, stats)
+    }
+
+    /// Pure ANN search (no predicate).
+    pub fn search(&self, query: &[f32], k: usize, efs: usize) -> Vec<Neighbor> {
+        let mut scratch = SearchScratch::new(self.graph.len());
+        let mut stats = SearchStats::default();
+        self.search_filtered(query, &acorn_predicate::AllPass, k, efs, &mut scratch, &mut stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorn_hnsw::Metric;
+    use acorn_predicate::{BitmapFilter, Bitset};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_store(n: usize, dim: usize, seed: u64) -> Arc<VectorStore> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::with_capacity(dim, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        Arc::new(s)
+    }
+
+    fn small_params(m: usize, gamma: usize) -> AcornParams {
+        AcornParams {
+            m,
+            gamma,
+            m_beta: m,
+            ef_construction: 48,
+            metric: Metric::L2,
+            seed: 7,
+            prune: PruneStrategy::AcornCompress,
+            s_min_override: None,
+            compressed_levels: 1,
+            flatten_hierarchy: false,
+        }
+    }
+
+    fn brute_force_filtered(
+        vecs: &VectorStore,
+        q: &[f32],
+        pass: &dyn Fn(u32) -> bool,
+        k: usize,
+    ) -> Vec<u32> {
+        let mut all: Vec<Neighbor> = (0..vecs.len() as u32)
+            .filter(|&i| pass(i))
+            .map(|i| Neighbor::new(Metric::L2.distance(vecs.get(i), q), i))
+            .collect();
+        all.sort_unstable();
+        all.truncate(k);
+        all.iter().map(|n| n.id).collect()
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        let vecs = random_store(0, 4, 0);
+        let idx = AcornIndex::new(vecs, small_params(4, 2), AcornVariant::Gamma);
+        assert!(idx.search(&[0.0; 4], 3, 8).is_empty());
+
+        let vecs = random_store(1, 4, 1);
+        let idx = AcornIndex::build(vecs, small_params(4, 2), AcornVariant::Gamma);
+        let out = idx.search(&[0.0; 4], 3, 8);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn acorn1_overrides_params() {
+        let vecs = random_store(10, 4, 2);
+        let idx = AcornIndex::new(
+            vecs,
+            AcornParams { gamma: 9, m_beta: 13, ..small_params(4, 9) },
+            AcornVariant::One,
+        );
+        assert_eq!(idx.params().gamma, 1);
+        assert_eq!(idx.params().m_beta, 4);
+    }
+
+    #[test]
+    fn gamma_upper_levels_are_denser_than_m() {
+        let vecs = random_store(3000, 8, 3);
+        let idx = AcornIndex::build(vecs, small_params(8, 4), AcornVariant::Gamma);
+        let stats = idx.graph().level_stats();
+        if stats.len() > 1 && stats[1].nodes > 30 {
+            assert!(
+                stats[1].avg_out_degree > 8.0,
+                "upper level should exceed M = 8 on average, got {}",
+                stats[1].avg_out_degree
+            );
+            assert!(stats[1].max_out_degree <= 32, "upper level must respect M·γ");
+        }
+    }
+
+    #[test]
+    fn level0_lists_stay_compressed() {
+        let p = AcornParams { m_beta: 12, ..small_params(8, 4) };
+        let vecs = random_store(2000, 8, 4);
+        let idx = AcornIndex::build(vecs, p.clone(), AcornVariant::Gamma);
+        let stats = idx.graph().level_stats();
+        // Re-compression triggers past M_β + M, so lists stay near that cap.
+        assert!(
+            stats[0].avg_out_degree <= (p.m_beta + p.m) as f64,
+            "level-0 average degree {} exceeds M_β + M",
+            stats[0].avg_out_degree
+        );
+        assert!(idx.edges_pruned() > 0, "compression must have pruned something");
+    }
+
+    #[test]
+    fn hybrid_recall_beats_090_on_random_labels() {
+        // SIFT-style workload: label ∈ 1..=6, equality predicate (s ≈ 0.17).
+        let n = 3000;
+        let vecs = random_store(n, 16, 5);
+        let mut rng = StdRng::seed_from_u64(99);
+        let labels: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=6)).collect();
+        let idx = AcornIndex::build(
+            vecs.clone(),
+            AcornParams { m: 16, gamma: 6, m_beta: 32, ef_construction: 64, ..small_params(16, 6) },
+            AcornVariant::Gamma,
+        );
+
+        let mut scratch = SearchScratch::new(n);
+        let mut hits = 0;
+        let mut total = 0;
+        for t in 0..25 {
+            let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let want: i64 = (t % 6) + 1;
+            let pass = |i: u32| labels[i as usize] == want;
+            let truth = brute_force_filtered(&vecs, &q, &pass, 10);
+            let bits = Bitset::from_ids(n, (0..n as u32).filter(|&i| pass(i)));
+            let filter = BitmapFilter::new(bits);
+            let mut stats = SearchStats::default();
+            let got = idx.search_filtered(&q, &filter, 10, 80, &mut scratch, &mut stats);
+            let got_ids: std::collections::HashSet<u32> = got.iter().map(|n| n.id).collect();
+            for g in &got {
+                assert_eq!(labels[g.id as usize], want, "result fails predicate");
+            }
+            hits += truth.iter().filter(|t| got_ids.contains(t)).count();
+            total += truth.len();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.9, "ACORN-γ filtered recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn acorn1_recall_reasonable() {
+        let n = 2000;
+        let vecs = random_store(n, 12, 6);
+        let mut rng = StdRng::seed_from_u64(11);
+        let labels: Vec<i64> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+        let idx = AcornIndex::build(
+            vecs.clone(),
+            AcornParams::acorn1(16, 64, Metric::L2, 3),
+            AcornVariant::One,
+        );
+        let mut scratch = SearchScratch::new(n);
+        let mut hits = 0;
+        let mut total = 0;
+        for t in 0..20 {
+            let q: Vec<f32> = (0..12).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let want = t % 4;
+            let pass = |i: u32| labels[i as usize] == want;
+            let truth = brute_force_filtered(&vecs, &q, &pass, 10);
+            let bits = Bitset::from_ids(n, (0..n as u32).filter(|&i| pass(i)));
+            let filter = BitmapFilter::new(bits);
+            let mut stats = SearchStats::default();
+            let got = idx.search_filtered(&q, &filter, 10, 80, &mut scratch, &mut stats);
+            let got_ids: std::collections::HashSet<u32> = got.iter().map(|n| n.id).collect();
+            hits += truth.iter().filter(|t| got_ids.contains(t)).count();
+            total += truth.len();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.85, "ACORN-1 filtered recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn prefilter_scan_is_exact() {
+        let n = 500;
+        let vecs = random_store(n, 8, 8);
+        let idx = AcornIndex::build(vecs.clone(), small_params(8, 2), AcornVariant::Gamma);
+        let pass = |i: u32| i.is_multiple_of(7);
+        let bits = Bitset::from_ids(n, (0..n as u32).filter(|&i| pass(i)));
+        let filter = BitmapFilter::new(bits);
+        let q = vec![0.25; 8];
+        let mut stats = SearchStats::default();
+        let got = idx.prefilter_scan(&q, &filter, 5, &mut stats);
+        let want = brute_force_filtered(&vecs, &q, &pass, 5);
+        assert_eq!(got.iter().map(|n| n.id).collect::<Vec<_>>(), want);
+        assert!(stats.fallback);
+    }
+
+    #[test]
+    fn hybrid_search_falls_back_below_smin() {
+        let n = 1200;
+        let vecs = random_store(n, 8, 9);
+        // Attribute: only rows < 12 have value 1 → selectivity 0.01 < 1/γ = 0.25.
+        let values: Vec<i64> = (0..n as i64).map(|i| if i < 12 { 1 } else { 0 }).collect();
+        let attrs = AttrStore::builder().add_int("v", values).build();
+        let field = attrs.field("v").unwrap();
+        let idx = AcornIndex::build(vecs, small_params(8, 4), AcornVariant::Gamma);
+        let mut scratch = SearchScratch::new(n);
+        let pred = Predicate::Equals { field, value: 1 };
+        let (out, stats) = idx.hybrid_search(&[0.0; 8], &pred, &attrs, 5, 32, &mut scratch);
+        assert!(stats.fallback, "selective predicate must trigger pre-filtering");
+        assert_eq!(out.len(), 5);
+        for n in &out {
+            assert!(n.id < 12, "fallback returned non-passing row {}", n.id);
+        }
+
+        // Broad predicate: stays on the graph path.
+        let pred = Predicate::Equals { field, value: 0 };
+        let (_, stats) = idx.hybrid_search(&[0.0; 8], &pred, &attrs, 5, 32, &mut scratch);
+        assert!(!stats.fallback);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let vecs = random_store(400, 8, 10);
+        let a = AcornIndex::build(vecs.clone(), small_params(8, 3), AcornVariant::Gamma);
+        let b = AcornIndex::build(vecs, small_params(8, 3), AcornVariant::Gamma);
+        let qa = a.search(&[0.0; 8], 5, 32);
+        let qb = b.search(&[0.0; 8], 5, 32);
+        assert_eq!(
+            qa.iter().map(|n| n.id).collect::<Vec<_>>(),
+            qb.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn stats_counters_accumulate() {
+        let n = 800;
+        let vecs = random_store(n, 8, 12);
+        let idx = AcornIndex::build(vecs, small_params(8, 2), AcornVariant::Gamma);
+        let mut scratch = SearchScratch::new(n);
+        let mut stats = SearchStats::default();
+        let _ = idx.search_filtered(
+            &[0.0; 8],
+            &acorn_predicate::AllPass,
+            10,
+            64,
+            &mut scratch,
+            &mut stats,
+        );
+        assert!(stats.ndis > 10);
+        assert!(stats.nhops > 0);
+        assert!(stats.npred > 0);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # acorn-core
+//!
+//! The ACORN hybrid-search indices (Patel, Kraft, Guestrin, Zaharia —
+//! SIGMOD 2024): **ACORN-γ**, designed for high-efficiency search, and
+//! **ACORN-1**, designed for low construction overhead.
+//!
+//! Both are modifications of HNSW (provided by the `acorn-hnsw` crate)
+//! around one idea: *predicate subgraph traversal*. The index is built
+//! predicate-agnostically but densely enough that, for an arbitrary search
+//! predicate `p`, the subgraph induced by the passing nodes `X_p` emulates
+//! an HNSW index built directly over `X_p` (the unattainable "oracle
+//! partition"):
+//!
+//! * **ACORN-γ construction** (§5.2): collect `M·γ` candidate edges per node
+//!   per level (instead of HNSW's `M`), keep upper-level lists uncompressed,
+//!   and compress level-0 lists with a predicate-agnostic two-hop rule
+//!   parameterized by `M_β`. The level normalization constant stays
+//!   `mL = 1/ln(M)` so predicate subgraphs keep an HNSW-shaped hierarchy.
+//! * **ACORN-γ search** (§5.1, Algorithm 2): greedy traversal whose neighbor
+//!   lookups filter each list by the query predicate and truncate to `M`;
+//!   on the compressed level the lookup expands entries beyond `M_β` to
+//!   their one-hop neighbors, provably recovering every pruned edge.
+//! * **ACORN-1** (§5.3): construction with `γ = 1, M_β = M`; search expands
+//!   the full one-hop *and* two-hop neighborhood of every visited node
+//!   before filtering, approximating ACORN-γ's dense graph at search time.
+//! * **Pre-filter fallback** (§5.2): queries with estimated selectivity
+//!   below `s_min = 1/γ` are answered exactly by a filtered scan.
+//!
+//! The crate also exposes the pruning-strategy ablation of the paper's
+//! Figure 12 ([`prune::PruneStrategy`]) and graph introspection for
+//! Table 6 / Figure 13.
+
+pub mod index;
+pub mod lookup;
+pub mod params;
+pub mod prune;
+pub mod search;
+pub mod serialize;
+
+pub use index::AcornIndex;
+pub use params::{AcornParams, AcornVariant};
+pub use prune::PruneStrategy;
+
+pub use acorn_hnsw::{Neighbor, SearchScratch, SearchStats};

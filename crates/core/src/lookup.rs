@@ -1,0 +1,289 @@
+//! Neighbor lookup strategies (GET-NEIGHBORS of Algorithm 2, Figure 4).
+//!
+//! At each visited node ACORN recovers "an appropriate neighborhood for the
+//! given search predicate" rather than the raw adjacency list:
+//!
+//! * [`filtered`] — Figure 4(a): scan the list, keep entries passing the
+//!   predicate, truncate to `M`. Used by ACORN-γ on uncompressed levels.
+//! * [`compressed`] — Figure 4(b): scan the first `M_β` entries with the
+//!   simple filter; entries beyond `M_β` are *expanded* to include their
+//!   one-hop neighbors (recovering edges removed by the construction-time
+//!   compression) before filtering and truncation. Used by ACORN-γ on
+//!   level 0.
+//! * [`two_hop`] — Figure 4(c): expand the full one-hop and two-hop
+//!   neighborhood, filter, truncate to `M`. Used by ACORN-1 on every level.
+//!
+//! All lookups skip nodes already visited in this query and stop once `M`
+//! *new* passing neighbors are found. The degree bound `M` exists to cap
+//! the distance computations performed per expanded node (§6.3.1 "Bounded
+//! Degree"); already-visited nodes incur no distance computation, so
+//! truncating on new nodes preserves exactly that invariant while keeping
+//! the search frontier from collapsing onto previously seen nodes.
+//! Predicate evaluations are counted into `SearchStats::npred`.
+
+use acorn_hnsw::{LayeredGraph, SearchStats, VisitedSet};
+use acorn_predicate::NodeFilter;
+
+/// Simple predicate filter over the neighbor list (Figure 4a).
+///
+/// Appends up to `m` unvisited passing neighbor ids to `out`.
+#[allow(clippy::too_many_arguments)]
+pub fn filtered<F: NodeFilter>(
+    graph: &LayeredGraph,
+    v: u32,
+    level: usize,
+    filter: &F,
+    m: usize,
+    visited: &VisitedSet,
+    out: &mut Vec<u32>,
+    stats: &mut SearchStats,
+) {
+    for &nb in graph.neighbors(v, level) {
+        if out.len() >= m {
+            break;
+        }
+        if visited.contains(nb) {
+            continue;
+        }
+        stats.npred += 1;
+        if filter.passes(nb) {
+            out.push(nb);
+        }
+    }
+}
+
+/// Compression-aware lookup (Figure 4b): simple filtering over the first
+/// `m_beta` entries, then expansion of the remaining entries' one-hop
+/// neighborhoods before filtering.
+#[allow(clippy::too_many_arguments)]
+pub fn compressed<F: NodeFilter>(
+    graph: &LayeredGraph,
+    v: u32,
+    level: usize,
+    filter: &F,
+    m: usize,
+    m_beta: usize,
+    visited: &VisitedSet,
+    out: &mut Vec<u32>,
+    stats: &mut SearchStats,
+) {
+    let list = graph.neighbors(v, level);
+    let head = list.len().min(m_beta);
+
+    // Phase 1: the M_β nearest stored neighbors, filter only.
+    for &nb in &list[..head] {
+        if out.len() >= m {
+            return;
+        }
+        if visited.contains(nb) {
+            continue;
+        }
+        stats.npred += 1;
+        if filter.passes(nb) {
+            out.push(nb);
+        }
+    }
+
+    // Phase 2: remaining entries plus their one-hop expansions.
+    for &y in &list[head..] {
+        if out.len() >= m {
+            return;
+        }
+        if !visited.contains(y) {
+            stats.npred += 1;
+            if filter.passes(y) {
+                out.push(y);
+            }
+        }
+        for &z in graph.neighbors(y, level) {
+            if out.len() >= m {
+                return;
+            }
+            if z == v || visited.contains(z) {
+                continue;
+            }
+            stats.npred += 1;
+            if filter.passes(z) {
+                out.push(z);
+            }
+        }
+    }
+}
+
+/// Full two-hop expansion (Figure 4c, ACORN-1): all one-hop and two-hop
+/// neighbors, filtered, truncated to `m`.
+#[allow(clippy::too_many_arguments)]
+pub fn two_hop<F: NodeFilter>(
+    graph: &LayeredGraph,
+    v: u32,
+    level: usize,
+    filter: &F,
+    m: usize,
+    visited: &VisitedSet,
+    out: &mut Vec<u32>,
+    stats: &mut SearchStats,
+) {
+    let list = graph.neighbors(v, level);
+    for &nb in list {
+        if out.len() >= m {
+            return;
+        }
+        if visited.contains(nb) {
+            continue;
+        }
+        stats.npred += 1;
+        if filter.passes(nb) {
+            out.push(nb);
+        }
+    }
+    for &y in list {
+        for &z in graph.neighbors(y, level) {
+            if out.len() >= m {
+                return;
+            }
+            if z == v || visited.contains(z) {
+                continue;
+            }
+            stats.npred += 1;
+            if filter.passes(z) {
+                out.push(z);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorn_predicate::{AllPass, BitmapFilter, Bitset};
+
+    /// Star graph: 0 -> 1..=6; 1 -> 7, 2 -> 8.
+    fn star() -> LayeredGraph {
+        let mut g = LayeredGraph::new();
+        for _ in 0..9 {
+            g.add_node(0);
+        }
+        for w in 1..=6u32 {
+            g.push_edge(0, w, 0);
+        }
+        g.push_edge(1, 7, 0);
+        g.push_edge(2, 8, 0);
+        g
+    }
+
+    fn filter_of(ids: &[u32]) -> BitmapFilter {
+        BitmapFilter::new(Bitset::from_ids(9, ids.iter().copied()))
+    }
+
+    fn fresh_visited() -> VisitedSet {
+        let mut v = VisitedSet::new(9);
+        v.reset();
+        v
+    }
+
+    #[test]
+    fn filtered_truncates_to_m() {
+        let g = star();
+        let visited = fresh_visited();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        filtered(&g, 0, 0, &AllPass, 3, &visited, &mut out, &mut stats);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(stats.npred, 3);
+    }
+
+    #[test]
+    fn filtered_skips_failing_nodes() {
+        let g = star();
+        let f = filter_of(&[2, 4, 6]);
+        let visited = fresh_visited();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        filtered(&g, 0, 0, &f, 10, &visited, &mut out, &mut stats);
+        assert_eq!(out, vec![2, 4, 6]);
+        assert_eq!(stats.npred, 6, "all six entries must be evaluated");
+    }
+
+    #[test]
+    fn filtered_skips_visited_nodes() {
+        let g = star();
+        let mut visited = fresh_visited();
+        visited.insert(1);
+        visited.insert(2);
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        filtered(&g, 0, 0, &AllPass, 3, &visited, &mut out, &mut stats);
+        assert_eq!(out, vec![3, 4, 5], "visited entries must not consume the budget");
+        assert_eq!(stats.npred, 3, "visited entries must not be evaluated");
+    }
+
+    #[test]
+    fn compressed_expands_only_beyond_mbeta() {
+        let g = star();
+        // m_beta = 4: entries 1..=4 are head (no expansion); 5, 6 are tail.
+        // Node 7 is reachable only via 1 (head) => NOT expanded.
+        let f = filter_of(&[7, 8]);
+        let visited = fresh_visited();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        compressed(&g, 0, 0, &f, 10, 4, &visited, &mut out, &mut stats);
+        assert!(out.is_empty(), "head entries must not be expanded, got {out:?}");
+
+        // m_beta = 1: now 2..=6 are tail; expansion of 2 reaches 8.
+        let mut out = Vec::new();
+        compressed(&g, 0, 0, &f, 10, 1, &visited, &mut out, &mut stats);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn compressed_recovers_pruned_edge() {
+        // Simulate compression: v=0 kept tail neighbor 1; the pruned node 7
+        // lives in 1's list. The lookup must surface 7.
+        let g = star();
+        let f = filter_of(&[1, 7]);
+        let visited = fresh_visited();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        compressed(&g, 0, 0, &f, 10, 0, &visited, &mut out, &mut stats);
+        assert!(out.contains(&1));
+        assert!(out.contains(&7), "two-hop expansion must recover pruned edge");
+    }
+
+    #[test]
+    fn two_hop_covers_full_neighborhood() {
+        let g = star();
+        let f = filter_of(&[7, 8]);
+        let visited = fresh_visited();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        two_hop(&g, 0, 0, &f, 10, &visited, &mut out, &mut stats);
+        assert_eq!(out, vec![7, 8]);
+    }
+
+    #[test]
+    fn two_hop_truncates_and_skips_self() {
+        let mut g = LayeredGraph::new();
+        for _ in 0..3 {
+            g.add_node(0);
+        }
+        g.push_edge(0, 1, 0);
+        g.push_edge(1, 0, 0); // back-edge to self must be skipped
+        g.push_edge(1, 2, 0);
+        let visited = fresh_visited();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        two_hop(&g, 0, 0, &AllPass, 10, &visited, &mut out, &mut stats);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn early_exit_limits_predicate_evals() {
+        let g = star();
+        let visited = fresh_visited();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        two_hop(&g, 0, 0, &AllPass, 2, &visited, &mut out, &mut stats);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.npred, 2, "must stop evaluating once M found");
+    }
+}

@@ -1,0 +1,331 @@
+//! Level-0 edge pruning strategies.
+//!
+//! ACORN-γ's expanded candidate lists (`M·γ` per node) would blow up the
+//! memory footprint of the bottom level, which holds every node. §5.2
+//! introduces a *predicate-agnostic* compression rule; Figure 12 of the
+//! paper ablates it against HNSW's metadata-blind RNG pruning and a
+//! metadata-*aware* RNG pruning (the FilteredDiskANN approach). All three
+//! are implemented here so the ablation can be reproduced.
+
+use acorn_hnsw::heap::Neighbor;
+use acorn_hnsw::select::select_heuristic;
+use acorn_hnsw::vecs::{Metric, VectorStore};
+use acorn_hnsw::LayeredGraph;
+
+/// Strategy used to compress level-0 candidate edge lists.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PruneStrategy {
+    /// ACORN's predicate-agnostic compression (§5.2): keep the nearest
+    /// `M_β` candidates verbatim; over the remaining ordered candidates keep
+    /// `c` only if `c` is not already a one-hop neighbor of a kept tail
+    /// candidate, stopping once `|H| + kept` exceeds `M·γ`. Every pruned
+    /// edge is recoverable through a kept neighbor with index ≥ `M_β`
+    /// (the search-time expansion relies on this).
+    #[default]
+    AcornCompress,
+    /// HNSW's metadata-blind RNG heuristic, truncated to `M_β` edges.
+    /// Degrades hybrid search (Fig. 12d): a pruned triangle's relay node may
+    /// fail the query predicate, severing the predicate subgraph.
+    RngBlind,
+    /// Metadata-aware RNG pruning à la FilteredDiskANN: the triangle
+    /// `v–a–b` may only be pruned when `a` shares `v` and `b`'s label, so
+    /// relays survive within every (equality-label) predicate subgraph.
+    /// Requires per-node labels; only valid for low-cardinality equality
+    /// predicate sets.
+    RngMetadataAware,
+    /// Keep all `M·γ` candidates (no compression; `M_β = M·γ`).
+    KeepAll,
+}
+
+/// Outcome of pruning one candidate list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneOutcome {
+    /// The retained neighbor ids, in (approximate) nearest-first order.
+    pub kept: Vec<u32>,
+    /// How many candidates were pruned.
+    pub pruned: usize,
+}
+
+/// Apply ACORN's predicate-agnostic compression to `candidates`
+/// (sorted nearest-first) for a node at level 0.
+///
+/// `graph` supplies the one-hop neighborhoods of tail candidates (the
+/// dynamic set `H`); `budget = M·γ` bounds `|H| + kept`.
+pub fn acorn_compress(
+    candidates: &[Neighbor],
+    graph: &LayeredGraph,
+    level: usize,
+    m_beta: usize,
+    budget: usize,
+) -> PruneOutcome {
+    let head = candidates.len().min(m_beta);
+    let mut kept: Vec<u32> = candidates[..head].iter().map(|n| n.id).collect();
+    let mut pruned = 0usize;
+
+    // H: ids of one-hop neighbors of kept *tail* candidates. A sorted Vec
+    // with binary search keeps this allocation-light; lists are small.
+    let mut h: Vec<u32> = Vec::new();
+
+    for c in &candidates[head..] {
+        if h.len() + kept.len() >= budget {
+            pruned += 1;
+            continue;
+        }
+        match h.binary_search(&c.id) {
+            Ok(_) => pruned += 1, // c is reachable through a kept tail neighbor
+            Err(_) => {
+                kept.push(c.id);
+                for &nb in graph.neighbors(c.id, level) {
+                    if let Err(pos) = h.binary_search(&nb) {
+                        h.insert(pos, nb);
+                    }
+                }
+            }
+        }
+    }
+
+    PruneOutcome { kept, pruned }
+}
+
+/// Apply the configured strategy to a candidate list (sorted nearest-first)
+/// belonging to node `v` at `level`.
+///
+/// `labels` must be `Some` for [`PruneStrategy::RngMetadataAware`].
+#[allow(clippy::too_many_arguments)]
+pub fn apply(
+    strategy: &PruneStrategy,
+    vecs: &VectorStore,
+    metric: Metric,
+    graph: &LayeredGraph,
+    level: usize,
+    candidates: &[Neighbor],
+    m_beta: usize,
+    budget: usize,
+    labels: Option<&[i64]>,
+    v: u32,
+) -> PruneOutcome {
+    match strategy {
+        PruneStrategy::AcornCompress => {
+            acorn_compress(candidates, graph, level, m_beta, budget)
+        }
+        PruneStrategy::RngBlind => {
+            let kept = select_heuristic(vecs, metric, candidates, m_beta, 1.0, false);
+            PruneOutcome { pruned: candidates.len() - kept.len(), kept }
+        }
+        PruneStrategy::RngMetadataAware => {
+            let labels = labels.expect("RngMetadataAware pruning requires node labels");
+            let kept = select_label_aware(vecs, metric, candidates, m_beta, labels, v);
+            PruneOutcome { pruned: candidates.len() - kept.len(), kept }
+        }
+        PruneStrategy::KeepAll => {
+            let kept: Vec<u32> = candidates.iter().take(budget).map(|n| n.id).collect();
+            PruneOutcome { pruned: candidates.len().saturating_sub(budget), kept }
+        }
+    }
+}
+
+/// RNG pruning that only prunes a triangle `v–s–c` when the relay `s` has
+/// the same label as both endpoints, guaranteeing the relay exists in every
+/// equality-label predicate subgraph containing `v` and `c`.
+fn select_label_aware(
+    vecs: &VectorStore,
+    metric: Metric,
+    candidates: &[Neighbor],
+    m: usize,
+    labels: &[i64],
+    v: u32,
+) -> Vec<u32> {
+    let mut kept: Vec<Neighbor> = Vec::with_capacity(m);
+    for &c in candidates {
+        if kept.len() >= m {
+            break;
+        }
+        let mut good = true;
+        for s in &kept {
+            // Only a same-label relay may shadow c.
+            let relay_valid =
+                labels[s.id as usize] == labels[c.id as usize]
+                    && labels[s.id as usize] == labels[v as usize];
+            if relay_valid && vecs.distance_between(metric, c.id, s.id) < c.dist {
+                good = false;
+                break;
+            }
+        }
+        if good {
+            kept.push(c);
+        }
+    }
+    kept.iter().map(|n| n.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> (VectorStore, LayeredGraph) {
+        // Points on a line: 0,1,2,3,4 at x = 0..4, all on level 0.
+        let mut vecs = VectorStore::new(1);
+        for i in 0..5 {
+            vecs.push(&[i as f32]);
+        }
+        let mut g = LayeredGraph::new();
+        for _ in 0..5 {
+            g.add_node(0);
+        }
+        (vecs, g)
+    }
+
+    fn cands(vecs: &VectorStore, v: &[f32], ids: &[u32]) -> Vec<Neighbor> {
+        let mut c: Vec<Neighbor> = ids
+            .iter()
+            .map(|&id| Neighbor::new(Metric::L2.distance(vecs.get(id), v), id))
+            .collect();
+        c.sort_unstable();
+        c
+    }
+
+    #[test]
+    fn compress_keeps_mbeta_head_verbatim() {
+        let (vecs, g) = grid();
+        let c = cands(&vecs, &[0.0], &[1, 2, 3, 4]);
+        let out = acorn_compress(&c, &g, 0, 2, 100);
+        // Head = [1, 2]; tail nodes 3,4 have empty neighbor lists so H stays
+        // empty and both are kept.
+        assert_eq!(out.kept, vec![1, 2, 3, 4]);
+        assert_eq!(out.pruned, 0);
+    }
+
+    #[test]
+    fn compress_prunes_two_hop_reachable_tail() {
+        let (vecs, mut g) = grid();
+        // Node 3's neighbor list contains 4, so once 3 is kept (as a tail
+        // candidate), 4 ∈ H and must be pruned.
+        g.push_edge(3, 4, 0);
+        let c = cands(&vecs, &[0.0], &[1, 2, 3, 4]);
+        let out = acorn_compress(&c, &g, 0, 2, 100);
+        assert_eq!(out.kept, vec![1, 2, 3]);
+        assert_eq!(out.pruned, 1);
+    }
+
+    #[test]
+    fn compress_respects_budget() {
+        let (vecs, mut g) = grid();
+        // Give node 2 a big neighbor list so H grows past the budget fast.
+        for w in [0u32, 1, 3, 4] {
+            g.push_edge(2, w, 0);
+        }
+        let c = cands(&vecs, &[0.0], &[1, 2, 3, 4]);
+        // m_beta = 1 head; tail = [2,3,4]; keeping 2 puts 4 ids in H.
+        // budget 5: after keeping 2, |H| + kept = 4 + 2 = 6 > 5 → stop.
+        let out = acorn_compress(&c, &g, 0, 1, 5);
+        assert_eq!(out.kept, vec![1, 2]);
+        assert_eq!(out.pruned, 2);
+    }
+
+    #[test]
+    fn two_hop_recoverability_invariant() {
+        // Every pruned tail candidate must be a one-hop neighbor of some
+        // kept candidate with index >= m_beta (paper §5.2). Randomized graph.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 60u32;
+        let mut vecs = VectorStore::new(2);
+        for _ in 0..n {
+            vecs.push(&[rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+        }
+        let mut g = LayeredGraph::new();
+        for _ in 0..n {
+            g.add_node(0);
+        }
+        for v in 0..n {
+            for _ in 0..6 {
+                let w = rng.gen_range(0..n);
+                if w != v {
+                    g.push_edge(v, w, 0);
+                }
+            }
+        }
+        let q = [0.0, 0.0];
+        let ids: Vec<u32> = (1..n).collect();
+        let c = cands(&vecs, &q, &ids);
+        let m_beta = 4;
+        let out = acorn_compress(&c, &g, 0, m_beta, 64);
+        let kept_tail: Vec<u32> = out.kept[m_beta.min(out.kept.len())..].to_vec();
+        // Determine which candidates were pruned by H-membership (not budget):
+        // each must appear in the neighbor list of a kept tail node.
+        let kept_set: std::collections::HashSet<u32> = out.kept.iter().copied().collect();
+        let mut h_all: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for &t in &kept_tail {
+            h_all.extend(g.neighbors(t, 0).iter().copied());
+        }
+        for cand in &c {
+            if !kept_set.contains(&cand.id) {
+                // Pruned either by membership in H or by budget exhaustion;
+                // when pruned by membership it must be recoverable.
+                if h_all.contains(&cand.id) {
+                    let recoverable = kept_tail
+                        .iter()
+                        .any(|&t| g.neighbors(t, 0).contains(&cand.id));
+                    assert!(recoverable, "pruned candidate {} not two-hop recoverable", cand.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keep_all_truncates_to_budget() {
+        let (vecs, g) = grid();
+        let c = cands(&vecs, &[0.0], &[1, 2, 3, 4]);
+        let out = apply(&PruneStrategy::KeepAll, &vecs, Metric::L2, &g, 0, &c, 0, 2, None, 0);
+        assert_eq!(out.kept, vec![1, 2]);
+        assert_eq!(out.pruned, 2);
+    }
+
+    #[test]
+    fn rng_blind_prunes_collinear_points() {
+        let (vecs, g) = grid();
+        let c = cands(&vecs, &[0.0], &[1, 2, 3, 4]);
+        let out = apply(&PruneStrategy::RngBlind, &vecs, Metric::L2, &g, 0, &c, 4, 100, None, 0);
+        // On a line, node 1 shadows everything beyond it.
+        assert_eq!(out.kept, vec![1]);
+    }
+
+    #[test]
+    fn label_aware_keeps_cross_label_edges() {
+        let (vecs, g) = grid();
+        let c = cands(&vecs, &[0.0], &[1, 2]);
+        // v = 0. Labels: v and 2 share label 7, but relay 1 has label 9 →
+        // the triangle 0–1–2 may NOT be pruned.
+        let labels = vec![7i64, 9, 7, 0, 0];
+        let out = apply(
+            &PruneStrategy::RngMetadataAware,
+            &vecs,
+            Metric::L2,
+            &g,
+            0,
+            &c,
+            4,
+            100,
+            Some(&labels),
+            0,
+        );
+        assert_eq!(out.kept, vec![1, 2], "cross-label relay must not shadow");
+
+        // Same-label relay: now 1 shares the label → 2 is pruned.
+        let labels = vec![7i64, 7, 7, 0, 0];
+        let out = apply(
+            &PruneStrategy::RngMetadataAware,
+            &vecs,
+            Metric::L2,
+            &g,
+            0,
+            &c,
+            4,
+            100,
+            Some(&labels),
+            0,
+        );
+        assert_eq!(out.kept, vec![1]);
+    }
+}

@@ -1,0 +1,253 @@
+//! ACORN's greedy layer search (Algorithm 2 of the paper).
+//!
+//! The traversal mirrors HNSW's SEARCH-LAYER with one structural change:
+//! neighbor lookups go through a predicate-aware strategy
+//! ([`crate::lookup`]), and the dynamic result list `W` only ever contains
+//! nodes that pass the query predicate. The fixed entry point may *fail* the
+//! predicate — stage 1 of the search (§6.3.2) expands it anyway, dropping
+//! through levels until the predicate subgraph is reached.
+
+use acorn_hnsw::heap::{MinHeap, Neighbor, TopK};
+use acorn_hnsw::{LayeredGraph, Metric, SearchScratch, SearchStats, VectorStore, VisitedSet};
+use acorn_predicate::NodeFilter;
+
+use crate::lookup;
+
+/// Which GET-NEIGHBORS strategy a layer search uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupMode {
+    /// Return the first `M` stored entries passing the filter (Figure 4a).
+    /// With an all-pass filter this is the *metadata-agnostic truncated*
+    /// lookup ACORN uses during construction (§5.2).
+    Truncate,
+    /// ACORN-γ search: Figure 4(a) on uncompressed levels, Figure 4(b)
+    /// (with the stored `m_beta`) on the compressed bottom levels.
+    GammaSearch {
+        /// The construction-time compression parameter `M_β`.
+        m_beta: usize,
+        /// How many bottom levels were compressed (`n_c`, §6.1).
+        compressed_levels: usize,
+    },
+    /// ACORN-1 search: full one-hop + two-hop expansion (Figure 4c).
+    TwoHop,
+}
+
+/// Collect the (filtered, truncated) neighborhood of `v` according to `mode`.
+#[allow(clippy::too_many_arguments)]
+fn get_neighbors<F: NodeFilter>(
+    graph: &LayeredGraph,
+    v: u32,
+    level: usize,
+    filter: &F,
+    m: usize,
+    mode: LookupMode,
+    visited: &VisitedSet,
+    out: &mut Vec<u32>,
+    stats: &mut SearchStats,
+) {
+    out.clear();
+    match mode {
+        LookupMode::Truncate => {
+            lookup::filtered(graph, v, level, filter, m, visited, out, stats)
+        }
+        LookupMode::GammaSearch { m_beta, compressed_levels } => {
+            if level < compressed_levels {
+                lookup::compressed(graph, v, level, filter, m, m_beta, visited, out, stats);
+            } else {
+                lookup::filtered(graph, v, level, filter, m, visited, out, stats);
+            }
+        }
+        LookupMode::TwoHop => {
+            lookup::two_hop(graph, v, level, filter, m, visited, out, stats)
+        }
+    }
+}
+
+/// Greedy beam search at `level` returning up to `ef` passing nodes,
+/// sorted nearest-first (ACORN-SEARCH-LAYER, Algorithm 2).
+///
+/// `entries` seed the candidate set; entries that fail the predicate are
+/// expanded but never reported. Returns an empty vector when no passing node
+/// is reachable (the caller then drops to the next level with its previous
+/// entry point, per stage 1 of §6.3.2).
+#[allow(clippy::too_many_arguments)]
+pub fn acorn_search_layer<F: NodeFilter>(
+    vecs: &VectorStore,
+    graph: &LayeredGraph,
+    metric: Metric,
+    query: &[f32],
+    filter: &F,
+    entries: &[Neighbor],
+    ef: usize,
+    level: usize,
+    m: usize,
+    mode: LookupMode,
+    scratch: &mut SearchScratch,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    debug_assert!(ef > 0);
+    let mut candidates = MinHeap::with_capacity(ef * 2);
+    let mut results = TopK::new(ef);
+
+    for &e in entries {
+        if scratch.visited.insert(e.id) {
+            candidates.push(e);
+            stats.npred += 1;
+            if filter.passes(e.id) {
+                results.push(e);
+            }
+        }
+    }
+
+    let mut hood: Vec<u32> = Vec::with_capacity(m);
+    while let Some(c) = candidates.pop() {
+        if results.is_full() {
+            if let Some(worst) = results.worst() {
+                if c.dist > worst.dist {
+                    break;
+                }
+            }
+        }
+        stats.nhops += 1;
+        get_neighbors(graph, c.id, level, filter, m, mode, &scratch.visited, &mut hood, stats);
+        for &v in &hood {
+            if !scratch.visited.insert(v) {
+                continue; // dedup within a single lookup's output
+            }
+            let d = vecs.distance_to(metric, v, query);
+            stats.ndis += 1;
+            let cand = Neighbor::new(d, v);
+            let admit = match results.worst() {
+                Some(w) => d < w.dist || !results.is_full(),
+                None => true,
+            };
+            if admit {
+                candidates.push(cand);
+                // v passed the predicate inside the lookup, so it is a
+                // legitimate member of the result list.
+                results.push(cand);
+            }
+        }
+    }
+
+    results.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorn_predicate::{AllPass, BitmapFilter, Bitset};
+
+    /// A line of points 0..6 at x = 0..6, chained bidirectionally, level 0.
+    fn line() -> (VectorStore, LayeredGraph) {
+        let mut vecs = VectorStore::new(1);
+        for i in 0..7 {
+            vecs.push(&[i as f32]);
+        }
+        let mut g = LayeredGraph::new();
+        for _ in 0..7 {
+            g.add_node(0);
+        }
+        for i in 0..6u32 {
+            g.push_edge(i, i + 1, 0);
+            g.push_edge(i + 1, i, 0);
+        }
+        (vecs, g)
+    }
+
+    fn entry(vecs: &VectorStore, id: u32, q: &[f32]) -> Vec<Neighbor> {
+        vec![Neighbor::new(Metric::L2.distance(vecs.get(id), q), id)]
+    }
+
+    #[test]
+    fn unfiltered_search_reaches_target() {
+        let (vecs, g) = line();
+        let mut scratch = SearchScratch::new(7);
+        scratch.begin(7);
+        let mut stats = SearchStats::default();
+        let q = [6.0];
+        let out = acorn_search_layer(
+            &vecs, &g, Metric::L2, &q, &AllPass, &entry(&vecs, 0, &q), 2, 0, 3,
+            LookupMode::Truncate, &mut scratch, &mut stats,
+        );
+        assert_eq!(out[0].id, 6);
+    }
+
+    #[test]
+    fn results_contain_only_passing_nodes() {
+        let (vecs, g) = line();
+        let f = BitmapFilter::new(Bitset::from_ids(7, [1u32, 3, 5]));
+        let mut scratch = SearchScratch::new(7);
+        scratch.begin(7);
+        let mut stats = SearchStats::default();
+        let q = [6.0];
+        let out = acorn_search_layer(
+            &vecs, &g, Metric::L2, &q, &f, &entry(&vecs, 0, &q), 10, 0, 3,
+            LookupMode::TwoHop, &mut scratch, &mut stats,
+        );
+        assert!(!out.is_empty());
+        for n in &out {
+            assert!([1, 3, 5].contains(&n.id), "node {} fails the predicate", n.id);
+        }
+    }
+
+    #[test]
+    fn failing_entry_is_expanded_but_not_reported() {
+        let (vecs, g) = line();
+        // Entry 0 fails; only node 2 passes. Plain filtered lookup can't hop
+        // the gap (node 1 fails), but two-hop expansion reaches 2.
+        let f = BitmapFilter::new(Bitset::from_ids(7, [2u32]));
+        let mut scratch = SearchScratch::new(7);
+        scratch.begin(7);
+        let mut stats = SearchStats::default();
+        let q = [2.0];
+        let out = acorn_search_layer(
+            &vecs, &g, Metric::L2, &q, &f, &entry(&vecs, 0, &q), 4, 0, 3,
+            LookupMode::TwoHop, &mut scratch, &mut stats,
+        );
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn empty_when_no_passing_node_reachable() {
+        let (vecs, g) = line();
+        let f = BitmapFilter::new(Bitset::new(7)); // nothing passes
+        let mut scratch = SearchScratch::new(7);
+        scratch.begin(7);
+        let mut stats = SearchStats::default();
+        let q = [3.0];
+        let out = acorn_search_layer(
+            &vecs, &g, Metric::L2, &q, &f, &entry(&vecs, 0, &q), 4, 0, 3,
+            LookupMode::TwoHop, &mut scratch, &mut stats,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn truncate_mode_limits_fanout() {
+        // Star: node 0 connects to 1..=5; with m = 2 only the first two are
+        // scanned by the construction-time truncated lookup.
+        let mut vecs = VectorStore::new(1);
+        for i in 0..6 {
+            vecs.push(&[i as f32]);
+        }
+        let mut g = LayeredGraph::new();
+        for _ in 0..6 {
+            g.add_node(0);
+        }
+        for w in 1..=5u32 {
+            g.push_edge(0, w, 0);
+        }
+        let mut scratch = SearchScratch::new(6);
+        scratch.begin(6);
+        let mut stats = SearchStats::default();
+        let q = [0.0];
+        let out = acorn_search_layer(
+            &vecs, &g, Metric::L2, &q, &AllPass, &entry(&vecs, 0, &q), 10, 0, 2,
+            LookupMode::Truncate, &mut scratch, &mut stats,
+        );
+        let ids: Vec<u32> = out.iter().map(|n| n.id).collect();
+        assert!(ids.contains(&0) && ids.contains(&1) && ids.contains(&2));
+        assert!(!ids.contains(&5), "truncated lookup must not reach entry 5");
+    }
+}

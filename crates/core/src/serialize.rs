@@ -1,0 +1,269 @@
+//! Binary serialization for [`AcornIndex`].
+//!
+//! The index (graph + parameters) is persisted separately from the vectors:
+//! embeddings usually already live in the application's own storage, and an
+//! ACORN graph is meaningless without exactly the store it was built over.
+//! The format is a little-endian, versioned, length-prefixed layout — no
+//! external serialization crates needed.
+//!
+//! ```text
+//! magic "ACRN" | version u32 | variant u8 | m u64 | gamma u64 | m_beta u64
+//! | efc u64 | metric u8 | seed u64 | s_min f64 (NaN = none) | n_c u64
+//! | flatten u8 | n u64 | per node: level u8, per level: len u32, ids [u32]
+//! | edges_pruned u64
+//! ```
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use acorn_hnsw::{LayeredGraph, Metric, VectorStore};
+
+use crate::index::AcornIndex;
+use crate::params::{AcornParams, AcornVariant};
+use crate::prune::PruneStrategy;
+
+const MAGIC: &[u8; 4] = b"ACRN";
+const VERSION: u32 = 2;
+
+fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl AcornIndex {
+    /// Serialize the index (graph + parameters, not the vectors) to `w`.
+    ///
+    /// Note: only [`PruneStrategy::AcornCompress`] and
+    /// [`PruneStrategy::KeepAll`] round-trip; the label-dependent ablation
+    /// strategies are research knobs and serialize as `AcornCompress`.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        let p = self.params();
+        w.write_all(MAGIC)?;
+        put_u32(w, VERSION)?;
+        w.write_all(&[match self.variant() {
+            AcornVariant::Gamma => 0u8,
+            AcornVariant::One => 1u8,
+        }])?;
+        put_u64(w, p.m as u64)?;
+        put_u64(w, p.gamma as u64)?;
+        put_u64(w, p.m_beta as u64)?;
+        put_u64(w, p.ef_construction as u64)?;
+        w.write_all(&[match p.metric {
+            Metric::L2 => 0u8,
+            Metric::InnerProduct => 1u8,
+            Metric::Cosine => 2u8,
+        }])?;
+        put_u64(w, p.seed)?;
+        w.write_all(&p.s_min_override.unwrap_or(f64::NAN).to_le_bytes())?;
+        put_u64(w, p.compressed_levels as u64)?;
+        w.write_all(&[p.flatten_hierarchy as u8])?;
+
+        let g = self.graph();
+        put_u64(w, g.len() as u64)?;
+        for v in 0..g.len() as u32 {
+            let level = g.level_of(v);
+            w.write_all(&[level as u8])?;
+            for lev in 0..=level {
+                let list = g.neighbors(v, lev);
+                put_u32(w, list.len() as u32)?;
+                for &id in list {
+                    put_u32(w, id)?;
+                }
+            }
+        }
+        put_u64(w, self.edges_pruned())?;
+        Ok(())
+    }
+
+    /// Load an index previously written by [`save`](Self::save), attaching
+    /// it to `vecs` (which must be the store the index was built over).
+    ///
+    /// # Errors
+    /// Returns `InvalidData` on magic/version mismatch, and if `vecs` does
+    /// not have exactly as many vectors as the serialized graph has nodes.
+    pub fn load(r: &mut impl Read, vecs: Arc<VectorStore>) -> io::Result<AcornIndex> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not an ACORN index file"));
+        }
+        if get_u32(r)? != VERSION {
+            return Err(bad("unsupported ACORN index version"));
+        }
+        let variant = match get_u8(r)? {
+            0 => AcornVariant::Gamma,
+            1 => AcornVariant::One,
+            _ => return Err(bad("unknown variant tag")),
+        };
+        let m = get_u64(r)? as usize;
+        let gamma = get_u64(r)? as usize;
+        let m_beta = get_u64(r)? as usize;
+        let ef_construction = get_u64(r)? as usize;
+        let metric = match get_u8(r)? {
+            0 => Metric::L2,
+            1 => Metric::InnerProduct,
+            2 => Metric::Cosine,
+            _ => return Err(bad("unknown metric tag")),
+        };
+        let seed = get_u64(r)?;
+        let mut s_min_bytes = [0u8; 8];
+        r.read_exact(&mut s_min_bytes)?;
+        let s_min = f64::from_le_bytes(s_min_bytes);
+        let s_min_override = if s_min.is_nan() { None } else { Some(s_min) };
+        let compressed_levels = get_u64(r)? as usize;
+        let flatten_hierarchy = get_u8(r)? != 0;
+
+        let n = get_u64(r)? as usize;
+        if vecs.len() != n {
+            return Err(bad("vector store size does not match serialized index"));
+        }
+        let mut graph = LayeredGraph::with_capacity(n);
+        for _ in 0..n {
+            let level = get_u8(r)? as usize;
+            let v = graph.add_node(level);
+            for lev in 0..=level {
+                let len = get_u32(r)? as usize;
+                let mut list = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let id = get_u32(r)?;
+                    if id as usize >= n {
+                        return Err(bad("edge target out of range"));
+                    }
+                    list.push(id);
+                }
+                graph.set_neighbors(v, lev, list);
+            }
+        }
+        let edges_pruned = get_u64(r)?;
+
+        let params = AcornParams {
+            m,
+            gamma,
+            m_beta,
+            ef_construction,
+            metric,
+            seed,
+            prune: PruneStrategy::AcornCompress,
+            s_min_override,
+            compressed_levels,
+            flatten_hierarchy,
+        };
+        Ok(AcornIndex::from_parts(params, variant, vecs, graph, edges_pruned))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_store(n: usize, dim: usize, seed: u64) -> Arc<VectorStore> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::with_capacity(dim, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        Arc::new(s)
+    }
+
+    #[test]
+    fn roundtrip_preserves_search_results() {
+        let vecs = random_store(600, 8, 1);
+        let params = AcornParams {
+            m: 8,
+            gamma: 4,
+            m_beta: 16,
+            ef_construction: 32,
+            ..Default::default()
+        };
+        let idx = AcornIndex::build(vecs.clone(), params, AcornVariant::Gamma);
+
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        let loaded = AcornIndex::load(&mut buf.as_slice(), vecs.clone()).unwrap();
+
+        assert_eq!(loaded.len(), idx.len());
+        assert_eq!(loaded.variant(), idx.variant());
+        assert_eq!(loaded.edges_pruned(), idx.edges_pruned());
+        let q = vec![0.1; 8];
+        let a: Vec<u32> = idx.search(&q, 10, 64).iter().map(|n| n.id).collect();
+        let b: Vec<u32> = loaded.search(&q, 10, 64).iter().map(|n| n.id).collect();
+        assert_eq!(a, b, "loaded index must answer identically");
+    }
+
+    #[test]
+    fn roundtrip_acorn1_and_s_min() {
+        let vecs = random_store(200, 4, 2);
+        let params = AcornParams {
+            m: 8,
+            gamma: 6,
+            m_beta: 8,
+            ef_construction: 16,
+            ..Default::default()
+        };
+        let idx = AcornIndex::build(vecs.clone(), params, AcornVariant::One);
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        let loaded = AcornIndex::load(&mut buf.as_slice(), vecs).unwrap();
+        assert_eq!(loaded.variant(), AcornVariant::One);
+        assert_eq!(loaded.params().s_min(), idx.params().s_min());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_size_mismatch() {
+        let vecs = random_store(50, 4, 3);
+        let params = AcornParams { m: 4, gamma: 2, m_beta: 4, ef_construction: 8, ..Default::default() };
+        let idx = AcornIndex::build(vecs.clone(), params, AcornVariant::Gamma);
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+
+        let mut corrupted = buf.clone();
+        corrupted[0] = b'X';
+        assert!(AcornIndex::load(&mut corrupted.as_slice(), vecs.clone()).is_err());
+
+        let wrong_store = random_store(49, 4, 4);
+        assert!(AcornIndex::load(&mut buf.as_slice(), wrong_store).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_a_panic() {
+        let vecs = random_store(50, 4, 5);
+        let params = AcornParams { m: 4, gamma: 2, m_beta: 4, ef_construction: 8, ..Default::default() };
+        let idx = AcornIndex::build(vecs.clone(), params, AcornVariant::Gamma);
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        for cut in [3usize, 10, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                AcornIndex::load(&mut buf[..cut].to_vec().as_slice(), vecs.clone()).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
+    }
+}

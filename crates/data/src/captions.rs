@@ -1,0 +1,99 @@
+//! Synthetic caption text for the LAION-like dataset's regex predicates.
+//!
+//! Captions follow the shape of LAION alt-text: a short English phrase
+//! built from a small vocabulary, where the descriptive words are biased by
+//! the vector's cluster (emulating the image/caption coupling CLIP induces).
+//! A fraction of captions start with digits so the paper's example pattern
+//! `^[0-9]` has non-trivial selectivity.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The 30-word keyword vocabulary (paper: "a candidate list of 30 common
+/// adjectives and nouns"). Index into this list = keyword id = bit position
+/// in the keywords bitmask, so captions and keyword attributes agree.
+pub const KEYWORDS: [&str; 30] = [
+    "animal", "scary", "dog", "cat", "bird", "fish", "red", "blue", "green", "yellow", "large",
+    "small", "old", "young", "happy", "sad", "city", "beach", "forest", "mountain", "car",
+    "boat", "house", "tree", "flower", "food", "person", "child", "night", "sunny",
+];
+
+/// Filler words used between keywords.
+const FILLERS: [&str; 12] = [
+    "a", "photo", "of", "the", "with", "in", "on", "very", "one", "two", "three", "style",
+];
+
+/// Generate one caption for a record in cluster `cluster`, preferring the
+/// given cluster-affine keyword ids.
+///
+/// `digit_prob` is the probability that the caption starts with a number
+/// (exercising `^[0-9]`-style anchors).
+pub fn caption(rng: &mut StdRng, preferred: &[u8], digit_prob: f64) -> String {
+    let mut out = String::with_capacity(48);
+    if rng.gen_bool(digit_prob) {
+        out.push_str(&format!("{} ", rng.gen_range(0..100)));
+    }
+    out.push_str("a photo of ");
+    let words = rng.gen_range(2..=4usize);
+    for w in 0..words {
+        if w > 0 && rng.gen_bool(0.4) {
+            out.push_str(FILLERS[rng.gen_range(0..FILLERS.len())]);
+            out.push(' ');
+        }
+        // Mostly cluster-affine keywords, sometimes any keyword.
+        let kw = if !preferred.is_empty() && rng.gen_bool(0.7) {
+            preferred[rng.gen_range(0..preferred.len())] as usize
+        } else {
+            rng.gen_range(0..KEYWORDS.len())
+        };
+        out.push_str(KEYWORDS[kw]);
+        out.push(' ');
+    }
+    out.pop();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn captions_contain_preferred_keywords_often() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let preferred = [2u8, 6]; // "dog", "red"
+        let mut hits = 0;
+        let trials = 300;
+        for _ in 0..trials {
+            let c = caption(&mut rng, &preferred, 0.0);
+            if c.contains("dog") || c.contains("red") {
+                hits += 1;
+            }
+        }
+        assert!(hits > trials / 2, "only {hits}/{trials} captions used preferred words");
+    }
+
+    #[test]
+    fn digit_prefix_rate_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 1000;
+        let with_digit = (0..trials)
+            .filter(|_| {
+                caption(&mut rng, &[0], 0.3).chars().next().map(|c| c.is_ascii_digit())
+                    == Some(true)
+            })
+            .count();
+        let rate = with_digit as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.06, "digit rate {rate}");
+    }
+
+    #[test]
+    fn caption_is_nonempty_ascii() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let c = caption(&mut rng, &[], 0.5);
+            assert!(!c.is_empty());
+            assert!(c.is_ascii());
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The four dataset stand-ins (Table 2 of the paper).
+//!
+//! | Paper dataset | Builder | Vectors | Structured data | Operators |
+//! |---|---|---|---|---|
+//! | SIFT1M | [`sift_like`] | 128-d mixture | random int 1–12 | `equals` |
+//! | Paper | [`paper_like`] | 200-d mixture | random int 1–12 | `equals` |
+//! | TripClick | [`tripclick_like`] | 768-d mixture | 28-area list + year | `contains` & `between` |
+//! | LAION | [`laion_like`] | 512-d mixture | caption + 3-of-30 keywords | `regex` & `contains` |
+//!
+//! Keyword/area lists are assigned with *cluster affinity*: records in the
+//! same vector cluster tend to share keywords, reproducing the predicate
+//! clustering (§3.2.1) that positive/negative query correlation relies on.
+
+use std::sync::Arc;
+
+use acorn_hnsw::VectorStore;
+use acorn_predicate::attrs::keyword_mask;
+use acorn_predicate::AttrStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::captions::{caption, KEYWORDS};
+use crate::synth::{gaussian_mixture, MixtureSpec};
+
+/// Probability that a record's keyword is drawn from its cluster's preferred
+/// set rather than uniformly (the predicate-clustering strength).
+const CLUSTER_AFFINITY: f64 = 0.8;
+
+// Mixture stds are chosen so intra-cluster spread is comparable to
+// inter-center distance (ratio ≈ 0.9), matching the heavy overlap of real
+// embedding spaces; fully separated mixtures are pathological for *every*
+// graph index and unrepresentative of SIFT/CLIP/DPR geometry.
+
+/// A complete hybrid dataset: vectors plus aligned structured attributes.
+#[derive(Debug, Clone)]
+pub struct HybridDataset {
+    /// Dataset name (for logs and tables).
+    pub name: String,
+    /// The embedded vectors.
+    pub vectors: Arc<VectorStore>,
+    /// The structured attributes (row `i` describes vector `i`).
+    pub attrs: Arc<AttrStore>,
+    /// Generating mixture component per record (used by the correlation
+    /// workload generators; a real system would not have this).
+    pub cluster_of: Vec<u32>,
+    /// Number of mixture components.
+    pub n_clusters: usize,
+}
+
+impl HybridDataset {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True if the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// One-line summary used by the Table 2 reproduction.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} vectors x {}d, {} attribute fields",
+            self.name,
+            self.vectors.len(),
+            self.vectors.dim(),
+            self.attrs.num_fields()
+        )
+    }
+}
+
+/// The preferred keyword triple of a cluster (shared by dataset generation
+/// and the correlated workload generators).
+pub fn preferred_keywords(cluster: u32, vocab: usize) -> [u8; 3] {
+    let base = (cluster as usize * 3) % vocab;
+    [base as u8, ((base + 1) % vocab) as u8, ((base + 2) % vocab) as u8]
+}
+
+/// Draw a keyword set of `count` terms for a record in `cluster`.
+fn draw_keywords(rng: &mut StdRng, cluster: u32, vocab: usize, count: usize) -> u64 {
+    let preferred = preferred_keywords(cluster, vocab);
+    let mut terms: Vec<u8> = Vec::with_capacity(count);
+    while terms.len() < count {
+        let kw = if rng.gen_bool(CLUSTER_AFFINITY) {
+            preferred[rng.gen_range(0..3)]
+        } else {
+            rng.gen_range(0..vocab) as u8
+        };
+        if !terms.contains(&kw) {
+            terms.push(kw);
+        }
+    }
+    keyword_mask(&terms)
+}
+
+/// SIFT1M stand-in: 128-d clustered vectors; `label` ∈ 1..=12 uniform
+/// (→ equality predicates with s ≈ 0.083, zero correlation, cardinality 12).
+pub fn sift_like(n: usize, seed: u64) -> HybridDataset {
+    int_label_dataset("sift1m-like", n, 128, 20, 0.55, seed)
+}
+
+/// Paper stand-in: 200-d clustered vectors; same attribute scheme as SIFT.
+pub fn paper_like(n: usize, seed: u64) -> HybridDataset {
+    int_label_dataset("paper-like", n, 200, 25, 0.55, seed)
+}
+
+fn int_label_dataset(
+    name: &str,
+    n: usize,
+    dim: usize,
+    clusters: usize,
+    std: f32,
+    seed: u64,
+) -> HybridDataset {
+    let mix = gaussian_mixture(MixtureSpec { n, dim, clusters, std, seed });
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA77);
+    // "for each base vector, we assign a random integer in the range 1-12"
+    let labels: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=12)).collect();
+    let attrs = AttrStore::builder().add_int("label", labels).build();
+    HybridDataset {
+        name: name.to_string(),
+        vectors: Arc::new(mix.vectors),
+        attrs: Arc::new(attrs),
+        cluster_of: mix.cluster_of,
+        n_clusters: clusters,
+    }
+}
+
+/// Number of clinical areas in the TripClick stand-in (paper: 28).
+pub const TRIPCLICK_AREAS: usize = 28;
+
+/// TripClick stand-in: 768-d clustered vectors; each record carries a list
+/// of 1–3 clinical areas (cluster-affine, Zipf-flavored sizes) and a
+/// publication year in 1900–2020 skewed toward recent years.
+pub fn tripclick_like(n: usize, seed: u64) -> HybridDataset {
+    let clusters = 24;
+    let mix = gaussian_mixture(MixtureSpec { n, dim: 768, clusters, std: 0.55, seed });
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7219);
+
+    let mut areas = Vec::with_capacity(n);
+    let mut years = Vec::with_capacity(n);
+    for i in 0..n {
+        let count = 1 + (rng.gen_range(0.0f64..1.0).powi(2) * 3.0) as usize; // 1..=3, small-heavy
+        areas.push(draw_keywords(&mut rng, mix.cluster_of[i], TRIPCLICK_AREAS, count));
+        // Skew toward recent years: u^3 stretches mass toward 2020
+        // (P(year >= 1990) ≈ 0.63).
+        let u: f64 = rng.gen_range(0.0..1.0);
+        years.push(2020 - (u * u * u * 120.0) as i64);
+    }
+
+    let attrs = AttrStore::builder()
+        .add_keywords("areas", areas)
+        .add_int("year", years)
+        .build();
+    HybridDataset {
+        name: "tripclick-like".to_string(),
+        vectors: Arc::new(mix.vectors),
+        attrs: Arc::new(attrs),
+        cluster_of: mix.cluster_of,
+        n_clusters: clusters,
+    }
+}
+
+/// LAION stand-in: 512-d clustered vectors; each record carries a synthetic
+/// caption (for regex predicates) and a 3-of-30 keyword list assigned by
+/// cluster affinity (emulating the paper's CLIP-score keyword assignment).
+pub fn laion_like(n: usize, seed: u64) -> HybridDataset {
+    let clusters = 30;
+    let mix = gaussian_mixture(MixtureSpec { n, dim: 512, clusters, std: 0.55, seed });
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1A10);
+
+    let mut masks = Vec::with_capacity(n);
+    let mut captions = Vec::with_capacity(n);
+    for i in 0..n {
+        let cluster = mix.cluster_of[i];
+        masks.push(draw_keywords(&mut rng, cluster, KEYWORDS.len(), 3));
+        let preferred = preferred_keywords(cluster, KEYWORDS.len());
+        captions.push(caption(&mut rng, &preferred, 0.15));
+    }
+
+    let attrs = AttrStore::builder()
+        .add_keywords("keywords", masks)
+        .add_text("caption", captions)
+        .build();
+    HybridDataset {
+        name: "laion-like".to_string(),
+        vectors: Arc::new(mix.vectors),
+        attrs: Arc::new(attrs),
+        cluster_of: mix.cluster_of,
+        n_clusters: clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acorn_predicate::Predicate;
+
+    #[test]
+    fn sift_like_schema_and_selectivity() {
+        let d = sift_like(2000, 1);
+        assert_eq!(d.vectors.dim(), 128);
+        let f = d.attrs.field("label").unwrap();
+        // Each of the 12 labels should have selectivity near 1/12.
+        let p = Predicate::Equals { field: f, value: 5 };
+        let s = acorn_predicate::exact_selectivity(&d.attrs, &p);
+        assert!((s - 1.0 / 12.0).abs() < 0.03, "selectivity {s}");
+    }
+
+    #[test]
+    fn paper_like_dim() {
+        let d = paper_like(100, 2);
+        assert_eq!(d.vectors.dim(), 200);
+        assert_eq!(d.len(), 100);
+    }
+
+    #[test]
+    fn tripclick_years_in_range_and_skewed() {
+        let d = tripclick_like(3000, 3);
+        let f = d.attrs.field("year").unwrap();
+        let mut recent = 0;
+        for i in 0..d.len() as u32 {
+            let y = d.attrs.int(f, i);
+            assert!((1900..=2020).contains(&y), "year {y} out of range");
+            if y >= 1990 {
+                recent += 1;
+            }
+        }
+        assert!(
+            recent as f64 / d.len() as f64 > 0.5,
+            "years must be skewed toward recent"
+        );
+    }
+
+    #[test]
+    fn tripclick_areas_nonempty() {
+        let d = tripclick_like(500, 4);
+        let f = d.attrs.field("areas").unwrap();
+        for i in 0..d.len() as u32 {
+            let mask = d.attrs.keywords(f, i);
+            let count = mask.count_ones();
+            assert!((1..=3).contains(&count), "record {i} has {count} areas");
+            assert!(mask < (1u64 << TRIPCLICK_AREAS), "area id out of vocabulary");
+        }
+    }
+
+    #[test]
+    fn laion_keywords_cluster_affine() {
+        let d = laion_like(2000, 5);
+        let f = d.attrs.field("keywords").unwrap();
+        // Records should carry a preferred keyword of their own cluster far
+        // more often than chance (3 random of 30 ≈ 28% for any of 3 given).
+        let mut affine = 0;
+        for i in 0..d.len() as u32 {
+            let mask = d.attrs.keywords(f, i);
+            let preferred = preferred_keywords(d.cluster_of[i as usize], KEYWORDS.len());
+            if preferred.iter().any(|&k| mask & (1 << k) != 0) {
+                affine += 1;
+            }
+        }
+        let frac = affine as f64 / d.len() as f64;
+        assert!(frac > 0.8, "cluster affinity too weak: {frac}");
+    }
+
+    #[test]
+    fn laion_captions_support_regex() {
+        let d = laion_like(1000, 6);
+        let f = d.attrs.field("caption").unwrap();
+        let p = Predicate::RegexMatch {
+            field: f,
+            regex: acorn_predicate::Regex::new("^[0-9]").unwrap(),
+        };
+        let s = acorn_predicate::exact_selectivity(&d.attrs, &p);
+        assert!(s > 0.05 && s < 0.3, "digit-prefix selectivity {s}");
+    }
+
+    #[test]
+    fn preferred_keywords_are_distinct_and_in_vocab() {
+        for c in 0..40u32 {
+            let p = preferred_keywords(c, 30);
+            assert!(p.iter().all(|&k| (k as usize) < 30));
+            assert_ne!(p[0], p[1]);
+            assert_ne!(p[1], p[2]);
+        }
+    }
+}

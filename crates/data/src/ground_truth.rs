@@ -1,0 +1,117 @@
+//! Exact filtered K-nearest-neighbor ground truth.
+//!
+//! Recall@K (§3.1) compares retrieved sets against the true `K` nearest
+//! passing records. This module computes them by parallel brute force:
+//! queries are sharded across threads with `crossbeam::scope`, each thread
+//! scanning the full dataset with a top-K accumulator.
+
+use acorn_hnsw::heap::{Neighbor, TopK};
+use acorn_hnsw::{Metric, VectorStore};
+use acorn_predicate::AttrStore;
+
+use crate::workloads::HybridQuery;
+
+/// Exact top-`k` passing neighbors for each query, sorted nearest-first.
+///
+/// `threads = 0` means "use all available parallelism".
+pub fn ground_truth(
+    vectors: &VectorStore,
+    attrs: &AttrStore,
+    metric: Metric,
+    queries: &[HybridQuery],
+    k: usize,
+    threads: usize,
+) -> Vec<Vec<u32>> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+
+    if queries.is_empty() {
+        return out;
+    }
+    let chunk = queries.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move |_| {
+                for (q, slot) in qchunk.iter().zip(ochunk.iter_mut()) {
+                    *slot = single_query(vectors, attrs, metric, q, k);
+                }
+            });
+        }
+    })
+    .expect("ground-truth worker panicked");
+    out
+}
+
+/// Exact top-`k` for one query.
+pub fn single_query(
+    vectors: &VectorStore,
+    attrs: &AttrStore,
+    metric: Metric,
+    query: &HybridQuery,
+    k: usize,
+) -> Vec<u32> {
+    let mut top = TopK::new(k.max(1));
+    for id in 0..vectors.len() as u32 {
+        if query.predicate.eval(attrs, id) {
+            let d = vectors.distance_to(metric, id, &query.vector);
+            top.push(Neighbor::new(d, id));
+        }
+    }
+    top.into_sorted().iter().map(|n| n.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::sift_like;
+    use crate::workloads::equality_workload;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let ds = sift_like(800, 1);
+        let w = equality_workload(&ds, 12, 2);
+        let par = ground_truth(&ds.vectors, &ds.attrs, Metric::L2, &w.queries, 10, 4);
+        for (q, got) in w.queries.iter().zip(&par) {
+            let want = single_query(&ds.vectors, &ds.attrs, Metric::L2, q, 10);
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn results_pass_predicate_and_are_sorted() {
+        let ds = sift_like(600, 3);
+        let w = equality_workload(&ds, 5, 4);
+        let gt = ground_truth(&ds.vectors, &ds.attrs, Metric::L2, &w.queries, 10, 2);
+        for (q, ids) in w.queries.iter().zip(&gt) {
+            let mut prev = f32::NEG_INFINITY;
+            for &id in ids {
+                assert!(q.predicate.eval(&ds.attrs, id));
+                let d = Metric::L2.distance(ds.vectors.get(id), &q.vector);
+                assert!(d >= prev);
+                prev = d;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_queries_ok() {
+        let ds = sift_like(100, 5);
+        let gt = ground_truth(&ds.vectors, &ds.attrs, Metric::L2, &[], 10, 2);
+        assert!(gt.is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_matches_returns_all() {
+        let ds = sift_like(200, 6);
+        let w = equality_workload(&ds, 3, 7);
+        let gt = ground_truth(&ds.vectors, &ds.attrs, Metric::L2, &w.queries, 10_000, 1);
+        for (q, ids) in w.queries.iter().zip(&gt) {
+            let expect = (q.selectivity * ds.len() as f64).round() as usize;
+            assert_eq!(ids.len(), expect);
+        }
+    }
+}

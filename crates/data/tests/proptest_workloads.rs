@@ -1,0 +1,59 @@
+//! Property tests for dataset and workload generators: selectivity
+//! bookkeeping, predicate validity, and ground-truth correctness.
+
+use acorn_data::datasets::{sift_like, tripclick_like};
+use acorn_data::ground_truth::single_query;
+use acorn_data::workloads::{date_range_workload, equality_workload};
+use acorn_hnsw::Metric;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Stored query selectivities equal the exact fraction of passing rows.
+    #[test]
+    fn workload_selectivities_are_exact(n in 200usize..800, seed in 0u64..100) {
+        let ds = sift_like(n, seed);
+        let w = equality_workload(&ds, 5, seed ^ 1);
+        for q in &w.queries {
+            let count = (0..n as u32).filter(|&i| q.predicate.eval(&ds.attrs, i)).count();
+            let want = count as f64 / n as f64;
+            prop_assert!((q.selectivity - want).abs() < 1e-12);
+        }
+    }
+
+    /// Date windows always select a non-empty contiguous year range, and the
+    /// achieved selectivity is at least the target (ties can only widen it).
+    #[test]
+    fn date_windows_cover_target(n in 300usize..1000, target in 0.02f64..0.7, seed in 0u64..50) {
+        let ds = tripclick_like(n, seed);
+        let w = date_range_workload(&ds, target, 4, seed ^ 2);
+        for q in &w.queries {
+            prop_assert!(q.selectivity > 0.0, "empty date window");
+            // The window is sized to ceil(target·n) rows before ties.
+            prop_assert!(
+                q.selectivity >= (target * n as f64).floor() / n as f64 - 1e-9,
+                "window smaller than target: {} < {target}",
+                q.selectivity
+            );
+        }
+    }
+
+    /// Ground truth equals a naive filtered sort.
+    #[test]
+    fn ground_truth_matches_naive(n in 100usize..400, k in 1usize..12, seed in 0u64..100) {
+        let ds = sift_like(n, seed);
+        let w = equality_workload(&ds, 3, seed ^ 3);
+        for q in &w.queries {
+            let got = single_query(&ds.vectors, &ds.attrs, Metric::L2, q, k);
+            let mut naive: Vec<(f32, u32)> = (0..n as u32)
+                .filter(|&i| q.predicate.eval(&ds.attrs, i))
+                .map(|i| (Metric::L2.distance(ds.vectors.get(i), &q.vector), i))
+                .collect();
+            naive.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            naive.truncate(k);
+            let want: Vec<u32> = naive.iter().map(|&(_, i)| i).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

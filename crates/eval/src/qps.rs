@@ -1,0 +1,125 @@
+//! The multi-threaded query driver.
+//!
+//! QPS is measured by sharding a workload's queries across worker threads
+//! (crossbeam scoped threads; one [`SearchScratch`] per worker so visited
+//! sets and heaps are reused) and dividing total queries by wall time.
+
+use std::time::{Duration, Instant};
+
+use acorn_hnsw::{SearchScratch, SearchStats};
+
+/// Output of one timed workload run.
+#[derive(Debug, Clone)]
+pub struct QpsResult {
+    /// Wall time of the whole batch.
+    pub elapsed: Duration,
+    /// Queries per second.
+    pub qps: f64,
+    /// Retrieved ids per query (indexed like the input workload).
+    pub results: Vec<Vec<u32>>,
+    /// Summed search statistics across queries.
+    pub stats: SearchStats,
+}
+
+/// Run `nq` queries across `threads` workers and measure throughput.
+///
+/// `f(query_index, scratch)` executes one query and returns the retrieved
+/// ids plus its [`SearchStats`]. `threads = 0` uses all available cores.
+pub fn run_queries<F>(nq: usize, threads: usize, f: F) -> QpsResult
+where
+    F: Fn(usize, &mut SearchScratch) -> (Vec<u32>, SearchStats) + Sync,
+{
+    run_queries_repeated(nq, threads, 1, f)
+}
+
+/// Like [`run_queries`], but executes every query `repeats` times so that
+/// wall time dwarfs thread start-up on small workloads. Results are taken
+/// from the final repetition; QPS counts every execution.
+pub fn run_queries_repeated<F>(nq: usize, threads: usize, repeats: usize, f: F) -> QpsResult
+where
+    F: Fn(usize, &mut SearchScratch) -> (Vec<u32>, SearchStats) + Sync,
+{
+    let repeats = repeats.max(1);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let mut results: Vec<Vec<u32>> = vec![Vec::new(); nq];
+    let mut thread_stats: Vec<SearchStats> = vec![SearchStats::default(); threads.max(1)];
+
+    let t0 = Instant::now();
+    if nq > 0 {
+        let chunk = nq.div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            let f = &f;
+            for ((t, rchunk), tstat) in
+                results.chunks_mut(chunk).enumerate().zip(thread_stats.iter_mut())
+            {
+                s.spawn(move |_| {
+                    let mut scratch = SearchScratch::default();
+                    let base = t * chunk;
+                    for rep in 0..repeats {
+                        for (off, slot) in rchunk.iter_mut().enumerate() {
+                            let (ids, st) = f(base + off, &mut scratch);
+                            tstat.merge(&st);
+                            if rep + 1 == repeats {
+                                *slot = ids;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("query worker panicked");
+    }
+    let elapsed = t0.elapsed();
+
+    let mut stats = SearchStats::default();
+    for st in &thread_stats {
+        stats.merge(st);
+    }
+    let executions = (nq * repeats) as f64;
+    let qps =
+        if elapsed.as_secs_f64() > 0.0 { executions / elapsed.as_secs_f64() } else { 0.0 };
+    // Stats are averaged back to per-workload scale so avg-per-query
+    // figures are repeat-independent.
+    stats.ndis /= repeats as u64;
+    stats.nhops /= repeats as u64;
+    stats.npred /= repeats as u64;
+    QpsResult { elapsed, qps, results, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_query_exactly_once() {
+        let out = run_queries(37, 4, |i, _scratch| {
+            (vec![i as u32], SearchStats { ndis: 1, ..Default::default() })
+        });
+        assert_eq!(out.results.len(), 37);
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(r, &vec![i as u32]);
+        }
+        assert_eq!(out.stats.ndis, 37);
+        assert!(out.qps > 0.0);
+    }
+
+    #[test]
+    fn zero_queries_ok() {
+        let out = run_queries(0, 2, |_, _| (vec![], SearchStats::default()));
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread_results() {
+        let f = |i: usize, _s: &mut SearchScratch| {
+            (vec![(i * 3) as u32], SearchStats::default())
+        };
+        let a = run_queries(20, 1, f);
+        let b = run_queries(20, 8, f);
+        assert_eq!(a.results, b.results);
+    }
+}

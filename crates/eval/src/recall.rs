@@ -1,0 +1,67 @@
+//! Recall@K (§3.1 of the paper): `|G ∩ R| / K`, where `G` is the exact set
+//! of `K` nearest passing records and `R` the retrieved set.
+
+/// Recall of one retrieved list against one ground-truth list.
+///
+/// When fewer than `k` records pass the predicate at all, the denominator is
+/// the achievable target size (`truth.len()`), so a method that returns
+/// everything reachable still scores 1.0. Empty ground truth scores 1.0.
+pub fn recall_at_k(got: &[u32], truth: &[u32], k: usize) -> f64 {
+    let target = truth.len().min(k);
+    if target == 0 {
+        return 1.0;
+    }
+    let hits = truth[..target].iter().filter(|t| got.contains(t)).count();
+    hits as f64 / target as f64
+}
+
+/// Mean recall over a workload.
+pub fn workload_recall(got: &[Vec<u32>], truth: &[Vec<u32>], k: usize) -> f64 {
+    assert_eq!(got.len(), truth.len(), "result/truth length mismatch");
+    if got.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = got.iter().zip(truth).map(|(g, t)| recall_at_k(g, t, k)).sum();
+    sum / got.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_zero() {
+        assert_eq!(recall_at_k(&[1, 2, 3], &[1, 2, 3], 3), 1.0);
+        assert_eq!(recall_at_k(&[4, 5, 6], &[1, 2, 3], 3), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        assert!((recall_at_k(&[1, 9, 3], &[1, 2, 3], 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_truth_uses_achievable_target() {
+        // Only 2 records pass the predicate; retrieving both = recall 1.
+        assert_eq!(recall_at_k(&[7, 8], &[7, 8], 10), 1.0);
+        assert_eq!(recall_at_k(&[7], &[7, 8], 10), 0.5);
+    }
+
+    #[test]
+    fn empty_truth_is_perfect() {
+        assert_eq!(recall_at_k(&[1, 2], &[], 5), 1.0);
+    }
+
+    #[test]
+    fn workload_mean() {
+        let got = vec![vec![1u32, 2], vec![9u32]];
+        let truth = vec![vec![1u32, 2], vec![1u32]];
+        assert!((workload_recall(&got, &truth, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_results_beyond_k_ignored_in_truth() {
+        // got may contain k results; truth longer than k is truncated.
+        assert_eq!(recall_at_k(&[1], &[1, 2, 3], 1), 1.0);
+    }
+}

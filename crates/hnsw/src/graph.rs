@@ -1,0 +1,249 @@
+//! The multi-level adjacency structure shared by HNSW, ACORN, and the
+//! graph-based baselines.
+//!
+//! A [`LayeredGraph`] stores, for every node, its maximum level and one
+//! neighbor list per level `0..=max_level`. Neighbor lists are plain
+//! `Vec<u32>` in (approximate) nearest-first order; the *order* is load
+//! bearing for ACORN, whose search truncates lists to a prefix and whose
+//! compression keeps the `M_β` nearest candidates verbatim.
+
+/// Per-level statistics used by Table 6 and Figure 13 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStats {
+    /// Level index (0 = bottom).
+    pub level: usize,
+    /// Number of nodes present on this level.
+    pub nodes: usize,
+    /// Total directed edges on this level.
+    pub edges: usize,
+    /// Average out-degree of nodes on this level.
+    pub avg_out_degree: f64,
+    /// Maximum out-degree on this level.
+    pub max_out_degree: usize,
+}
+
+/// Multi-level directed graph over node ids `0..len`.
+#[derive(Debug, Clone, Default)]
+pub struct LayeredGraph {
+    /// `levels[v]` = maximum level index of node `v`.
+    levels: Vec<u8>,
+    /// `adj[v][l]` = neighbor list of node `v` at level `l` (l ≤ levels[v]).
+    adj: Vec<Vec<Vec<u32>>>,
+    /// Entry point node, if any node has been added.
+    entry: Option<u32>,
+    /// Maximum level index present in the graph.
+    max_level: usize,
+}
+
+impl LayeredGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty graph with capacity reserved for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            levels: Vec::with_capacity(n),
+            adj: Vec::with_capacity(n),
+            entry: None,
+            max_level: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The fixed entry point (highest node inserted so far).
+    #[inline]
+    pub fn entry_point(&self) -> Option<u32> {
+        self.entry
+    }
+
+    /// Maximum level index present.
+    #[inline]
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Maximum level of node `v`.
+    #[inline]
+    pub fn level_of(&self, v: u32) -> usize {
+        self.levels[v as usize] as usize
+    }
+
+    /// Add a node with the given maximum level; returns its id.
+    ///
+    /// The first node added becomes the entry point, as does any later node
+    /// whose level exceeds the current maximum.
+    pub fn add_node(&mut self, level: usize) -> u32 {
+        assert!(level <= u8::MAX as usize, "level {level} exceeds supported maximum");
+        let id = self.levels.len() as u32;
+        self.levels.push(level as u8);
+        self.adj.push(vec![Vec::new(); level + 1]);
+        match self.entry {
+            None => {
+                self.entry = Some(id);
+                self.max_level = level;
+            }
+            Some(_) if level > self.max_level => {
+                self.entry = Some(id);
+                self.max_level = level;
+            }
+            _ => {}
+        }
+        id
+    }
+
+    /// Borrow the neighbor list of `v` at `level`.
+    ///
+    /// # Panics
+    /// Panics if `level > level_of(v)`.
+    #[inline]
+    pub fn neighbors(&self, v: u32, level: usize) -> &[u32] {
+        &self.adj[v as usize][level]
+    }
+
+    /// Mutably borrow the neighbor list of `v` at `level`.
+    #[inline]
+    pub fn neighbors_mut(&mut self, v: u32, level: usize) -> &mut Vec<u32> {
+        &mut self.adj[v as usize][level]
+    }
+
+    /// Replace the neighbor list of `v` at `level`.
+    #[inline]
+    pub fn set_neighbors(&mut self, v: u32, level: usize, list: Vec<u32>) {
+        self.adj[v as usize][level] = list;
+    }
+
+    /// Append one directed edge `v -> w` at `level` (no dedup, no cap).
+    #[inline]
+    pub fn push_edge(&mut self, v: u32, w: u32, level: usize) {
+        self.adj[v as usize][level].push(w);
+    }
+
+    /// Iterate over all node ids present on `level`.
+    pub fn nodes_on_level(&self, level: usize) -> impl Iterator<Item = u32> + '_ {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(move |(_, &l)| l as usize >= level)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Per-level statistics (Table 6 / Figure 13 support).
+    pub fn level_stats(&self) -> Vec<LevelStats> {
+        let mut out = Vec::with_capacity(self.max_level + 1);
+        for level in 0..=self.max_level {
+            let mut nodes = 0usize;
+            let mut edges = 0usize;
+            let mut max_deg = 0usize;
+            for v in 0..self.len() {
+                if self.levels[v] as usize >= level {
+                    nodes += 1;
+                    let d = self.adj[v][level].len();
+                    edges += d;
+                    max_deg = max_deg.max(d);
+                }
+            }
+            out.push(LevelStats {
+                level,
+                nodes,
+                edges,
+                avg_out_degree: if nodes == 0 { 0.0 } else { edges as f64 / nodes as f64 },
+                max_out_degree: max_deg,
+            });
+        }
+        out
+    }
+
+    /// Total bytes consumed by adjacency lists and level tags (index-only
+    /// footprint; vectors are accounted separately).
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.levels.len() * std::mem::size_of::<u8>();
+        for per_node in &self.adj {
+            bytes += std::mem::size_of::<Vec<u32>>() * per_node.len();
+            for list in per_node {
+                bytes += list.len() * std::mem::size_of::<u32>();
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_point_tracks_highest_node() {
+        let mut g = LayeredGraph::new();
+        let a = g.add_node(0);
+        assert_eq!(g.entry_point(), Some(a));
+        let b = g.add_node(3);
+        assert_eq!(g.entry_point(), Some(b));
+        assert_eq!(g.max_level(), 3);
+        let _c = g.add_node(1);
+        assert_eq!(g.entry_point(), Some(b), "lower node must not steal entry");
+    }
+
+    #[test]
+    fn edges_are_per_level() {
+        let mut g = LayeredGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(1);
+        g.push_edge(a, b, 0);
+        g.push_edge(b, a, 1);
+        assert_eq!(g.neighbors(a, 0), &[b]);
+        assert!(g.neighbors(a, 1).is_empty());
+        assert_eq!(g.neighbors(b, 1), &[a]);
+    }
+
+    #[test]
+    fn nodes_on_level_filters_by_max_level() {
+        let mut g = LayeredGraph::new();
+        g.add_node(0);
+        g.add_node(2);
+        g.add_node(1);
+        let on1: Vec<u32> = g.nodes_on_level(1).collect();
+        assert_eq!(on1, vec![1, 2]);
+        let on0: Vec<u32> = g.nodes_on_level(0).collect();
+        assert_eq!(on0, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn level_stats_counts_degrees() {
+        let mut g = LayeredGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(0);
+        let c = g.add_node(0);
+        g.push_edge(a, b, 0);
+        g.push_edge(a, c, 0);
+        g.push_edge(b, a, 0);
+        let s = g.level_stats();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].nodes, 3);
+        assert_eq!(s[0].edges, 3);
+        assert_eq!(s[0].max_out_degree, 2);
+        assert!((s[0].avg_out_degree - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_edges() {
+        let mut g = LayeredGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(0);
+        let before = g.memory_bytes();
+        g.push_edge(a, b, 0);
+        assert!(g.memory_bytes() > before);
+    }
+}

@@ -1,0 +1,252 @@
+//! Ordered `(distance, id)` pairs and the heap types used by graph search.
+//!
+//! The greedy beam search keeps two priority queues: a min-heap of
+//! *candidates* (closest first, to pick the next node to expand) and a
+//! max-heap of *results* (furthest first, to evict the worst of the dynamic
+//! list `W`). Both are `std::collections::BinaryHeap` over [`Neighbor`] with
+//! the ordering flipped where needed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A node id together with its distance to the current query.
+///
+/// Ordering is by `dist` (using `f32::total_cmp`, so NaN is handled
+/// deterministically), tie-broken by `id` for reproducibility.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Distance to the query (smaller = closer).
+    pub dist: f32,
+    /// Node id within the index.
+    pub id: u32,
+}
+
+impl Neighbor {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(dist: f32, id: u32) -> Self {
+        Self { dist, id }
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist.total_cmp(&other.dist).then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap over [`Neighbor`]: `pop` returns the *closest* element.
+#[derive(Debug, Clone, Default)]
+pub struct MinHeap {
+    inner: BinaryHeap<std::cmp::Reverse<Neighbor>>,
+}
+
+impl MinHeap {
+    /// Create an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty heap with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { inner: BinaryHeap::with_capacity(cap) }
+    }
+
+    /// Insert an element.
+    #[inline]
+    pub fn push(&mut self, n: Neighbor) {
+        self.inner.push(std::cmp::Reverse(n));
+    }
+
+    /// Remove and return the closest element.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Neighbor> {
+        self.inner.pop().map(|r| r.0)
+    }
+
+    /// Peek at the closest element.
+    #[inline]
+    pub fn peek(&self) -> Option<Neighbor> {
+        self.inner.peek().map(|r| r.0)
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Remove all elements, keeping the allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+/// Bounded max-heap over [`Neighbor`] holding the best (closest) `k` seen.
+///
+/// `push` keeps at most `k` elements, evicting the furthest. This is the
+/// dynamic result list `W` of Algorithm 1/2 in the ACORN paper as well as the
+/// top-K accumulator of the brute-force baselines.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    inner: BinaryHeap<Neighbor>,
+}
+
+impl TopK {
+    /// Create an accumulator that retains the closest `k` elements.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "TopK requires k > 0");
+        Self { k, inner: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offer an element; it is retained only if among the closest `k` so far.
+    /// Returns `true` if the element was kept.
+    #[inline]
+    pub fn push(&mut self, n: Neighbor) -> bool {
+        if self.inner.len() < self.k {
+            self.inner.push(n);
+            true
+        } else if let Some(worst) = self.inner.peek() {
+            if n < *worst {
+                self.inner.pop();
+                self.inner.push(n);
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        }
+    }
+
+    /// The current furthest retained element, if any.
+    #[inline]
+    pub fn worst(&self) -> Option<Neighbor> {
+        self.inner.peek().copied()
+    }
+
+    /// Number of retained elements (≤ k).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing is retained.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// True when the accumulator holds `k` elements.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.inner.len() >= self.k
+    }
+
+    /// Consume and return the retained elements sorted closest-first.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.inner.into_vec();
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterate over retained elements in arbitrary (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Neighbor> {
+        self.inner.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_ordering_is_by_distance_then_id() {
+        let a = Neighbor::new(1.0, 5);
+        let b = Neighbor::new(2.0, 1);
+        let c = Neighbor::new(1.0, 7);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn neighbor_ordering_handles_nan_deterministically() {
+        let nan = Neighbor::new(f32::NAN, 0);
+        let one = Neighbor::new(1.0, 1);
+        // total_cmp places NaN above all numbers.
+        assert!(one < nan);
+    }
+
+    #[test]
+    fn min_heap_pops_closest_first() {
+        let mut h = MinHeap::new();
+        for (d, id) in [(3.0, 0), (1.0, 1), (2.0, 2)] {
+            h.push(Neighbor::new(d, id));
+        }
+        assert_eq!(h.pop().unwrap().id, 1);
+        assert_eq!(h.pop().unwrap().id, 2);
+        assert_eq!(h.pop().unwrap().id, 0);
+        assert!(h.pop().is_none());
+    }
+
+    #[test]
+    fn topk_keeps_closest_k() {
+        let mut t = TopK::new(3);
+        for (d, id) in [(5.0, 0), (4.0, 1), (3.0, 2), (2.0, 3), (1.0, 4)] {
+            t.push(Neighbor::new(d, id));
+        }
+        let got: Vec<u32> = t.into_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(got, vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn topk_push_reports_kept() {
+        let mut t = TopK::new(2);
+        assert!(t.push(Neighbor::new(1.0, 0)));
+        assert!(t.push(Neighbor::new(2.0, 1)));
+        assert!(!t.push(Neighbor::new(3.0, 2)), "worse than worst must be rejected");
+        assert!(t.push(Neighbor::new(0.5, 3)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn topk_matches_sort_oracle() {
+        // Deterministic pseudo-random data, no external RNG needed here.
+        let mut xs: Vec<f32> = (0..200).map(|i| ((i * 2654435761u64 % 1000) as f32) / 10.0).collect();
+        let mut t = TopK::new(10);
+        for (i, &d) in xs.iter().enumerate() {
+            t.push(Neighbor::new(d, i as u32));
+        }
+        let got: Vec<f32> = t.into_sorted().iter().map(|n| n.dist).collect();
+        xs.sort_by(f32::total_cmp);
+        assert_eq!(got, &xs[..10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 0")]
+    fn topk_zero_panics() {
+        let _ = TopK::new(0);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # acorn-hnsw
+//!
+//! Hierarchical Navigable Small World (HNSW) substrate for the ACORN
+//! reproduction.
+//!
+//! This crate provides a complete, from-scratch HNSW implementation (Malkov &
+//! Yashunin, 2018) together with the shared low-level infrastructure that the
+//! ACORN indices and the graph-based baselines are built on:
+//!
+//! * [`vecs`] — flat vector storage and distance kernels ([`VectorStore`],
+//!   [`Metric`]).
+//! * [`heap`] — binary-heap helpers ordered on `(distance, id)` pairs
+//!   ([`Neighbor`]).
+//! * [`visited`] — epoch-stamped visited sets reusable across queries.
+//! * [`level`] — the exponentially decaying level sampler used by HNSW and
+//!   ACORN (`mL = 1/ln(M)`).
+//! * [`graph`] — the multi-level adjacency structure ([`LayeredGraph`]).
+//! * [`select`] — neighbor selection: simple top-`M` and the RNG-based
+//!   heuristic pruning from the HNSW paper, with an `alpha` knob that also
+//!   serves Vamana's robust prune.
+//! * [`search`] — the greedy beam search over one graph layer.
+//! * [`index`] — the assembled [`HnswIndex`] with Algorithm 1 search.
+//!
+//! The ACORN paper (SIGMOD 2024) extends this structure; see the
+//! `acorn-core` crate for the extension.
+
+pub mod graph;
+pub mod heap;
+pub mod index;
+pub mod level;
+pub mod search;
+pub mod select;
+pub mod stats;
+pub mod vecs;
+pub mod visited;
+
+pub use graph::LayeredGraph;
+pub use heap::Neighbor;
+pub use index::{HnswIndex, HnswParams};
+pub use level::LevelSampler;
+pub use search::SearchScratch;
+pub use stats::SearchStats;
+pub use vecs::{Metric, VectorStore};
+pub use visited::VisitedSet;

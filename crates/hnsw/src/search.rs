@@ -1,0 +1,199 @@
+//! Greedy beam search over one graph layer (SEARCH-LAYER of the HNSW paper).
+//!
+//! The routine here is the *unfiltered* variant used by HNSW itself and by
+//! the post-filtering baseline. ACORN's predicate-aware variant (Algorithm 2
+//! of the ACORN paper) lives in `acorn-core`; it shares this module's
+//! scratch-space type so thread pools can reuse allocations across queries.
+
+use crate::graph::LayeredGraph;
+use crate::heap::{MinHeap, Neighbor, TopK};
+use crate::stats::SearchStats;
+use crate::vecs::{Metric, VectorStore};
+use crate::visited::VisitedSet;
+
+/// Reusable per-thread scratch space for graph searches.
+///
+/// Allocating a visited set per query would dominate small-query latency;
+/// create one scratch per worker thread and pass it to every search call.
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    /// Visited-node stamps.
+    pub visited: VisitedSet,
+    /// Candidate min-heap (reused allocation).
+    pub candidates: MinHeap,
+    /// Secondary buffer for neighbor-list expansion (used by ACORN lookups).
+    pub expansion: Vec<u32>,
+}
+
+impl SearchScratch {
+    /// Scratch sized for a graph of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { visited: VisitedSet::new(n), candidates: MinHeap::new(), expansion: Vec::new() }
+    }
+
+    /// Ensure capacity for `n` nodes and reset per-query state.
+    pub fn begin(&mut self, n: usize) {
+        self.visited.grow(n);
+        self.visited.reset();
+        self.candidates.clear();
+        self.expansion.clear();
+    }
+}
+
+/// Greedy beam search on `level`, starting from `entry`, returning the `ef`
+/// closest nodes found (sorted nearest-first).
+///
+/// This is SEARCH-LAYER from the HNSW paper: a best-first expansion that
+/// stops when the closest unexpanded candidate is further than the worst of
+/// the `ef` results.
+#[allow(clippy::too_many_arguments)]
+pub fn search_layer(
+    vecs: &VectorStore,
+    graph: &LayeredGraph,
+    metric: Metric,
+    query: &[f32],
+    entry: &[Neighbor],
+    ef: usize,
+    level: usize,
+    scratch: &mut SearchScratch,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    debug_assert!(ef > 0);
+    scratch.candidates.clear();
+    let mut results = TopK::new(ef);
+
+    for &e in entry {
+        if scratch.visited.insert(e.id) {
+            scratch.candidates.push(e);
+            results.push(e);
+        }
+    }
+
+    while let Some(c) = scratch.candidates.pop() {
+        if let Some(worst) = results.worst() {
+            if c.dist > worst.dist && results.is_full() {
+                break;
+            }
+        }
+        stats.nhops += 1;
+        for &nb in graph.neighbors(c.id, level) {
+            if !scratch.visited.insert(nb) {
+                continue;
+            }
+            let d = vecs.distance_to(metric, nb, query);
+            stats.ndis += 1;
+            let cand = Neighbor::new(d, nb);
+            let admit = match results.worst() {
+                Some(w) => d < w.dist || !results.is_full(),
+                None => true,
+            };
+            if admit {
+                scratch.candidates.push(cand);
+                results.push(cand);
+            }
+        }
+    }
+
+    results.into_sorted()
+}
+
+/// Greedy descent: at each level choose the single closest node (`ef = 1`).
+/// Returns the entry point for the next level.
+#[allow(clippy::too_many_arguments)]
+pub fn greedy_descend(
+    vecs: &VectorStore,
+    graph: &LayeredGraph,
+    metric: Metric,
+    query: &[f32],
+    mut entry: Neighbor,
+    from_level: usize,
+    to_level: usize,
+    _scratch: &mut SearchScratch,
+    stats: &mut SearchStats,
+) -> Neighbor {
+    debug_assert!(from_level >= to_level);
+    let mut level = from_level;
+    loop {
+        // Simple hill climbing: move to any strictly closer neighbor.
+        let mut improved = true;
+        while improved {
+            improved = false;
+            stats.nhops += 1;
+            for &nb in graph.neighbors(entry.id, level) {
+                let d = vecs.distance_to(metric, nb, query);
+                stats.ndis += 1;
+                if d < entry.dist {
+                    entry = Neighbor::new(d, nb);
+                    improved = true;
+                }
+            }
+        }
+        if level == to_level {
+            break;
+        }
+        level -= 1;
+    }
+    entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a tiny single-level graph: a path 0 - 1 - 2 - 3 on a line.
+    fn line_world() -> (VectorStore, LayeredGraph) {
+        let mut vecs = VectorStore::new(1);
+        for i in 0..4 {
+            vecs.push(&[i as f32]);
+        }
+        let mut g = LayeredGraph::new();
+        for _ in 0..4 {
+            g.add_node(0);
+        }
+        for (a, b) in [(0u32, 1u32), (1, 2), (2, 3)] {
+            g.push_edge(a, b, 0);
+            g.push_edge(b, a, 0);
+        }
+        (vecs, g)
+    }
+
+    #[test]
+    fn search_layer_walks_to_target() {
+        let (vecs, g) = line_world();
+        let mut scratch = SearchScratch::new(4);
+        scratch.begin(4);
+        let mut stats = SearchStats::default();
+        let entry = vec![Neighbor::new(vecs.distance_to(Metric::L2, 0, &[3.0]), 0)];
+        let out =
+            search_layer(&vecs, &g, Metric::L2, &[3.0], &entry, 2, 0, &mut scratch, &mut stats);
+        assert_eq!(out[0].id, 3);
+        assert_eq!(out[1].id, 2);
+        assert!(stats.ndis > 0);
+        assert!(stats.nhops > 0);
+    }
+
+    #[test]
+    fn search_layer_respects_ef() {
+        let (vecs, g) = line_world();
+        let mut scratch = SearchScratch::new(4);
+        scratch.begin(4);
+        let mut stats = SearchStats::default();
+        let entry = vec![Neighbor::new(vecs.distance_to(Metric::L2, 0, &[0.0]), 0)];
+        let out =
+            search_layer(&vecs, &g, Metric::L2, &[0.0], &entry, 1, 0, &mut scratch, &mut stats);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 0);
+    }
+
+    #[test]
+    fn greedy_descend_hill_climbs() {
+        let (vecs, g) = line_world();
+        let mut scratch = SearchScratch::new(4);
+        scratch.begin(4);
+        let mut stats = SearchStats::default();
+        let start = Neighbor::new(vecs.distance_to(Metric::L2, 0, &[2.9]), 0);
+        let got =
+            greedy_descend(&vecs, &g, Metric::L2, &[2.9], start, 0, 0, &mut scratch, &mut stats);
+        assert_eq!(got.id, 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! Per-query search statistics.
+//!
+//! Table 3 of the ACORN paper compares methods by the number of distance
+//! computations needed to reach a recall target, and §6 reasons about hop
+//! counts and predicate-evaluation overhead. Every search routine in this
+//! workspace therefore reports a [`SearchStats`].
+
+/// Counters accumulated over a single query (or summed over a batch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of vector distance computations performed.
+    pub ndis: u64,
+    /// Number of graph nodes expanded (greedy hops).
+    pub nhops: u64,
+    /// Number of predicate evaluations performed.
+    pub npred: u64,
+    /// Whether the query was answered by the pre-filter fallback
+    /// (ACORN §5.2: queries below `s_min` selectivity).
+    pub fallback: bool,
+}
+
+impl SearchStats {
+    /// Element-wise sum (fallback is OR-ed).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.ndis += other.ndis;
+        self.nhops += other.nhops;
+        self.npred += other.npred;
+        self.fallback |= other.fallback;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = SearchStats { ndis: 1, nhops: 2, npred: 3, fallback: false };
+        let b = SearchStats { ndis: 10, nhops: 20, npred: 30, fallback: true };
+        a.merge(&b);
+        assert_eq!(a, SearchStats { ndis: 11, nhops: 22, npred: 33, fallback: true });
+    }
+}

@@ -1,0 +1,274 @@
+//! Flat vector storage and distance kernels.
+//!
+//! All indices in this workspace share one representation: a dense,
+//! row-major `Vec<f32>` holding `n` vectors of a fixed dimension. Keeping the
+//! data flat (rather than `Vec<Vec<f32>>`) avoids per-vector allocations and
+//! keeps distance computations cache-friendly, which matters because the
+//! ACORN paper's evaluation (and ours) treats distance computations as the
+//! dominant search cost.
+
+/// The distance metric used by an index.
+///
+/// All metrics are expressed so that *smaller is closer*; inner product and
+/// cosine similarity are negated accordingly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// Squared Euclidean distance (monotone in L2; avoids the sqrt).
+    #[default]
+    L2,
+    /// Negative inner product (maximum inner-product search).
+    InnerProduct,
+    /// Negative cosine similarity.
+    Cosine,
+}
+
+impl Metric {
+    /// Distance between two equal-length slices under this metric.
+    #[inline]
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::L2 => l2_sq(a, b),
+            Metric::InnerProduct => -dot(a, b),
+            Metric::Cosine => neg_cosine(a, b),
+        }
+    }
+}
+
+/// Squared Euclidean distance, written so the compiler can autovectorize.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let off = c * 8;
+        for lane in 0..8 {
+            let d = a[off + lane] - b[off + lane];
+            acc[lane] += d * d;
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for i in chunks * 8..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Dot product with an 8-lane accumulator.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let off = c * 8;
+        for lane in 0..8 {
+            acc[lane] += a[off + lane] * b[off + lane];
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for i in chunks * 8..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Negative cosine similarity (smaller = more similar). Returns 0 for a
+/// zero-norm operand, treating it as orthogonal to everything.
+#[inline]
+pub fn neg_cosine(a: &[f32], b: &[f32]) -> f32 {
+    let d = dot(a, b);
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    -(d / (na * nb))
+}
+
+/// Dense row-major storage for `n` vectors of fixed dimension.
+#[derive(Debug, Clone, Default)]
+pub struct VectorStore {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl VectorStore {
+    /// Create an empty store for vectors of dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        Self { dim, data: Vec::new() }
+    }
+
+    /// Create an empty store with capacity reserved for `n` vectors.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        Self { dim, data: Vec::with_capacity(dim * n) }
+    }
+
+    /// Wrap an existing flat buffer of `len % dim == 0` floats.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "buffer length must be a multiple of dim");
+        Self { dim, data }
+    }
+
+    /// Vector dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True if the store holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow vector `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: u32) -> &[f32] {
+        let start = i as usize * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Append one vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != dim`.
+    pub fn push(&mut self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.dim, "pushed vector has wrong dimension");
+        let id = self.len() as u32;
+        self.data.extend_from_slice(v);
+        id
+    }
+
+    /// The raw flat buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Distance between stored vector `i` and an external query under `metric`.
+    #[inline]
+    pub fn distance_to(&self, metric: Metric, i: u32, query: &[f32]) -> f32 {
+        metric.distance(self.get(i), query)
+    }
+
+    /// Distance between two stored vectors.
+    #[inline]
+    pub fn distance_between(&self, metric: Metric, i: u32, j: u32) -> f32 {
+        metric.distance(self.get(i), self.get(j))
+    }
+
+    /// Bytes consumed by the raw vector data.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Extract a sub-store containing the given row ids, in order.
+    pub fn subset(&self, ids: &[u32]) -> VectorStore {
+        let mut out = VectorStore::with_capacity(self.dim, ids.len());
+        for &id in ids {
+            out.push(self.get(id));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_l2(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn l2_matches_naive_various_lengths() {
+        for len in [1usize, 3, 7, 8, 9, 16, 33, 128, 200] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32).sin()).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).cos()).collect();
+            let got = l2_sq(&a, &b);
+            let want = naive_l2(&a, &b);
+            assert!((got - want).abs() < 1e-3, "len={len}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..100).map(|i| i as f32 * 0.01).collect();
+        let b: Vec<f32> = (0..100).map(|i| 1.0 - i as f32 * 0.01).collect();
+        let want: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - want).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cosine_of_identical_vectors_is_minus_one() {
+        let a = vec![1.0, 2.0, 3.0];
+        assert!((neg_cosine(&a, &a) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_norm_is_zero() {
+        let z = vec![0.0, 0.0];
+        let a = vec![1.0, 2.0];
+        assert_eq!(neg_cosine(&z, &a), 0.0);
+    }
+
+    #[test]
+    fn store_push_get_roundtrip() {
+        let mut s = VectorStore::new(3);
+        let id0 = s.push(&[1.0, 2.0, 3.0]);
+        let id1 = s.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(id0, 0);
+        assert_eq!(id1, 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn store_subset_preserves_order() {
+        let mut s = VectorStore::new(2);
+        for i in 0..5 {
+            s.push(&[i as f32, i as f32 + 0.5]);
+        }
+        let sub = s.subset(&[4, 0, 2]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.get(0), &[4.0, 4.5]);
+        assert_eq!(sub.get(1), &[0.0, 0.5]);
+        assert_eq!(sub.get(2), &[2.0, 2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn push_wrong_dim_panics() {
+        let mut s = VectorStore::new(3);
+        s.push(&[1.0]);
+    }
+
+    #[test]
+    fn metric_distance_dispatch() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        assert!((Metric::L2.distance(&a, &b) - 2.0).abs() < 1e-6);
+        assert!((Metric::InnerProduct.distance(&a, &b) - 0.0).abs() < 1e-6);
+        assert!((Metric::Cosine.distance(&a, &b) - 0.0).abs() < 1e-6);
+    }
+}

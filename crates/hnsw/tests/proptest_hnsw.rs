@@ -1,0 +1,82 @@
+//! Property tests for the HNSW substrate: graph invariants and the search
+//! contract under random datasets and parameters.
+
+use std::sync::Arc;
+
+use acorn_hnsw::{HnswIndex, HnswParams, Metric, VectorStore};
+use proptest::prelude::*;
+
+fn store(n: usize, dim: usize, seed: u64) -> Arc<VectorStore> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = VectorStore::with_capacity(dim, n);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        s.push(&v);
+    }
+    Arc::new(s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Degree bounds, edge validity, and level consistency hold for any
+    /// random build.
+    #[test]
+    fn hnsw_graph_invariants(n in 10usize..300, m in 2usize..12, seed in 0u64..1000) {
+        let vecs = store(n, 6, seed);
+        let params = HnswParams { m, ef_construction: 24, metric: Metric::L2, seed };
+        let idx = HnswIndex::build(vecs, params);
+        let g = idx.graph();
+        prop_assert_eq!(g.len(), n);
+        prop_assert!(g.entry_point().is_some());
+        for v in 0..n as u32 {
+            for lev in 0..=g.level_of(v) {
+                let list = g.neighbors(v, lev);
+                prop_assert!(list.len() <= params.max_degree(lev));
+                for &w in list {
+                    prop_assert!(w != v, "self loop");
+                    prop_assert!((w as usize) < n, "dangling edge");
+                    prop_assert!(g.level_of(w) >= lev, "edge below target's max level");
+                }
+            }
+        }
+    }
+
+    /// Search returns sorted, unique results, at most k of them, and an
+    /// exhaustive beam finds the exact nearest neighbor.
+    #[test]
+    fn hnsw_search_contract(n in 5usize..150, k in 1usize..10, seed in 0u64..1000) {
+        let vecs = store(n, 4, seed);
+        let params = HnswParams { m: 8, ef_construction: 32, metric: Metric::L2, seed };
+        let idx = HnswIndex::build(vecs.clone(), params);
+        let q = vec![0.0f32; 4];
+        let out = idx.search(&q, k, n.max(16));
+        prop_assert!(out.len() <= k);
+        prop_assert_eq!(out.len(), k.min(n));
+        for w in out.windows(2) {
+            prop_assert!(w[0].dist <= w[1].dist);
+            prop_assert!(w[0].id != w[1].id);
+        }
+        // Exhaustive beam ⇒ the single nearest must be found.
+        let exact = (0..n as u32)
+            .min_by(|&a, &b| {
+                Metric::L2.distance(vecs.get(a), &q).total_cmp(&Metric::L2.distance(vecs.get(b), &q))
+            })
+            .unwrap();
+        prop_assert_eq!(out[0].id, exact, "exhaustive-beam HNSW must find the nearest point");
+    }
+
+    /// The reported distances are the true metric distances.
+    #[test]
+    fn hnsw_reports_true_distances(n in 5usize..100, seed in 0u64..500) {
+        let vecs = store(n, 4, seed);
+        let idx = HnswIndex::build(vecs.clone(), HnswParams { m: 8, ef_construction: 16, metric: Metric::L2, seed });
+        let q = vec![0.3f32; 4];
+        for nb in idx.search(&q, 5, 32) {
+            let want = Metric::L2.distance(vecs.get(nb.id), &q);
+            prop_assert!((nb.dist - want).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Columnar storage for the structured attributes of a hybrid dataset.
+//!
+//! The ACORN evaluation's datasets carry three attribute shapes: scalar
+//! integers (SIFT/Paper's random label, TripClick's publication year),
+//! keyword lists with small vocabularies (TripClick's 28 clinical areas,
+//! LAION's 30 keywords — stored here as `u64` bitmasks so a `contains`
+//! check is a single AND), and free text (LAION captions for regex
+//! predicates).
+
+/// Index of a field within an [`AttrStore`].
+pub type FieldId = usize;
+
+/// One attribute column.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Scalar integers (labels, years, prices-in-cents, ...).
+    Int(Vec<i64>),
+    /// Keyword sets over a vocabulary of at most 64 terms, as bitmasks.
+    Keywords(Vec<u64>),
+    /// Free-form text (regex targets).
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Keywords(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable kind name (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Column::Int(_) => "int",
+            Column::Keywords(_) => "keywords",
+            Column::Str(_) => "str",
+        }
+    }
+
+    /// Approximate heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len() * 8,
+            Column::Keywords(v) => v.len() * 8,
+            Column::Str(v) => v.iter().map(|s| s.len() + std::mem::size_of::<String>()).sum(),
+        }
+    }
+}
+
+/// Immutable columnar attribute store for `n` dataset rows.
+#[derive(Debug, Clone, Default)]
+pub struct AttrStore {
+    names: Vec<String>,
+    columns: Vec<Column>,
+    n: usize,
+}
+
+impl AttrStore {
+    /// Start building a store.
+    pub fn builder() -> AttrStoreBuilder {
+        AttrStoreBuilder::default()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the store has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Resolve a field name to its id.
+    pub fn field(&self, name: &str) -> Option<FieldId> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Field name for an id.
+    pub fn field_name(&self, f: FieldId) -> &str {
+        &self.names[f]
+    }
+
+    /// Borrow a column.
+    pub fn column(&self, f: FieldId) -> &Column {
+        &self.columns[f]
+    }
+
+    /// Integer value at (`f`, `id`).
+    ///
+    /// # Panics
+    /// Panics if the field is not an int column.
+    #[inline]
+    pub fn int(&self, f: FieldId, id: u32) -> i64 {
+        match &self.columns[f] {
+            Column::Int(v) => v[id as usize],
+            c => panic!("field {} is {}, not int", self.names[f], c.kind()),
+        }
+    }
+
+    /// Keyword bitmask at (`f`, `id`).
+    #[inline]
+    pub fn keywords(&self, f: FieldId, id: u32) -> u64 {
+        match &self.columns[f] {
+            Column::Keywords(v) => v[id as usize],
+            c => panic!("field {} is {}, not keywords", self.names[f], c.kind()),
+        }
+    }
+
+    /// Text value at (`f`, `id`).
+    #[inline]
+    pub fn text(&self, f: FieldId, id: u32) -> &str {
+        match &self.columns[f] {
+            Column::Str(v) => &v[id as usize],
+            c => panic!("field {} is {}, not str", self.names[f], c.kind()),
+        }
+    }
+
+    /// Approximate heap bytes over all columns.
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.iter().map(Column::memory_bytes).sum()
+    }
+}
+
+/// Builder validating that all columns have equal length.
+#[derive(Debug, Default)]
+pub struct AttrStoreBuilder {
+    names: Vec<String>,
+    columns: Vec<Column>,
+}
+
+impl AttrStoreBuilder {
+    /// Add any column.
+    ///
+    /// # Panics
+    /// Panics on duplicate field names.
+    pub fn add(mut self, name: &str, col: Column) -> Self {
+        assert!(
+            !self.names.iter().any(|n| n == name),
+            "duplicate attribute field name: {name}"
+        );
+        self.names.push(name.to_string());
+        self.columns.push(col);
+        self
+    }
+
+    /// Add an integer column.
+    pub fn add_int(self, name: &str, values: Vec<i64>) -> Self {
+        self.add(name, Column::Int(values))
+    }
+
+    /// Add a keyword-bitmask column.
+    pub fn add_keywords(self, name: &str, masks: Vec<u64>) -> Self {
+        self.add(name, Column::Keywords(masks))
+    }
+
+    /// Add a text column.
+    pub fn add_text(self, name: &str, values: Vec<String>) -> Self {
+        self.add(name, Column::Str(values))
+    }
+
+    /// Finish, validating row-count agreement.
+    ///
+    /// # Panics
+    /// Panics if columns disagree on length.
+    pub fn build(self) -> AttrStore {
+        let n = self.columns.first().map_or(0, Column::len);
+        for (name, col) in self.names.iter().zip(&self.columns) {
+            assert_eq!(col.len(), n, "column {name} has {} rows, expected {n}", col.len());
+        }
+        AttrStore { names: self.names, columns: self.columns, n }
+    }
+}
+
+/// Build a keyword bitmask from term indices (< 64).
+///
+/// # Panics
+/// Panics if any index is ≥ 64.
+pub fn keyword_mask(terms: &[u8]) -> u64 {
+    let mut m = 0u64;
+    for &t in terms {
+        assert!(t < 64, "keyword index {t} out of range (max 63)");
+        m |= 1u64 << t;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AttrStore {
+        AttrStore::builder()
+            .add_int("year", vec![1999, 2005, 2020])
+            .add_keywords("areas", vec![0b011, 0b100, 0b110])
+            .add_text("caption", vec!["a dog".into(), "a cat".into(), "a bird".into()])
+            .build()
+    }
+
+    #[test]
+    fn field_resolution_and_access() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.num_fields(), 3);
+        let year = s.field("year").unwrap();
+        let areas = s.field("areas").unwrap();
+        let cap = s.field("caption").unwrap();
+        assert_eq!(s.int(year, 1), 2005);
+        assert_eq!(s.keywords(areas, 2), 0b110);
+        assert_eq!(s.text(cap, 0), "a dog");
+        assert!(s.field("nope").is_none());
+        assert_eq!(s.field_name(year), "year");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3")]
+    fn mismatched_lengths_panic() {
+        let _ = AttrStore::builder()
+            .add_int("a", vec![1, 2, 3])
+            .add_int("b", vec![1])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_panic() {
+        let _ = AttrStore::builder().add_int("a", vec![]).add_int("a", vec![]).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "not int")]
+    fn wrong_kind_access_panics() {
+        let s = sample();
+        let cap = s.field("caption").unwrap();
+        let _ = s.int(cap, 0);
+    }
+
+    #[test]
+    fn keyword_mask_builds_bits() {
+        assert_eq!(keyword_mask(&[0, 2, 5]), 0b100101);
+        assert_eq!(keyword_mask(&[]), 0);
+    }
+
+    #[test]
+    fn memory_accounting_nonzero() {
+        assert!(sample().memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # acorn-predicate
+//!
+//! The structured-data side of hybrid search: typed attribute storage, a
+//! predicate AST covering every operator in the ACORN paper's evaluation
+//! (`equals`, `contains(y1 ∨ y2 ∨ ...)`, `between(lo, hi)`, and
+//! `regex-match`), boolean combinators, bitset materialization, and a
+//! sampling-based selectivity estimator.
+//!
+//! Regex matching is served by a from-scratch Thompson-NFA engine in
+//! [`regex`] (the offline-dependency policy rules out the `regex` crate; see
+//! DESIGN.md §4).
+//!
+//! The hot-path contract consumed by the indices is the [`NodeFilter`] trait:
+//! "does dataset row `id` pass this query's predicate?". Implementations
+//! include lazy AST evaluation ([`PredicateFilter`]) and a precomputed
+//! [`Bitset`](bitmap::Bitset) ([`BitmapFilter`]), mirroring the two
+//! strategies real systems (Weaviate, Milvus) use.
+
+pub mod attrs;
+pub mod bitmap;
+pub mod filter;
+pub mod predicate;
+pub mod regex;
+pub mod selectivity;
+
+pub use attrs::{AttrStore, AttrStoreBuilder, Column, FieldId};
+pub use bitmap::Bitset;
+pub use filter::{AllPass, BitmapFilter, CountingFilter, NodeFilter, PredicateFilter};
+pub use predicate::Predicate;
+pub use regex::Regex;
+pub use selectivity::{estimate_selectivity, exact_selectivity};

@@ -1,0 +1,164 @@
+//! A from-scratch regular-expression engine.
+//!
+//! The LAION workload in the ACORN paper issues `regex-match` predicates of
+//! 2–10 tokens (e.g. `^[0-9]`) against image captions. The offline-crate
+//! policy of this reproduction rules out the `regex` crate, so this module
+//! implements the classic two-stage pipeline:
+//!
+//! 1. [`parser`] — recursive-descent parse into an AST supporting literals,
+//!    `.`, character classes (`[a-z0-9]`, `[^...]`), anchors (`^`, `$`),
+//!    quantifiers (`*`, `+`, `?`), alternation (`|`), grouping, and the
+//!    escapes `\d \D \w \W \s \S` plus punctuation escapes.
+//! 2. [`nfa`] — Thompson construction compiled to a small instruction
+//!    program, executed by a Pike-style virtual machine in `O(len · states)`
+//!    time with no backtracking (and therefore no pathological inputs).
+//!
+//! Matching is *unanchored search* semantics: `is_match` reports whether any
+//! substring matches, with `^`/`$` asserting text boundaries — the same
+//! semantics the paper's FAISS-based implementation gets from `std::regex`.
+//!
+//! [`naive`] contains an independent backtracking matcher used as a
+//! property-test oracle.
+
+pub mod naive;
+pub mod nfa;
+pub mod parser;
+
+pub use parser::{Ast, ParseError};
+
+use nfa::Program;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    program: Program,
+}
+
+impl Regex {
+    /// Compile `pattern`.
+    pub fn new(pattern: &str) -> Result<Self, ParseError> {
+        let ast = parser::parse(pattern)?;
+        let program = Program::compile(&ast);
+        Ok(Self { pattern: pattern.to_string(), program })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// True if any substring of `text` matches the pattern.
+    pub fn is_match(&self, text: &str) -> bool {
+        self.program.is_match(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literal_substring_search() {
+        assert!(m("cat", "a cat sat"));
+        assert!(!m("dog", "a cat sat"));
+        assert!(m("", "anything"), "empty pattern matches everywhere");
+    }
+
+    #[test]
+    fn dot_matches_any_single_char() {
+        assert!(m("c.t", "cut"));
+        assert!(m("c.t", "cat"));
+        assert!(!m("c.t", "ct"));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        assert!(m("[0-9]", "abc7"));
+        assert!(!m("[0-9]", "abc"));
+        assert!(m("[a-cx]", "x"));
+        assert!(m("[^0-9]", "5a"));
+        assert!(!m("[^0-9]", "55"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^ab", "abc"));
+        assert!(!m("^bc", "abc"));
+        assert!(m("bc$", "abc"));
+        assert!(!m("ab$", "abc"));
+        assert!(m("^abc$", "abc"));
+        assert!(!m("^abc$", "abcd"));
+        assert!(m("^$", ""));
+        assert!(!m("^$", "x"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("ab?c", "abbc"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cat|dog", "hotdog"));
+        assert!(m("a(b|c)d", "acd"));
+        assert!(!m("a(b|c)d", "aed"));
+        assert!(m("(ab)+", "xabab"));
+        assert!(m("^(a|b)*$", "abba"));
+        assert!(!m("^(a|b)*$", "abca"));
+    }
+
+    #[test]
+    fn escape_classes() {
+        assert!(m(r"\d+", "id 42"));
+        assert!(!m(r"^\d", "x1"));
+        assert!(m(r"\w+", "hello"));
+        assert!(m(r"\s", "a b"));
+        assert!(m(r"\D", "1a"));
+        assert!(m(r"a\.b", "a.b"));
+        assert!(!m(r"a\.b", "axb"));
+    }
+
+    #[test]
+    fn paper_style_patterns() {
+        // "2-10 regex tokens (e.g. ^[0-9])" — §7.1.2.
+        assert!(m("^[0-9]", "3 dogs"));
+        assert!(!m("^[0-9]", "three dogs"));
+        assert!(m("a photo of .* dog", "a photo of a large dog"));
+        assert!(m("(sunny|cloudy) day", "a cloudy day outside"));
+    }
+
+    #[test]
+    fn no_pathological_backtracking() {
+        // Classic catastrophic case for backtrackers: (a+)+b vs "aaaa...c".
+        let text = "a".repeat(64) + "c";
+        let re = Regex::new("(a+)+b").unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(!re.is_match(&text));
+        assert!(t0.elapsed().as_millis() < 500, "NFA must not backtrack exponentially");
+    }
+
+    #[test]
+    fn unicode_chars_work() {
+        assert!(m("héllo", "well héllo there"));
+        assert!(m("^.$", "é"));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Regex::new("a(b").is_err());
+        assert!(Regex::new("[a-").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new(r"a\").is_err());
+    }
+}

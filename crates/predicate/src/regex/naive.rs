@@ -1,0 +1,132 @@
+//! A deliberately simple backtracking matcher used as a property-test
+//! oracle for the Pike VM.
+//!
+//! Correctness over speed: this walks the AST directly with explicit
+//! backtracking and memoization of `(node, position)` failures to stay
+//! polynomial on the small inputs proptest generates. It shares no code with
+//! the production engine, so agreement between the two is meaningful.
+
+use super::parser::Ast;
+
+/// Oracle implementation of unanchored `is_match`.
+pub fn is_match(ast: &Ast, text: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    for start in 0..=chars.len() {
+        let mut found = false;
+        match_node(ast, &chars, start, &mut |_| {
+            found = true;
+        });
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+/// Call `k` with every position reachable by matching `ast` starting at `pos`.
+fn match_node(ast: &Ast, text: &[char], pos: usize, k: &mut dyn FnMut(usize)) {
+    match ast {
+        Ast::Empty => k(pos),
+        Ast::Char(c) => {
+            if text.get(pos) == Some(c) {
+                k(pos + 1);
+            }
+        }
+        Ast::Any => {
+            if pos < text.len() {
+                k(pos + 1);
+            }
+        }
+        Ast::Class { .. } => {
+            if let Some(&c) = text.get(pos) {
+                if ast.class_contains(c) {
+                    k(pos + 1);
+                }
+            }
+        }
+        Ast::StartAnchor => {
+            if pos == 0 {
+                k(pos);
+            }
+        }
+        Ast::EndAnchor => {
+            if pos == text.len() {
+                k(pos);
+            }
+        }
+        Ast::Concat(seq) => match_seq(seq, text, pos, k),
+        Ast::Alt(branches) => {
+            for b in branches {
+                match_node(b, text, pos, k);
+            }
+        }
+        Ast::Opt(inner) => {
+            k(pos);
+            match_node(inner, text, pos, k);
+        }
+        Ast::Star(inner) => {
+            let mut seen = vec![false; text.len() + 1];
+            star_positions(inner, text, pos, &mut seen, k);
+        }
+        Ast::Plus(inner) => {
+            let mut seen = vec![false; text.len() + 1];
+            match_node(inner, text, pos, &mut |p| {
+                star_positions(inner, text, p, &mut seen, k);
+            });
+        }
+    }
+}
+
+/// All positions reachable by zero or more repetitions of `inner`.
+fn star_positions(
+    inner: &Ast,
+    text: &[char],
+    pos: usize,
+    seen: &mut Vec<bool>,
+    k: &mut dyn FnMut(usize),
+) {
+    if seen[pos] {
+        return;
+    }
+    seen[pos] = true;
+    k(pos);
+    match_node(inner, text, pos, &mut |p| {
+        star_positions(inner, text, p, seen, k);
+    });
+}
+
+fn match_seq(seq: &[Ast], text: &[char], pos: usize, k: &mut dyn FnMut(usize)) {
+    match seq {
+        [] => k(pos),
+        [head, rest @ ..] => {
+            match_node(head, text, pos, &mut |p| match_seq(rest, text, p, k));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parser::parse;
+
+    fn m(pat: &str, text: &str) -> bool {
+        is_match(&parse(pat).unwrap(), text)
+    }
+
+    #[test]
+    fn oracle_basics() {
+        assert!(m("abc", "xxabcx"));
+        assert!(!m("abc", "abd"));
+        assert!(m("^a+b$", "aab"));
+        assert!(!m("^a+b$", "aabx"));
+        assert!(m("(a|b)*c", "abbac"));
+        assert!(m("x?", ""));
+    }
+
+    #[test]
+    fn oracle_handles_empty_star_without_looping() {
+        // (a?)* can repeat the empty match; position memoization must stop it.
+        assert!(m("^(a?)*$", "aaa"));
+        assert!(m("()*", "x"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Thompson construction and Pike-VM execution.
+//!
+//! The AST is compiled to a flat instruction program; execution maintains the
+//! set of live NFA states per input position (a "thread list"), giving
+//! `O(len(text) · len(program))` worst-case matching with zero backtracking.
+
+use super::parser::Ast;
+
+/// One NFA instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// Consume one specific character.
+    Char(char),
+    /// Consume any one character.
+    Any,
+    /// Consume one character inside (or outside, if negated) the ranges.
+    Class {
+        /// True for negated classes.
+        negated: bool,
+        /// Inclusive ranges.
+        ranges: Box<[(char, char)]>,
+    },
+    /// Fork execution to both targets (epsilon).
+    Split(u32, u32),
+    /// Jump to target (epsilon).
+    Jmp(u32),
+    /// Zero-width start-of-text assertion.
+    AssertStart,
+    /// Zero-width end-of-text assertion.
+    AssertEnd,
+    /// Accept.
+    Match,
+}
+
+/// A compiled regex program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Compile an AST via Thompson construction.
+    pub fn compile(ast: &Ast) -> Self {
+        let mut insts = Vec::new();
+        emit(ast, &mut insts);
+        insts.push(Inst::Match);
+        Self { insts }
+    }
+
+    /// Number of instructions (used by tests and complexity accounting).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the program is trivially empty (never constructed in practice).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Unanchored search: does any substring of `text` match?
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        let n = self.insts.len();
+        let mut current: Vec<u32> = Vec::with_capacity(n);
+        let mut next: Vec<u32> = Vec::with_capacity(n);
+        let mut on_current = vec![false; n];
+        let mut on_next = vec![false; n];
+
+        // Start a thread at position 0.
+        if self.add_thread(0, 0, chars.len(), &mut current, &mut on_current) {
+            return true;
+        }
+
+        for (pos, &c) in chars.iter().enumerate() {
+            next.clear();
+            on_next.fill(false);
+            for &pc in &current {
+                match &self.insts[pc as usize] {
+                    Inst::Char(want)
+                        if *want == c
+                            && self.add_thread(pc + 1, pos + 1, chars.len(), &mut next, &mut on_next)
+                        => {
+                            return true;
+                        }
+                    Inst::Any
+                        if self.add_thread(pc + 1, pos + 1, chars.len(), &mut next, &mut on_next) => {
+                            return true;
+                        }
+                    Inst::Class { negated, ranges } => {
+                        let inside = ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+                        if inside != *negated
+                            && self.add_thread(pc + 1, pos + 1, chars.len(), &mut next, &mut on_next)
+                        {
+                            return true;
+                        }
+                    }
+                    // Epsilon instructions were resolved by add_thread.
+                    _ => {}
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            std::mem::swap(&mut on_current, &mut on_next);
+            // Unanchored search: seed a fresh attempt starting at pos + 1.
+            if self.add_thread(0, pos + 1, chars.len(), &mut current, &mut on_current) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Follow epsilon transitions from `pc`, adding consuming instructions to
+    /// the thread list. Returns `true` if a `Match` is reached.
+    fn add_thread(
+        &self,
+        pc: u32,
+        pos: usize,
+        text_len: usize,
+        list: &mut Vec<u32>,
+        on_list: &mut [bool],
+    ) -> bool {
+        if on_list[pc as usize] {
+            return false;
+        }
+        on_list[pc as usize] = true;
+        match &self.insts[pc as usize] {
+            Inst::Jmp(t) => self.add_thread(*t, pos, text_len, list, on_list),
+            Inst::Split(a, b) => {
+                self.add_thread(*a, pos, text_len, list, on_list)
+                    || self.add_thread(*b, pos, text_len, list, on_list)
+            }
+            Inst::AssertStart => {
+                pos == 0 && self.add_thread(pc + 1, pos, text_len, list, on_list)
+            }
+            Inst::AssertEnd => {
+                pos == text_len && self.add_thread(pc + 1, pos, text_len, list, on_list)
+            }
+            Inst::Match => true,
+            _ => {
+                list.push(pc);
+                false
+            }
+        }
+    }
+}
+
+/// Emit instructions for `ast` into `out` (Thompson construction).
+fn emit(ast: &Ast, out: &mut Vec<Inst>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Char(c) => out.push(Inst::Char(*c)),
+        Ast::Any => out.push(Inst::Any),
+        Ast::Class { negated, ranges } => out.push(Inst::Class {
+            negated: *negated,
+            ranges: ranges.clone().into_boxed_slice(),
+        }),
+        Ast::StartAnchor => out.push(Inst::AssertStart),
+        Ast::EndAnchor => out.push(Inst::AssertEnd),
+        Ast::Concat(seq) => {
+            for node in seq {
+                emit(node, out);
+            }
+        }
+        Ast::Alt(branches) => {
+            // Chain of splits; each branch jumps to the common end.
+            let mut jmp_slots = Vec::new();
+            for (i, branch) in branches.iter().enumerate() {
+                let last = i + 1 == branches.len();
+                if last {
+                    emit(branch, out);
+                } else {
+                    let split_at = out.len();
+                    out.push(Inst::Split(0, 0)); // patched below
+                    emit(branch, out);
+                    let jmp_at = out.len();
+                    out.push(Inst::Jmp(0)); // patched below
+                    jmp_slots.push(jmp_at);
+                    let next_branch = out.len() as u32;
+                    out[split_at] = Inst::Split(split_at as u32 + 1, next_branch);
+                }
+            }
+            let end = out.len() as u32;
+            for slot in jmp_slots {
+                out[slot] = Inst::Jmp(end);
+            }
+        }
+        Ast::Star(inner) => {
+            let split_at = out.len();
+            out.push(Inst::Split(0, 0));
+            emit(inner, out);
+            out.push(Inst::Jmp(split_at as u32));
+            let end = out.len() as u32;
+            out[split_at] = Inst::Split(split_at as u32 + 1, end);
+        }
+        Ast::Plus(inner) => {
+            let start = out.len() as u32;
+            emit(inner, out);
+            let split_at = out.len();
+            out.push(Inst::Split(start, split_at as u32 + 1));
+        }
+        Ast::Opt(inner) => {
+            let split_at = out.len();
+            out.push(Inst::Split(0, 0));
+            emit(inner, out);
+            let end = out.len() as u32;
+            out[split_at] = Inst::Split(split_at as u32 + 1, end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parser::parse;
+
+    fn prog(pat: &str) -> Program {
+        Program::compile(&parse(pat).unwrap())
+    }
+
+    #[test]
+    fn compile_sizes_are_linear() {
+        assert_eq!(prog("abc").len(), 4); // 3 chars + Match
+        assert_eq!(prog("a*").len(), 4); // Split, Char, Jmp, Match
+        assert_eq!(prog("a|b").len(), 5); // Split, a, Jmp, b, Match
+    }
+
+    #[test]
+    fn star_accepts_zero_and_many() {
+        let p = prog("^a*$");
+        assert!(p.is_match(""));
+        assert!(p.is_match("aaaa"));
+        assert!(!p.is_match("ab"));
+    }
+
+    #[test]
+    fn alternation_branch_order_irrelevant() {
+        for pat in ["^(abc|abd)$", "^(abd|abc)$"] {
+            let p = prog(pat);
+            assert!(p.is_match("abc"));
+            assert!(p.is_match("abd"));
+            assert!(!p.is_match("abe"));
+        }
+    }
+
+    #[test]
+    fn unanchored_restart_finds_late_matches() {
+        let p = prog("aab");
+        assert!(p.is_match("aaaab"));
+        assert!(p.is_match("xxaabxx"));
+        assert!(!p.is_match("aba ab"));
+    }
+
+    #[test]
+    fn thread_dedup_keeps_lists_bounded() {
+        // (a|a|a)* explodes in a naive NFA walker; thread dedup keeps it linear.
+        let p = prog("(a|a|a)*b");
+        let text = "a".repeat(2000);
+        assert!(!p.is_match(&text));
+        assert!(p.is_match(&(text + "b")));
+    }
+
+    #[test]
+    fn end_anchor_mid_pattern() {
+        let p = prog("a$b");
+        assert!(!p.is_match("ab"), "nothing can follow $");
+    }
+}

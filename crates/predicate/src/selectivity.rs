@@ -1,0 +1,105 @@
+//! Selectivity estimation.
+//!
+//! ACORN's cost model (§5.2) routes a query to the pre-filter fallback when
+//! its estimated selectivity is below `s_min = 1/γ`. The paper notes the
+//! estimate "can be estimated empirically with or without knowing the
+//! predicate set"; we implement the standard database approach — Bernoulli
+//! sampling over the attribute store — plus an exact variant for analysis.
+//! §5.2 also argues estimation errors degrade only efficiency, never result
+//! quality; integration tests assert exactly that.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::attrs::AttrStore;
+use crate::predicate::Predicate;
+
+/// Estimate the fraction of rows passing `predicate` from a uniform sample
+/// of `sample_size` rows (with replacement).
+///
+/// Returns 0.0 for an empty store. The standard error is
+/// `sqrt(s(1-s)/sample_size)`; the default harness uses 1,000 samples,
+/// giving ±1.6% absolute error at `s = 0.5`.
+pub fn estimate_selectivity(
+    attrs: &AttrStore,
+    predicate: &Predicate,
+    sample_size: usize,
+    seed: u64,
+) -> f64 {
+    let n = attrs.len();
+    if n == 0 || sample_size == 0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    for _ in 0..sample_size {
+        let id = rng.gen_range(0..n) as u32;
+        if predicate.eval(attrs, id) {
+            hits += 1;
+        }
+    }
+    hits as f64 / sample_size as f64
+}
+
+/// Exact selectivity by full scan (used for analysis and tests).
+pub fn exact_selectivity(attrs: &AttrStore, predicate: &Predicate) -> f64 {
+    let n = attrs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for id in 0..n as u32 {
+        if predicate.eval(attrs, id) {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttrStore;
+
+    fn store(n: usize) -> AttrStore {
+        // x cycles 0..10, so Equals{value:0} has exact selectivity 0.1.
+        AttrStore::builder()
+            .add_int("x", (0..n as i64).map(|i| i % 10).collect())
+            .build()
+    }
+
+    #[test]
+    fn exact_matches_construction() {
+        let s = store(1000);
+        let f = s.field("x").unwrap();
+        let p = Predicate::Equals { field: f, value: 0 };
+        assert!((exact_selectivity(&s, &p) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_converges_to_exact() {
+        let s = store(10_000);
+        let f = s.field("x").unwrap();
+        let p = Predicate::Between { field: f, lo: 0, hi: 4 }; // s = 0.5
+        let est = estimate_selectivity(&s, &p, 5000, 42);
+        assert!((est - 0.5).abs() < 0.05, "estimate {est} too far from 0.5");
+    }
+
+    #[test]
+    fn empty_store_is_zero() {
+        let s = AttrStore::builder().add_int("x", vec![]).build();
+        let p = Predicate::True;
+        assert_eq!(estimate_selectivity(&s, &p, 100, 0), 0.0);
+        assert_eq!(exact_selectivity(&s, &p), 0.0);
+    }
+
+    #[test]
+    fn estimate_is_deterministic_per_seed() {
+        let s = store(1000);
+        let f = s.field("x").unwrap();
+        let p = Predicate::Equals { field: f, value: 3 };
+        let a = estimate_selectivity(&s, &p, 200, 7);
+        let b = estimate_selectivity(&s, &p, 200, 7);
+        assert_eq!(a, b);
+    }
+}

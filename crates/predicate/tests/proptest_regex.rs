@@ -1,0 +1,79 @@
+//! Property tests: the Pike-VM regex engine must agree with the independent
+//! backtracking oracle on randomly generated patterns and texts.
+
+use acorn_predicate::regex::{naive, parser, Regex};
+use proptest::prelude::*;
+
+/// Strategy producing syntactically valid patterns over a small alphabet.
+fn pattern() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        4 => prop::sample::select(vec!["a", "b", "c", "0", "1"]).prop_map(str::to_string),
+        1 => Just(".".to_string()),
+        1 => Just("[ab]".to_string()),
+        1 => Just("[^a]".to_string()),
+        1 => Just("[0-9]".to_string()),
+        1 => Just(r"\d".to_string()),
+        1 => Just(r"\w".to_string()),
+    ];
+    let repeated = (atom, prop_oneof![
+        5 => Just(""),
+        1 => Just("*"),
+        1 => Just("+"),
+        1 => Just("?"),
+    ])
+        .prop_map(|(a, q)| format!("{a}{q}"));
+    let concat = prop::collection::vec(repeated, 1..5).prop_map(|v| v.concat());
+    let alt = prop::collection::vec(concat, 1..3).prop_map(|v| v.join("|"));
+    // Optionally anchor and optionally group-star the whole thing.
+    (alt, any::<bool>(), any::<bool>()).prop_map(|(core, anchor_start, anchor_end)| {
+        let mut s = String::new();
+        if anchor_start {
+            s.push('^');
+        }
+        s.push_str(&core);
+        if anchor_end {
+            s.push('$');
+        }
+        s
+    })
+}
+
+fn text() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(vec!['a', 'b', 'c', '0', '1', ' ']), 0..12)
+        .prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn nfa_agrees_with_backtracking_oracle(pat in pattern(), txt in text()) {
+        let ast = parser::parse(&pat).expect("generated pattern must parse");
+        let re = Regex::new(&pat).expect("generated pattern must compile");
+        let got = re.is_match(&txt);
+        let want = naive::is_match(&ast, &txt);
+        prop_assert_eq!(got, want, "pattern {:?} text {:?}", pat, txt);
+    }
+
+    #[test]
+    fn literal_patterns_equal_substring_search(txt in text(), needle in text()) {
+        // Patterns with no metacharacters are plain substring search.
+        if needle.chars().all(|c| c.is_alphanumeric() || c == ' ') {
+            let re = Regex::new(&needle).unwrap();
+            prop_assert_eq!(re.is_match(&txt), txt.contains(&needle));
+        }
+    }
+
+    #[test]
+    fn match_is_invariant_under_text_extension(pat in pattern(), txt in text()) {
+        // Unanchored-or-start-anchored matches survive appending text, unless
+        // the pattern contains an end anchor.
+        if !pat.contains('$') {
+            let re = Regex::new(&pat).unwrap();
+            if re.is_match(&txt) {
+                let extended = format!("{txt}zzz");
+                prop_assert!(re.is_match(&extended), "pattern {:?}", pat);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! # ACORN: Performant and Predicate-Agnostic Hybrid Search
+//!
+//! A from-scratch Rust reproduction of *ACORN: Performant and
+//! Predicate-Agnostic Search Over Vector Embeddings and Structured Data*
+//! (Patel, Kraft, Guestrin, Zaharia — SIGMOD 2024).
+//!
+//! This facade crate re-exports the full workspace:
+//!
+//! * [`core`] — the ACORN-γ and ACORN-1 indices (the paper's contribution).
+//! * [`hnsw`] — the HNSW substrate (vector store, layered graph, Algorithm 1).
+//! * [`predicate`] — attributes, predicates (`equals`/`between`/`contains`/
+//!   regex), filters, and selectivity estimation.
+//! * [`data`] — synthetic datasets and workloads shaped like the paper's
+//!   four benchmarks, plus exact ground truth.
+//! * [`baselines`] — pre-filtering, HNSW post-filtering, the oracle
+//!   partition index, Filtered/Stitched Vamana, NHQ, and IVF-Flat.
+//! * [`eval`] — recall, QPS measurement, sweeps, and graph-quality analysis.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use acorn::prelude::*;
+//!
+//! // 1. A hybrid dataset: vectors + structured attributes.
+//! let dataset = acorn::data::datasets::sift_like(2000, 42);
+//!
+//! // 2. Build an ACORN-γ index (predicate-agnostic: no predicate knowledge).
+//! let params = AcornParams { m: 16, gamma: 12, m_beta: 32, ef_construction: 48, ..Default::default() };
+//! let index = AcornIndex::build(dataset.vectors.clone(), params, AcornVariant::Gamma);
+//!
+//! // 3. Hybrid query: nearest neighbors among records with label == 7.
+//! let field = dataset.attrs.field("label").unwrap();
+//! let predicate = Predicate::Equals { field, value: 7 };
+//! let query = dataset.vectors.get(0).to_vec();
+//! let mut scratch = SearchScratch::new(dataset.len());
+//! let (hits, stats) = index.hybrid_search(&query, &predicate, &dataset.attrs, 10, 64, &mut scratch);
+//!
+//! assert!(!hits.is_empty());
+//! for h in &hits {
+//!     assert_eq!(dataset.attrs.int(field, h.id), 7);
+//! }
+//! assert!(stats.ndis > 0);
+//! ```
+
+pub use acorn_baselines as baselines;
+pub use acorn_core as core;
+pub use acorn_data as data;
+pub use acorn_eval as eval;
+pub use acorn_hnsw as hnsw;
+pub use acorn_predicate as predicate;
+
+/// The most commonly used types, importable in one line.
+pub mod prelude {
+    pub use acorn_core::{AcornIndex, AcornParams, AcornVariant, PruneStrategy};
+    pub use acorn_hnsw::{
+        HnswIndex, HnswParams, Metric, Neighbor, SearchScratch, SearchStats, VectorStore,
+    };
+    pub use acorn_predicate::{
+        AllPass, AttrStore, BitmapFilter, Bitset, NodeFilter, Predicate, PredicateFilter, Regex,
+    };
+}

@@ -1,0 +1,217 @@
+//! End-to-end integration tests: recall floors and correctness contracts
+//! for every index on seeded workloads, spanning all workspace crates.
+
+use acorn::baselines::{OraclePartitionIndex, PostFilterHnsw, PreFilter};
+use acorn::data::datasets::{laion_like, sift_like, tripclick_like};
+use acorn::data::workloads::{
+    date_range_workload, equality_workload, keyword_workload, regex_workload, Correlation,
+};
+use acorn::data::{ground_truth, HybridDataset, Workload};
+use acorn::eval::{recall_at_k, workload_recall};
+use acorn::prelude::*;
+
+fn acorn_recall(
+    ds: &HybridDataset,
+    w: &Workload,
+    variant: AcornVariant,
+    params: AcornParams,
+    efs: usize,
+) -> f64 {
+    let truth = ground_truth(&ds.vectors, &ds.attrs, Metric::L2, &w.queries, 10, 0);
+    let idx = AcornIndex::build(ds.vectors.clone(), params, variant);
+    let mut scratch = SearchScratch::new(ds.len());
+    let got: Vec<Vec<u32>> = w
+        .queries
+        .iter()
+        .map(|q| {
+            let (hits, _) =
+                idx.hybrid_search(&q.vector, &q.predicate, &ds.attrs, 10, efs, &mut scratch);
+            hits.iter().map(|n| n.id).collect()
+        })
+        .collect();
+    workload_recall(&got, &truth, 10)
+}
+
+fn paper_params() -> AcornParams {
+    AcornParams { m: 32, gamma: 12, m_beta: 64, ef_construction: 40, ..Default::default() }
+}
+
+#[test]
+fn acorn_gamma_equality_recall_floor() {
+    let ds = sift_like(6000, 1);
+    let w = equality_workload(&ds, 25, 2);
+    let r = acorn_recall(&ds, &w, AcornVariant::Gamma, paper_params(), 80);
+    assert!(r >= 0.9, "ACORN-gamma recall@10 = {r} < 0.9 on equality workload");
+}
+
+#[test]
+fn acorn_one_equality_recall_floor() {
+    let ds = sift_like(6000, 3);
+    let w = equality_workload(&ds, 25, 4);
+    let r = acorn_recall(&ds, &w, AcornVariant::One, paper_params(), 160);
+    assert!(r >= 0.8, "ACORN-1 recall@10 = {r} < 0.8 on equality workload");
+}
+
+#[test]
+fn acorn_gamma_keyword_recall_all_correlations() {
+    let ds = laion_like(5000, 5);
+    for corr in [Correlation::Negative, Correlation::None, Correlation::Positive] {
+        let w = keyword_workload(&ds, corr, 15, 6);
+        let params =
+            AcornParams { m: 32, gamma: 12, m_beta: 32, ef_construction: 40, ..Default::default() };
+        let r = acorn_recall(&ds, &w, AcornVariant::Gamma, params, 80);
+        assert!(r >= 0.85, "ACORN-gamma recall {r} < 0.85 under {corr:?} correlation");
+    }
+}
+
+#[test]
+fn acorn_gamma_regex_workload() {
+    let ds = laion_like(4000, 7);
+    let w = regex_workload(&ds, 10, 8);
+    let params =
+        AcornParams { m: 32, gamma: 12, m_beta: 32, ef_construction: 40, ..Default::default() };
+    let r = acorn_recall(&ds, &w, AcornVariant::Gamma, params, 80);
+    assert!(r >= 0.85, "ACORN-gamma recall {r} < 0.85 on regex workload");
+}
+
+#[test]
+fn acorn_date_ranges_across_selectivities() {
+    let ds = tripclick_like(4000, 9);
+    for target in [0.05, 0.25, 0.6] {
+        let w = date_range_workload(&ds, target, 10, 10);
+        let params = AcornParams {
+            m: 32,
+            gamma: 12,
+            m_beta: 128,
+            ef_construction: 40,
+            ..Default::default()
+        };
+        let r = acorn_recall(&ds, &w, AcornVariant::Gamma, params, 80);
+        assert!(r >= 0.85, "recall {r} < 0.85 at target selectivity {target}");
+    }
+}
+
+#[test]
+fn results_always_pass_predicate_even_under_bad_estimates() {
+    // §5.2: selectivity-estimation errors may cost efficiency, never
+    // correctness. Force both routing decisions and check result validity.
+    let ds = sift_like(3000, 11);
+    let field = ds.attrs.field("label").unwrap();
+    let idx = AcornIndex::build(ds.vectors.clone(), paper_params(), AcornVariant::Gamma);
+    let mut scratch = SearchScratch::new(ds.len());
+    let q = ds.vectors.get(0).to_vec();
+
+    for value in 1..=12 {
+        let pred = Predicate::Equals { field, value };
+        let (hits, _) = idx.hybrid_search(&q, &pred, &ds.attrs, 10, 64, &mut scratch);
+        for h in &hits {
+            assert_eq!(ds.attrs.int(field, h.id), value, "invalid result for label {value}");
+        }
+
+        // Graph-only path (as if the estimate wrongly said "not selective").
+        let filter = PredicateFilter::new(&ds.attrs, &pred);
+        let mut stats = SearchStats::default();
+        let hits = idx.search_filtered(&q, &filter, 10, 64, &mut scratch, &mut stats);
+        for h in &hits {
+            assert_eq!(ds.attrs.int(field, h.id), value);
+        }
+
+        // Forced pre-filter path (as if the estimate wrongly said "selective").
+        let mut stats = SearchStats::default();
+        let hits = idx.prefilter_scan(&q, &filter, 10, &mut stats);
+        for h in &hits {
+            assert_eq!(ds.attrs.int(field, h.id), value);
+        }
+        assert!(stats.fallback);
+    }
+}
+
+#[test]
+fn empty_predicate_result_returns_empty_not_panic() {
+    let ds = sift_like(1000, 13);
+    let field = ds.attrs.field("label").unwrap();
+    let idx = AcornIndex::build(ds.vectors.clone(), paper_params(), AcornVariant::Gamma);
+    let mut scratch = SearchScratch::new(ds.len());
+    let pred = Predicate::Equals { field, value: 99 }; // no record has label 99
+    let q = ds.vectors.get(0).to_vec();
+    let (hits, stats) = idx.hybrid_search(&q, &pred, &ds.attrs, 10, 64, &mut scratch);
+    assert!(hits.is_empty());
+    assert!(stats.fallback, "zero-selectivity predicate must route to the fallback");
+}
+
+#[test]
+fn acorn_beats_postfilter_on_negative_correlation() {
+    // Figure 10(a): under negative correlation, post-filtering cannot reach
+    // the recall ACORN attains at comparable work.
+    let ds = laion_like(5000, 15);
+    let w = keyword_workload(&ds, Correlation::Negative, 15, 16);
+    let truth = ground_truth(&ds.vectors, &ds.attrs, Metric::L2, &w.queries, 10, 0);
+
+    let acorn = AcornIndex::build(
+        ds.vectors.clone(),
+        AcornParams { m: 32, gamma: 12, m_beta: 32, ef_construction: 40, ..Default::default() },
+        AcornVariant::Gamma,
+    );
+    let post = PostFilterHnsw::build(
+        ds.vectors.clone(),
+        HnswParams { m: 32, ef_construction: 40, ..Default::default() },
+    );
+
+    let mut scratch = SearchScratch::new(ds.len());
+    let mut acorn_recall_sum = 0.0;
+    let mut post_recall_sum = 0.0;
+    for (q, t) in w.queries.iter().zip(&truth) {
+        let filter = PredicateFilter::new(&ds.attrs, &q.predicate);
+        let mut stats = SearchStats::default();
+        let a = acorn.search_filtered(&q.vector, &filter, 10, 80, &mut scratch, &mut stats);
+        let a_ids: Vec<u32> = a.iter().map(|n| n.id).collect();
+        acorn_recall_sum += recall_at_k(&a_ids, t, 10);
+
+        let mut stats = SearchStats::default();
+        // Same beam width for the post-filter.
+        let p = post.search(&q.vector, &filter, 10, 80, q.selectivity, &mut scratch, &mut stats);
+        let p_ids: Vec<u32> = p.iter().map(|n| n.id).collect();
+        post_recall_sum += recall_at_k(&p_ids, t, 10);
+    }
+    let nq = w.queries.len() as f64;
+    assert!(
+        acorn_recall_sum / nq > post_recall_sum / nq,
+        "ACORN ({}) must beat post-filtering ({}) under negative correlation",
+        acorn_recall_sum / nq,
+        post_recall_sum / nq
+    );
+}
+
+#[test]
+fn oracle_partition_is_best_and_prefilter_is_exact() {
+    let ds = sift_like(4000, 17);
+    let w = equality_workload(&ds, 15, 18);
+    let truth = ground_truth(&ds.vectors, &ds.attrs, Metric::L2, &w.queries, 10, 0);
+    let field = ds.attrs.field("label").unwrap();
+    let labels: Vec<i64> = (0..ds.len() as u32).map(|i| ds.attrs.int(field, i)).collect();
+
+    let oracle = OraclePartitionIndex::build_from_labels(
+        &ds.vectors,
+        &labels,
+        HnswParams { m: 32, ef_construction: 40, ..Default::default() },
+    );
+    let prefilter = PreFilter::new(ds.vectors.clone(), Metric::L2);
+
+    let mut scratch = SearchScratch::new(ds.len());
+    for (q, t) in w.queries.iter().zip(&truth) {
+        let label = match &q.predicate {
+            Predicate::Equals { value, .. } => *value,
+            _ => unreachable!(),
+        };
+        let mut stats = SearchStats::default();
+        let o = oracle.search(label, &q.vector, 10, 80, &mut scratch, &mut stats);
+        let o_ids: Vec<u32> = o.iter().map(|n| n.id).collect();
+        assert!(recall_at_k(&o_ids, t, 10) >= 0.8, "oracle recall unexpectedly low");
+
+        let filter = PredicateFilter::new(&ds.attrs, &q.predicate);
+        let mut stats = SearchStats::default();
+        let p = prefilter.search(&q.vector, &filter, 10, &mut stats);
+        let p_ids: Vec<u32> = p.iter().map(|n| n.id).collect();
+        assert_eq!(&p_ids, t, "pre-filtering must be exact");
+    }
+}
