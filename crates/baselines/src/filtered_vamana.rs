@@ -171,19 +171,30 @@ impl FilteredVamana {
             let start = idx.start_points[&label];
             let q = idx.vecs.get(p).to_vec();
             let _ = filtered_greedy(
-                &idx.vecs, idx.params.metric, &adj, &idx.labels, start, label, &q,
-                idx.params.l, &mut visited, &mut visited_out, &mut stats,
+                &idx.vecs,
+                idx.params.metric,
+                &adj,
+                &idx.labels,
+                start,
+                label,
+                &q,
+                idx.params.l,
+                &mut visited,
+                &mut visited_out,
+                &mut stats,
             );
             let mut cands: Vec<Neighbor> =
                 visited_out.iter().copied().filter(|nb| nb.id != p).collect();
             for &nb in &adj[p as usize] {
-                cands.push(Neighbor::new(
-                    idx.vecs.distance_between(idx.params.metric, p, nb),
-                    nb,
-                ));
+                cands.push(Neighbor::new(idx.vecs.distance_between(idx.params.metric, p, nb), nb));
             }
             let kept = filtered_robust_prune(
-                &idx.vecs, idx.params.metric, &idx.labels, p, cands, idx.params.r,
+                &idx.vecs,
+                idx.params.metric,
+                &idx.labels,
+                p,
+                cands,
+                idx.params.r,
                 idx.params.alpha,
             );
             adj[p as usize] = kept.clone();
@@ -194,14 +205,16 @@ impl FilteredVamana {
                         let c: Vec<Neighbor> = adj[j as usize]
                             .iter()
                             .map(|&w| {
-                                Neighbor::new(
-                                    idx.vecs.distance_between(idx.params.metric, j, w),
-                                    w,
-                                )
+                                Neighbor::new(idx.vecs.distance_between(idx.params.metric, j, w), w)
                             })
                             .collect();
                         adj[j as usize] = filtered_robust_prune(
-                            &idx.vecs, idx.params.metric, &idx.labels, j, c, idx.params.r,
+                            &idx.vecs,
+                            idx.params.metric,
+                            &idx.labels,
+                            j,
+                            c,
+                            idx.params.r,
                             idx.params.alpha,
                         );
                     }
@@ -242,8 +255,17 @@ impl FilteredVamana {
         let mut visited = VisitedSet::new(self.adj.len());
         let mut visited_out = Vec::new();
         let mut beam = filtered_greedy(
-            &self.vecs, self.params.metric, &self.adj, &self.labels, start, label, query,
-            l.max(k), &mut visited, &mut visited_out, stats,
+            &self.vecs,
+            self.params.metric,
+            &self.adj,
+            &self.labels,
+            start,
+            label,
+            query,
+            l.max(k),
+            &mut visited,
+            &mut visited_out,
+            stats,
         );
         beam.truncate(k);
         beam
@@ -255,7 +277,12 @@ mod tests {
     use super::*;
     use rand::Rng;
 
-    fn labeled_store(n: usize, dim: usize, nlabels: i64, seed: u64) -> (Arc<VectorStore>, Vec<i64>) {
+    fn labeled_store(
+        n: usize,
+        dim: usize,
+        nlabels: i64,
+        seed: u64,
+    ) -> (Arc<VectorStore>, Vec<i64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut s = VectorStore::with_capacity(dim, n);
         let mut labels = Vec::with_capacity(n);

@@ -48,7 +48,11 @@ impl IvfFlat {
     /// Index-only memory (inverted lists + centroids).
     pub fn memory_bytes(&self) -> usize {
         self.centroids.memory_bytes()
-            + self.lists.iter().map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>()).sum::<usize>()
+            + self
+                .lists
+                .iter()
+                .map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>())
+                .sum::<usize>()
     }
 
     /// Convert to an IVF-SQ8 index (quantize the stored vectors).
@@ -126,7 +130,11 @@ impl IvfSq8 {
     pub fn memory_bytes(&self) -> usize {
         self.sq.memory_bytes()
             + self.centroids.memory_bytes()
-            + self.lists.iter().map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>()).sum::<usize>()
+            + self
+                .lists
+                .iter()
+                .map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>())
+                .sum::<usize>()
     }
 
     /// Hybrid search over quantized codes (asymmetric distances).
@@ -186,14 +194,10 @@ mod tests {
         let ivf = IvfFlat::build(vecs.clone(), Metric::L2, 8, 5, 2);
         let q = vec![0.3; 6];
         let mut stats = SearchStats::default();
-        let got: Vec<u32> = ivf
-            .search(&q, &AllPass, 10, ivf.nlist(), &mut stats)
-            .iter()
-            .map(|n| n.id)
-            .collect();
-        let mut truth: Vec<(f32, u32)> = (0..n as u32)
-            .map(|i| (Metric::L2.distance(vecs.get(i), &q), i))
-            .collect();
+        let got: Vec<u32> =
+            ivf.search(&q, &AllPass, 10, ivf.nlist(), &mut stats).iter().map(|n| n.id).collect();
+        let mut truth: Vec<(f32, u32)> =
+            (0..n as u32).map(|i| (Metric::L2.distance(vecs.get(i), &q), i)).collect();
         truth.sort_by(|a, b| a.0.total_cmp(&b.0));
         let want: Vec<u32> = truth[..10].iter().map(|&(_, i)| i).collect();
         assert_eq!(got, want, "probing all lists must be exact");
@@ -211,9 +215,8 @@ mod tests {
             let mut stats = SearchStats::default();
             let got: Vec<u32> =
                 ivf.search(&q, &AllPass, 10, 8, &mut stats).iter().map(|n| n.id).collect();
-            let mut truth: Vec<(f32, u32)> = (0..n as u32)
-                .map(|i| (Metric::L2.distance(vecs.get(i), &q), i))
-                .collect();
+            let mut truth: Vec<(f32, u32)> =
+                (0..n as u32).map(|i| (Metric::L2.distance(vecs.get(i), &q), i)).collect();
             truth.sort_by(|a, b| a.0.total_cmp(&b.0));
             hits += truth[..10].iter().filter(|&&(_, i)| got.contains(&i)).count();
         }
@@ -261,8 +264,7 @@ mod sq8_tests {
         let q = vec![0.2; 16];
         let mut s1 = SearchStats::default();
         let mut s2 = SearchStats::default();
-        let a: Vec<u32> =
-            flat.search(&q, &AllPass, 10, 16, &mut s1).iter().map(|n| n.id).collect();
+        let a: Vec<u32> = flat.search(&q, &AllPass, 10, 16, &mut s1).iter().map(|n| n.id).collect();
         let b: Vec<u32> = sq.search(&q, &AllPass, 10, 16, &mut s2).iter().map(|n| n.id).collect();
         let overlap = a.iter().filter(|x| b.contains(x)).count();
         assert!(overlap >= 8, "SQ8 top-10 diverges too much from flat: {overlap}/10");

@@ -32,9 +32,8 @@ pub fn kmeans(vecs: &VectorStore, k: usize, iters: usize, seed: u64) -> KMeans {
     let mut centroids = VectorStore::with_capacity(dim, k);
     let first = rng.gen_range(0..n) as u32;
     centroids.push(vecs.get(first));
-    let mut d2: Vec<f32> = (0..n as u32)
-        .map(|i| Metric::L2.distance(vecs.get(i), centroids.get(0)))
-        .collect();
+    let mut d2: Vec<f32> =
+        (0..n as u32).map(|i| Metric::L2.distance(vecs.get(i), centroids.get(0))).collect();
     for _ in 1..k {
         let total: f64 = d2.iter().map(|&d| d as f64).sum();
         let next = if total <= 0.0 {
@@ -159,10 +158,10 @@ mod tests {
     fn centroids_land_on_blob_means() {
         let v = two_blobs();
         let km = kmeans(&v, 2, 20, 2);
-        let near_origin = (0..2u32)
-            .any(|c| Metric::L2.distance(km.centroids.get(c), &[0.1, 0.1]) < 0.1);
-        let near_ten = (0..2u32)
-            .any(|c| Metric::L2.distance(km.centroids.get(c), &[10.1, 10.1]) < 0.1);
+        let near_origin =
+            (0..2u32).any(|c| Metric::L2.distance(km.centroids.get(c), &[0.1, 0.1]) < 0.1);
+        let near_ten =
+            (0..2u32).any(|c| Metric::L2.distance(km.centroids.get(c), &[10.1, 10.1]) < 0.1);
         assert!(near_origin && near_ten);
     }
 

@@ -28,11 +28,11 @@
 pub mod filtered_vamana;
 pub mod ivf;
 pub mod kmeans;
-pub mod sq8;
 pub mod nhq;
 pub mod oracle;
 pub mod postfilter;
 pub mod prefilter;
+pub mod sq8;
 pub mod stitched_vamana;
 pub mod vamana;
 

@@ -149,10 +149,7 @@ impl NhqIndex {
 
     /// Index-only memory footprint.
     pub fn memory_bytes(&self) -> usize {
-        self.adj
-            .iter()
-            .map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>())
-            .sum::<usize>()
+        self.adj.iter().map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>()).sum::<usize>()
             + self.labels.len() * 8
     }
 
@@ -228,7 +225,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn labeled_store(n: usize, dim: usize, nlabels: i64, seed: u64) -> (Arc<VectorStore>, Vec<i64>) {
+    fn labeled_store(
+        n: usize,
+        dim: usize,
+        nlabels: i64,
+        seed: u64,
+    ) -> (Arc<VectorStore>, Vec<i64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut s = VectorStore::with_capacity(dim, n);
         let mut labels = Vec::with_capacity(n);

@@ -78,10 +78,7 @@ impl OraclePartitionIndex {
             return Vec::new();
         };
         let local = part.index.search_with(query, k, efs, scratch, stats);
-        local
-            .into_iter()
-            .map(|n| Neighbor::new(n.dist, part.ids[n.id as usize]))
-            .collect()
+        local.into_iter().map(|n| Neighbor::new(n.dist, part.ids[n.id as usize])).collect()
     }
 }
 
@@ -136,11 +133,8 @@ mod tests {
         let q = vec![0.2; 8];
         let mut scratch = SearchScratch::new(n);
         let mut stats = SearchStats::default();
-        let got: Vec<u32> = oracle
-            .search(0, &q, 10, 64, &mut scratch, &mut stats)
-            .iter()
-            .map(|n| n.id)
-            .collect();
+        let got: Vec<u32> =
+            oracle.search(0, &q, 10, 64, &mut scratch, &mut stats).iter().map(|n| n.id).collect();
         // Exact filtered top-10 by brute force.
         let mut truth: Vec<(f32, u32)> = (0..n as u32)
             .filter(|&i| labels[i as usize] == 0)
@@ -155,11 +149,7 @@ mod tests {
     #[test]
     fn missing_key_returns_empty() {
         let vecs = VectorStore::from_flat(2, vec![0.0, 0.0, 1.0, 1.0]);
-        let oracle = OraclePartitionIndex::build_from_labels(
-            &vecs,
-            &[5, 5],
-            HnswParams::default(),
-        );
+        let oracle = OraclePartitionIndex::build_from_labels(&vecs, &[5, 5], HnswParams::default());
         let mut scratch = SearchScratch::new(2);
         let mut stats = SearchStats::default();
         assert!(oracle.search(9, &[0.0, 0.0], 3, 8, &mut scratch, &mut stats).is_empty());

@@ -184,7 +184,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn labeled_store(n: usize, dim: usize, nlabels: i64, seed: u64) -> (Arc<VectorStore>, Vec<i64>) {
+    fn labeled_store(
+        n: usize,
+        dim: usize,
+        nlabels: i64,
+        seed: u64,
+    ) -> (Arc<VectorStore>, Vec<i64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut s = VectorStore::with_capacity(dim, n);
         let mut labels = Vec::with_capacity(n);

@@ -186,14 +186,18 @@ impl Vamana {
             for &p in &order {
                 let q = idx.vecs.get(p).to_vec();
                 let _ = greedy_search(
-                    &idx.vecs, params.metric, &idx.adj, idx.medoid, &q, params.l,
-                    &mut visited, &mut visited_out, &mut stats,
+                    &idx.vecs,
+                    params.metric,
+                    &idx.adj,
+                    idx.medoid,
+                    &q,
+                    params.l,
+                    &mut visited,
+                    &mut visited_out,
+                    &mut stats,
                 );
-                let mut cands: Vec<Neighbor> = visited_out
-                    .iter()
-                    .copied()
-                    .filter(|nb| nb.id != p)
-                    .collect();
+                let mut cands: Vec<Neighbor> =
+                    visited_out.iter().copied().filter(|nb| nb.id != p).collect();
                 for &nb in &idx.adj[p as usize] {
                     cands.push(Neighbor::new(idx.vecs.distance_between(params.metric, p, nb), nb));
                 }
@@ -206,10 +210,7 @@ impl Vamana {
                             let c: Vec<Neighbor> = idx.adj[j as usize]
                                 .iter()
                                 .map(|&w| {
-                                    Neighbor::new(
-                                        idx.vecs.distance_between(params.metric, j, w),
-                                        w,
-                                    )
+                                    Neighbor::new(idx.vecs.distance_between(params.metric, j, w), w)
                                 })
                                 .collect();
                             idx.adj[j as usize] =
@@ -261,8 +262,15 @@ impl Vamana {
         let mut visited = VisitedSet::new(self.adj.len());
         let mut visited_out = Vec::new();
         let mut beam = greedy_search(
-            &self.vecs, self.params.metric, &self.adj, self.medoid, query, l.max(k),
-            &mut visited, &mut visited_out, stats,
+            &self.vecs,
+            self.params.metric,
+            &self.adj,
+            self.medoid,
+            query,
+            l.max(k),
+            &mut visited,
+            &mut visited_out,
+            stats,
         );
         beam.truncate(k);
         beam
@@ -290,9 +298,8 @@ mod tests {
             s.push(&p);
         }
         let q = s.get(0).to_vec();
-        let cands: Vec<Neighbor> = (1..5u32)
-            .map(|i| Neighbor::new(Metric::L2.distance(s.get(i), &q), i))
-            .collect();
+        let cands: Vec<Neighbor> =
+            (1..5u32).map(|i| Neighbor::new(Metric::L2.distance(s.get(i), &q), i)).collect();
         let kept = robust_prune(&s, Metric::L2, cands.clone(), 4, 1.0);
         // Node 2 (1.1, 0) is shadowed by node 1 (1.0, 0).
         assert!(kept.contains(&1));
@@ -311,9 +318,8 @@ mod tests {
             s.push(&[x]);
         }
         let q = s.get(0).to_vec();
-        let cands: Vec<Neighbor> = (1..4u32)
-            .map(|i| Neighbor::new(Metric::L2.distance(s.get(i), &q), i))
-            .collect();
+        let cands: Vec<Neighbor> =
+            (1..4u32).map(|i| Neighbor::new(Metric::L2.distance(s.get(i), &q), i)).collect();
         let strict = robust_prune(&s, Metric::L2, cands.clone(), 4, 1.0);
         let slack = robust_prune(&s, Metric::L2, cands, 4, 2.0);
         // α > 1 makes the removal condition α·d(p*,c) ≤ d(p,c) harder to
@@ -344,9 +350,8 @@ mod tests {
             let q: Vec<f32> = (0..12).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let mut stats = SearchStats::default();
             let got: Vec<u32> = v.search(&q, 10, 48, &mut stats).iter().map(|n| n.id).collect();
-            let mut truth: Vec<(f32, u32)> = (0..n as u32)
-                .map(|i| (Metric::L2.distance(vecs.get(i), &q), i))
-                .collect();
+            let mut truth: Vec<(f32, u32)> =
+                (0..n as u32).map(|i| (Metric::L2.distance(vecs.get(i), &q), i)).collect();
             truth.sort_by(|a, b| a.0.total_cmp(&b.0));
             hits += truth[..10].iter().filter(|&&(_, i)| got.contains(&i)).count();
         }

@@ -16,14 +16,11 @@ fn store_from(points: &[Vec<f32>]) -> VectorStore {
 }
 
 fn points(dim: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    prop::collection::vec(
-        prop::collection::vec(-10.0f32..10.0, dim..=dim),
-        n,
-    )
+    prop::collection::vec(prop::collection::vec(-10.0f32..10.0, dim..=dim), n)
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Robust prune output: bounded by r, unique, subset of the input, and
     /// the nearest candidate always survives.

@@ -33,8 +33,7 @@ fn main() {
         AcornParams { m: 32, gamma: 12, m_beta: 32, ef_construction: 40, ..Default::default() };
 
     eprintln!("building indices once (shared across workloads)...");
-    let acorn_g =
-        AcornIndex::build(ds.vectors.clone(), acorn_params.clone(), AcornVariant::Gamma);
+    let acorn_g = AcornIndex::build(ds.vectors.clone(), acorn_params.clone(), AcornVariant::Gamma);
     let acorn_1 = AcornIndex::build(ds.vectors.clone(), acorn_params, AcornVariant::One);
     let postf = PostFilterHnsw::build(ds.vectors.clone(), hnsw_params);
 
@@ -45,8 +44,7 @@ fn main() {
 
     for corr in [Correlation::Negative, Correlation::None, Correlation::Positive] {
         let workload = keyword_workload(&ds, corr, nq, 5);
-        let cdq =
-            query_correlation(&ds.vectors, &ds.attrs, Metric::L2, &workload.queries, 3, 11);
+        let cdq = query_correlation(&ds.vectors, &ds.attrs, Metric::L2, &workload.queries, 3, 11);
         println!(
             "--- {} (avg selectivity {:.3}, C(D,Q) = {cdq:.3}) ---",
             corr.label(),

@@ -8,9 +8,7 @@
 //! target.
 
 use acorn_baselines::PostFilterHnsw;
-use acorn_bench::methods::{
-    sweep_acorn, sweep_postfilter, sweep_prefilter, BenchCtx,
-};
+use acorn_bench::methods::{sweep_acorn, sweep_postfilter, sweep_prefilter, BenchCtx};
 use acorn_bench::{bench_n, bench_nq, bench_threads, efs_sweep, results_dir};
 use acorn_core::{AcornIndex, AcornParams, AcornVariant};
 use acorn_data::datasets::laion_like;
@@ -44,27 +42,23 @@ fn main() {
         let ctx = BenchCtx::new(ds, workload, 10, threads);
 
         let hnsw_params = HnswParams { m: 32, ef_construction: 40, ..Default::default() };
-        let acorn_params = AcornParams {
-            m: 32,
-            gamma: 12,
-            m_beta: 32,
-            ef_construction: 40,
-            ..Default::default()
-        };
+        let acorn_params =
+            AcornParams { m: 32, gamma: 12, m_beta: 32, ef_construction: 40, ..Default::default() };
         let acorn_g =
             AcornIndex::build(ctx.ds.vectors.clone(), acorn_params.clone(), AcornVariant::Gamma);
-        let acorn_1 =
-            AcornIndex::build(ctx.ds.vectors.clone(), acorn_params, AcornVariant::One);
+        let acorn_1 = AcornIndex::build(ctx.ds.vectors.clone(), acorn_params, AcornVariant::One);
         let postf = PostFilterHnsw::build(ctx.ds.vectors.clone(), hnsw_params);
 
         // Larger datasets need wider beams to cross the 0.9 recall bar.
         let mut efs = efs_sweep();
         efs.push(640);
         efs.push(1280);
-        let sweeps = [sweep_acorn(&acorn_g, &ctx, &efs),
+        let sweeps = [
+            sweep_acorn(&acorn_g, &ctx, &efs),
             sweep_acorn(&acorn_1, &ctx, &efs),
             sweep_postfilter(&postf, &ctx, &efs),
-            sweep_prefilter(&ctx)];
+            sweep_prefilter(&ctx),
+        ];
         let cells: Vec<String> = sweeps
             .iter()
             .map(|pts| match qps_at_recall(pts, 0.9) {

@@ -29,8 +29,7 @@ fn main() {
     let workload = equality_workload(&ds, nq, 2);
     let ctx = BenchCtx::new(ds, workload, 10, threads);
     let field = ctx.ds.attrs.field("label").unwrap();
-    let labels: Vec<i64> =
-        (0..ctx.ds.len() as u32).map(|i| ctx.ds.attrs.int(field, i)).collect();
+    let labels: Vec<i64> = (0..ctx.ds.len() as u32).map(|i| ctx.ds.attrs.int(field, i)).collect();
 
     let m = 32usize;
     let gamma = 12usize;
@@ -61,14 +60,7 @@ fn main() {
 
     let mut t = Table::new(
         "Figure 12: Pruning strategies (a: TTI, b: space, c: edges pruned, d: search perf)",
-        &[
-            "strategy",
-            "TTI (s)",
-            "lvl0 avg deg",
-            "edges pruned",
-            "recall@efs=64",
-            "QPS@efs=64",
-        ],
+        &["strategy", "TTI (s)", "lvl0 avg deg", "edges pruned", "recall@efs=64", "QPS@efs=64"],
     );
 
     let fixed_efs = [64usize];

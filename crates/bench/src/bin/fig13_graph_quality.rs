@@ -66,7 +66,10 @@ fn main() {
             format!("{:?}", aq.scc_per_level),
             format!(
                 "{:?}",
-                aq.avg_out_degree_per_level.iter().map(|d| (d * 10.0).round() / 10.0).collect::<Vec<_>>()
+                aq.avg_out_degree_per_level
+                    .iter()
+                    .map(|d| (d * 10.0).round() / 10.0)
+                    .collect::<Vec<_>>()
             ),
             format!("{:?}", aq.nodes_per_level),
         ]);
@@ -83,7 +86,10 @@ fn main() {
             format!("{:?}", oq.scc_per_level),
             format!(
                 "{:?}",
-                oq.avg_out_degree_per_level.iter().map(|d| (d * 10.0).round() / 10.0).collect::<Vec<_>>()
+                oq.avg_out_degree_per_level
+                    .iter()
+                    .map(|d| (d * 10.0).round() / 10.0)
+                    .collect::<Vec<_>>()
             ),
             format!("{:?}", oq.nodes_per_level),
         ]);

@@ -45,8 +45,7 @@ fn run_dataset(ds: HybridDataset, nq: usize) {
     let ctx = BenchCtx::new(ds, workload, 10, threads);
 
     let field = ctx.ds.attrs.field("label").unwrap();
-    let labels: Vec<i64> =
-        (0..ctx.ds.len() as u32).map(|i| ctx.ds.attrs.int(field, i)).collect();
+    let labels: Vec<i64> = (0..ctx.ds.len() as u32).map(|i| ctx.ds.attrs.int(field, i)).collect();
 
     let hnsw_params = HnswParams { m: 32, ef_construction: 40, ..Default::default() };
     let acorn_params =

@@ -23,11 +23,7 @@ use acorn_hnsw::HnswParams;
 fn run_workload(ds: &HybridDataset, workload: Workload, m_beta: usize) {
     let threads = bench_threads();
     let label = workload.name.clone();
-    println!(
-        "--- {} (avg selectivity {:.3}) ---",
-        label,
-        workload.avg_selectivity()
-    );
+    println!("--- {} (avg selectivity {:.3}) ---", label, workload.avg_selectivity());
     let ctx = BenchCtx::new(ds.clone(), workload, 10, threads);
 
     let hnsw_params = HnswParams { m: 32, ef_construction: 40, ..Default::default() };
@@ -60,10 +56,8 @@ fn run_workload(ds: &HybridDataset, workload: Workload, m_beta: usize) {
             None => println!("  {m:<18} {:>10}", "below 0.9"),
         }
     }
-    let path = results_dir().join(format!(
-        "fig8_{}.csv",
-        label.replace(['/', '-'], "_").replace('.', "p")
-    ));
+    let path = results_dir()
+        .join(format!("fig8_{}.csv", label.replace(['/', '-'], "_").replace('.', "p")));
     t.write_csv(&path).expect("write csv");
     println!("CSV: {}\n", path.display());
 }

@@ -32,8 +32,7 @@ fn main() {
         AcornParams { m: 32, gamma: 12, m_beta: 128, ef_construction: 40, ..Default::default() };
 
     eprintln!("building indices once (shared across percentiles)...");
-    let acorn_g =
-        AcornIndex::build(ds.vectors.clone(), acorn_params.clone(), AcornVariant::Gamma);
+    let acorn_g = AcornIndex::build(ds.vectors.clone(), acorn_params.clone(), AcornVariant::Gamma);
     let acorn_1 = AcornIndex::build(ds.vectors.clone(), acorn_params, AcornVariant::One);
     let postf = PostFilterHnsw::build(ds.vectors.clone(), hnsw_params);
 

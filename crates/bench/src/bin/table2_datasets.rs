@@ -20,7 +20,15 @@ fn main() {
 
     let mut t = Table::new(
         "Table 2: Datasets",
-        &["dataset", "#vectors", "dim", "structured data", "operators", "avg sel", "pred cardinality"],
+        &[
+            "dataset",
+            "#vectors",
+            "dim",
+            "structured data",
+            "operators",
+            "avg sel",
+            "pred cardinality",
+        ],
     );
 
     let sift = sift_like(n, 1);
@@ -69,7 +77,11 @@ fn main() {
         laion.vectors.dim().to_string(),
         "text captions & keyword list".into(),
         "regex-match(y) & contains(y1∨y2∨...)".into(),
-        format!("{:.3} - {:.3}", wr.avg_selectivity().min(wk.avg_selectivity()), wr.avg_selectivity().max(wk.avg_selectivity())),
+        format!(
+            "{:.3} - {:.3}",
+            wr.avg_selectivity().min(wk.avg_selectivity()),
+            wr.avg_selectivity().max(wk.avg_selectivity())
+        ),
         "> 10^11".into(),
     ]);
 

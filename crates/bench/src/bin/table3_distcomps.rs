@@ -7,9 +7,7 @@
 //! post-filter needs several times more distance computations.
 
 use acorn_baselines::{OraclePartitionIndex, PostFilterHnsw};
-use acorn_bench::methods::{
-    sweep_acorn, sweep_oracle, sweep_postfilter, BenchCtx,
-};
+use acorn_bench::methods::{sweep_acorn, sweep_oracle, sweep_postfilter, BenchCtx};
 use acorn_bench::{bench_n, bench_nq, bench_threads, efs_sweep, results_dir};
 use acorn_core::{AcornIndex, AcornParams, AcornVariant};
 use acorn_data::datasets::{paper_like, sift_like, HybridDataset};
@@ -30,18 +28,14 @@ fn run_dataset(ds: HybridDataset, nq: usize, rows: &mut Vec<(String, String, Opt
     let labels: Vec<i64> = (0..ctx.ds.len() as u32).map(|i| ctx.ds.attrs.int(field, i)).collect();
 
     let hnsw_params = HnswParams { m: 32, ef_construction: 40, ..Default::default() };
-    let acorn_params = AcornParams {
-        m: 32,
-        gamma: 12,
-        m_beta: 64,
-        ef_construction: 40,
-        ..Default::default()
-    };
+    let acorn_params =
+        AcornParams { m: 32, gamma: 12, m_beta: 64, ef_construction: 40, ..Default::default() };
 
     eprintln!("[{name}] building oracle partitions...");
     let oracle = OraclePartitionIndex::build_from_labels(&ctx.ds.vectors, &labels, hnsw_params);
     eprintln!("[{name}] building ACORN-gamma...");
-    let acorn_g = AcornIndex::build(ctx.ds.vectors.clone(), acorn_params.clone(), AcornVariant::Gamma);
+    let acorn_g =
+        AcornIndex::build(ctx.ds.vectors.clone(), acorn_params.clone(), AcornVariant::Gamma);
     eprintln!("[{name}] building ACORN-1...");
     let acorn_1 = AcornIndex::build(ctx.ds.vectors.clone(), acorn_params, AcornVariant::One);
     eprintln!("[{name}] building HNSW (post-filter)...");
@@ -78,9 +72,7 @@ fn main() {
     );
     // Baseline per dataset = oracle.
     let oracle_of = |ds: &str| {
-        rows.iter()
-            .find(|(d, m, _)| d == ds && m == "Oracle Partition")
-            .and_then(|(_, _, v)| *v)
+        rows.iter().find(|(d, m, _)| d == ds && m == "Oracle Partition").and_then(|(_, _, v)| *v)
     };
     for (ds, method, ndis) in &rows {
         let cell = match ndis {

@@ -7,9 +7,9 @@
 
 use std::sync::Arc;
 
-use acorn_baselines::{FilteredVamana, StitchedVamana};
 use acorn_baselines::stitched_vamana::StitchedParams;
 use acorn_baselines::vamana::VamanaParams;
+use acorn_baselines::{FilteredVamana, StitchedVamana};
 use acorn_bench::{bench_n, results_dir};
 use acorn_core::{AcornIndex, AcornParams, AcornVariant};
 use acorn_data::datasets::{laion_like, paper_like, sift_like, tripclick_like, HybridDataset};
@@ -17,9 +17,7 @@ use acorn_eval::{measure, Table};
 use acorn_hnsw::{HnswIndex, HnswParams, VectorStore};
 
 fn labels_or_synthetic(ds: &HybridDataset) -> Option<Vec<i64>> {
-    ds.attrs
-        .field("label")
-        .map(|f| (0..ds.len() as u32).map(|i| ds.attrs.int(f, i)).collect())
+    ds.attrs.field("label").map(|f| (0..ds.len() as u32).map(|i| ds.attrs.int(f, i)).collect())
 }
 
 fn run(ds: &HybridDataset, t: &mut Table) {

@@ -25,8 +25,7 @@ fn run(ds: &HybridDataset, t: &mut Table) {
     let hnsw_params = HnswParams { m: 32, ef_construction: 40, ..Default::default() };
 
     eprintln!("[{}] building indices...", ds.name);
-    let acorn_g =
-        AcornIndex::build(ds.vectors.clone(), acorn_params.clone(), AcornVariant::Gamma);
+    let acorn_g = AcornIndex::build(ds.vectors.clone(), acorn_params.clone(), AcornVariant::Gamma);
     let acorn_1 = AcornIndex::build(ds.vectors.clone(), acorn_params, AcornVariant::One);
     let hnsw = HnswIndex::build(ds.vectors.clone(), hnsw_params);
 

@@ -17,11 +17,7 @@ fn run(ds: &HybridDataset, params: AcornParams, t: &mut Table) {
     for s in &stats {
         t.row(vec![
             ds.name.clone(),
-            if s.level == 0 {
-                "0 (compressed)".into()
-            } else {
-                s.level.to_string()
-            },
+            if s.level == 0 { "0 (compressed)".into() } else { s.level.to_string() },
             s.nodes.to_string(),
             format!("{:.1}", s.avg_out_degree),
             s.max_out_degree.to_string(),

@@ -31,8 +31,7 @@ pub struct BenchCtx {
 impl BenchCtx {
     /// Compute ground truth and wrap everything up.
     pub fn new(ds: HybridDataset, workload: Workload, k: usize, threads: usize) -> Self {
-        let truth =
-            ground_truth(&ds.vectors, &ds.attrs, Metric::L2, &workload.queries, k, threads);
+        let truth = ground_truth(&ds.vectors, &ds.attrs, Metric::L2, &workload.queries, k, threads);
         Self { ds, workload, truth, k, threads }
     }
 
@@ -55,12 +54,19 @@ pub fn equals_label(p: &Predicate) -> i64 {
 
 /// Sweep ACORN (γ or 1) with its full cost-model routing (§5.2 fallback).
 pub fn sweep_acorn(idx: &AcornIndex, ctx: &BenchCtx, params: &[usize]) -> Vec<SweepPoint> {
-    sweep_repeated(params, &ctx.truth, ctx.k, ctx.threads, crate::bench_repeats(), |i, efs, scratch| {
-        let q = &ctx.workload.queries[i];
-        let (out, stats) =
-            idx.hybrid_search(&q.vector, &q.predicate, &ctx.ds.attrs, ctx.k, efs, scratch);
-        (out.iter().map(|n| n.id).collect(), stats)
-    })
+    sweep_repeated(
+        params,
+        &ctx.truth,
+        ctx.k,
+        ctx.threads,
+        crate::bench_repeats(),
+        |i, efs, scratch| {
+            let q = &ctx.workload.queries[i];
+            let (out, stats) =
+                idx.hybrid_search(&q.vector, &q.predicate, &ctx.ds.attrs, ctx.k, efs, scratch);
+            (out.iter().map(|n| n.id).collect(), stats)
+        },
+    )
 }
 
 /// Sweep ACORN without the pre-filter fallback (pure predicate-subgraph
@@ -70,38 +76,58 @@ pub fn sweep_acorn_graph_only(
     ctx: &BenchCtx,
     params: &[usize],
 ) -> Vec<SweepPoint> {
-    sweep_repeated(params, &ctx.truth, ctx.k, ctx.threads, crate::bench_repeats(), |i, efs, scratch| {
-        let q = &ctx.workload.queries[i];
-        let filter = PredicateFilter::new(&ctx.ds.attrs, &q.predicate);
-        let mut stats = acorn_hnsw::SearchStats::default();
-        let out = idx.search_filtered(&q.vector, &filter, ctx.k, efs, scratch, &mut stats);
-        (out.iter().map(|n| n.id).collect(), stats)
-    })
+    sweep_repeated(
+        params,
+        &ctx.truth,
+        ctx.k,
+        ctx.threads,
+        crate::bench_repeats(),
+        |i, efs, scratch| {
+            let q = &ctx.workload.queries[i];
+            let filter = PredicateFilter::new(&ctx.ds.attrs, &q.predicate);
+            let mut stats = acorn_hnsw::SearchStats::default();
+            let out = idx.search_filtered(&q.vector, &filter, ctx.k, efs, scratch, &mut stats);
+            (out.iter().map(|n| n.id).collect(), stats)
+        },
+    )
 }
 
 /// Sweep HNSW post-filtering (`K/s` over-search, §7.2). Uses each query's
 /// exact selectivity, favoring the baseline.
 pub fn sweep_postfilter(pf: &PostFilterHnsw, ctx: &BenchCtx, params: &[usize]) -> Vec<SweepPoint> {
-    sweep_repeated(params, &ctx.truth, ctx.k, ctx.threads, crate::bench_repeats(), |i, efs, scratch| {
-        let q = &ctx.workload.queries[i];
-        let filter = PredicateFilter::new(&ctx.ds.attrs, &q.predicate);
-        let mut stats = acorn_hnsw::SearchStats::default();
-        let out =
-            pf.search(&q.vector, &filter, ctx.k, efs, q.selectivity, scratch, &mut stats);
-        (out.iter().map(|n| n.id).collect(), stats)
-    })
+    sweep_repeated(
+        params,
+        &ctx.truth,
+        ctx.k,
+        ctx.threads,
+        crate::bench_repeats(),
+        |i, efs, scratch| {
+            let q = &ctx.workload.queries[i];
+            let filter = PredicateFilter::new(&ctx.ds.attrs, &q.predicate);
+            let mut stats = acorn_hnsw::SearchStats::default();
+            let out = pf.search(&q.vector, &filter, ctx.k, efs, q.selectivity, scratch, &mut stats);
+            (out.iter().map(|n| n.id).collect(), stats)
+        },
+    )
 }
 
 /// Pre-filtering has no quality knob: one point at perfect recall.
 pub fn sweep_prefilter(ctx: &BenchCtx) -> Vec<SweepPoint> {
     let pf = PreFilter::new(ctx.ds.vectors.clone(), Metric::L2);
-    sweep_repeated(&[0], &ctx.truth, ctx.k, ctx.threads, crate::bench_repeats(), |i, _p, _scratch| {
-        let q = &ctx.workload.queries[i];
-        let filter = PredicateFilter::new(&ctx.ds.attrs, &q.predicate);
-        let mut stats = acorn_hnsw::SearchStats::default();
-        let out = pf.search(&q.vector, &filter, ctx.k, &mut stats);
-        (out.iter().map(|n| n.id).collect(), stats)
-    })
+    sweep_repeated(
+        &[0],
+        &ctx.truth,
+        ctx.k,
+        ctx.threads,
+        crate::bench_repeats(),
+        |i, _p, _scratch| {
+            let q = &ctx.workload.queries[i];
+            let filter = PredicateFilter::new(&ctx.ds.attrs, &q.predicate);
+            let mut stats = acorn_hnsw::SearchStats::default();
+            let out = pf.search(&q.vector, &filter, ctx.k, &mut stats);
+            (out.iter().map(|n| n.id).collect(), stats)
+        },
+    )
 }
 
 /// Sweep the oracle partition index (requires `Equals` predicates).
@@ -110,13 +136,20 @@ pub fn sweep_oracle(
     ctx: &BenchCtx,
     params: &[usize],
 ) -> Vec<SweepPoint> {
-    sweep_repeated(params, &ctx.truth, ctx.k, ctx.threads, crate::bench_repeats(), |i, efs, scratch| {
-        let q = &ctx.workload.queries[i];
-        let label = equals_label(&q.predicate);
-        let mut stats = acorn_hnsw::SearchStats::default();
-        let out = oracle.search(label, &q.vector, ctx.k, efs, scratch, &mut stats);
-        (out.iter().map(|n| n.id).collect(), stats)
-    })
+    sweep_repeated(
+        params,
+        &ctx.truth,
+        ctx.k,
+        ctx.threads,
+        crate::bench_repeats(),
+        |i, efs, scratch| {
+            let q = &ctx.workload.queries[i];
+            let label = equals_label(&q.predicate);
+            let mut stats = acorn_hnsw::SearchStats::default();
+            let out = oracle.search(label, &q.vector, ctx.k, efs, scratch, &mut stats);
+            (out.iter().map(|n| n.id).collect(), stats)
+        },
+    )
 }
 
 /// Sweep FilteredVamana (param = search beam `L`).
@@ -125,57 +158,92 @@ pub fn sweep_filtered_vamana(
     ctx: &BenchCtx,
     params: &[usize],
 ) -> Vec<SweepPoint> {
-    sweep_repeated(params, &ctx.truth, ctx.k, ctx.threads, crate::bench_repeats(), |i, l, _scratch| {
-        let q = &ctx.workload.queries[i];
-        let label = equals_label(&q.predicate);
-        let mut stats = acorn_hnsw::SearchStats::default();
-        let out = fv.search(&q.vector, label, ctx.k, l, &mut stats);
-        (out.iter().map(|n| n.id).collect(), stats)
-    })
+    sweep_repeated(
+        params,
+        &ctx.truth,
+        ctx.k,
+        ctx.threads,
+        crate::bench_repeats(),
+        |i, l, _scratch| {
+            let q = &ctx.workload.queries[i];
+            let label = equals_label(&q.predicate);
+            let mut stats = acorn_hnsw::SearchStats::default();
+            let out = fv.search(&q.vector, label, ctx.k, l, &mut stats);
+            (out.iter().map(|n| n.id).collect(), stats)
+        },
+    )
 }
 
 /// Sweep StitchedVamana (param = search beam `L`).
 pub fn sweep_stitched(sv: &StitchedVamana, ctx: &BenchCtx, params: &[usize]) -> Vec<SweepPoint> {
-    sweep_repeated(params, &ctx.truth, ctx.k, ctx.threads, crate::bench_repeats(), |i, l, _scratch| {
-        let q = &ctx.workload.queries[i];
-        let label = equals_label(&q.predicate);
-        let mut stats = acorn_hnsw::SearchStats::default();
-        let out = sv.search(&q.vector, label, ctx.k, l, &mut stats);
-        (out.iter().map(|n| n.id).collect(), stats)
-    })
+    sweep_repeated(
+        params,
+        &ctx.truth,
+        ctx.k,
+        ctx.threads,
+        crate::bench_repeats(),
+        |i, l, _scratch| {
+            let q = &ctx.workload.queries[i];
+            let label = equals_label(&q.predicate);
+            let mut stats = acorn_hnsw::SearchStats::default();
+            let out = sv.search(&q.vector, label, ctx.k, l, &mut stats);
+            (out.iter().map(|n| n.id).collect(), stats)
+        },
+    )
 }
 
 /// Sweep NHQ fusion search (param = beam `ef`).
 pub fn sweep_nhq(nhq: &NhqIndex, ctx: &BenchCtx, params: &[usize]) -> Vec<SweepPoint> {
-    sweep_repeated(params, &ctx.truth, ctx.k, ctx.threads, crate::bench_repeats(), |i, ef, _scratch| {
-        let q = &ctx.workload.queries[i];
-        let label = equals_label(&q.predicate);
-        let mut stats = acorn_hnsw::SearchStats::default();
-        let out = nhq.search(&q.vector, label, ctx.k, ef, &mut stats);
-        (out.iter().map(|n| n.id).collect(), stats)
-    })
+    sweep_repeated(
+        params,
+        &ctx.truth,
+        ctx.k,
+        ctx.threads,
+        crate::bench_repeats(),
+        |i, ef, _scratch| {
+            let q = &ctx.workload.queries[i];
+            let label = equals_label(&q.predicate);
+            let mut stats = acorn_hnsw::SearchStats::default();
+            let out = nhq.search(&q.vector, label, ctx.k, ef, &mut stats);
+            (out.iter().map(|n| n.id).collect(), stats)
+        },
+    )
 }
 
 /// Sweep IVF-Flat (param = `nprobe`).
 pub fn sweep_ivf(ivf: &IvfFlat, ctx: &BenchCtx, params: &[usize]) -> Vec<SweepPoint> {
-    sweep_repeated(params, &ctx.truth, ctx.k, ctx.threads, crate::bench_repeats(), |i, nprobe, _scratch| {
-        let q = &ctx.workload.queries[i];
-        let filter = PredicateFilter::new(&ctx.ds.attrs, &q.predicate);
-        let mut stats = acorn_hnsw::SearchStats::default();
-        let out = ivf.search(&q.vector, &filter, ctx.k, nprobe, &mut stats);
-        (out.iter().map(|n| n.id).collect(), stats)
-    })
+    sweep_repeated(
+        params,
+        &ctx.truth,
+        ctx.k,
+        ctx.threads,
+        crate::bench_repeats(),
+        |i, nprobe, _scratch| {
+            let q = &ctx.workload.queries[i];
+            let filter = PredicateFilter::new(&ctx.ds.attrs, &q.predicate);
+            let mut stats = acorn_hnsw::SearchStats::default();
+            let out = ivf.search(&q.vector, &filter, ctx.k, nprobe, &mut stats);
+            (out.iter().map(|n| n.id).collect(), stats)
+        },
+    )
 }
 
 /// Sweep IVF-SQ8 (param = `nprobe`).
 pub fn sweep_ivf_sq8(ivf: &IvfSq8, ctx: &BenchCtx, params: &[usize]) -> Vec<SweepPoint> {
-    sweep_repeated(params, &ctx.truth, ctx.k, ctx.threads, crate::bench_repeats(), |i, nprobe, _scratch| {
-        let q = &ctx.workload.queries[i];
-        let filter = PredicateFilter::new(&ctx.ds.attrs, &q.predicate);
-        let mut stats = acorn_hnsw::SearchStats::default();
-        let out = ivf.search(&q.vector, &filter, ctx.k, nprobe, &mut stats);
-        (out.iter().map(|n| n.id).collect(), stats)
-    })
+    sweep_repeated(
+        params,
+        &ctx.truth,
+        ctx.k,
+        ctx.threads,
+        crate::bench_repeats(),
+        |i, nprobe, _scratch| {
+            let q = &ctx.workload.queries[i];
+            let filter = PredicateFilter::new(&ctx.ds.attrs, &q.predicate);
+            let mut stats = acorn_hnsw::SearchStats::default();
+            let out = ivf.search(&q.vector, &filter, ctx.k, nprobe, &mut stats);
+            (out.iter().map(|n| n.id).collect(), stats)
+        },
+    )
 }
 
 /// Append a method's sweep to a results table.

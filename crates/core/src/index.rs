@@ -5,9 +5,7 @@ use std::sync::Arc;
 
 use acorn_hnsw::heap::Neighbor;
 use acorn_hnsw::{LayeredGraph, LevelSampler, SearchScratch, SearchStats, VectorStore};
-use acorn_predicate::{
-    estimate_selectivity, AttrStore, NodeFilter, Predicate, PredicateFilter,
-};
+use acorn_predicate::{estimate_selectivity, AttrStore, NodeFilter, Predicate, PredicateFilter};
 
 use crate::params::{AcornParams, AcornVariant};
 use crate::prune::{self, PruneStrategy};
@@ -205,8 +203,18 @@ impl AcornIndex {
         let mut entries = vec![Neighbor::new(self.vecs.distance_to(metric, entry, &q), entry)];
         for lev in ((level + 1)..=prev_max).rev() {
             let found = acorn_search_layer(
-                &self.vecs, &self.graph, metric, &q, &acorn_predicate::AllPass, &entries, 1,
-                lev, self.params.m, LookupMode::Truncate, &mut self.scratch, &mut stats,
+                &self.vecs,
+                &self.graph,
+                metric,
+                &q,
+                &acorn_predicate::AllPass,
+                &entries,
+                1,
+                lev,
+                self.params.m,
+                LookupMode::Truncate,
+                &mut self.scratch,
+                &mut stats,
             );
             if !found.is_empty() {
                 entries = found;
@@ -218,8 +226,18 @@ impl AcornIndex {
         let ef = self.params.ef_construction.max(budget);
         for lev in (0..=level.min(prev_max)).rev() {
             let candidates = acorn_search_layer(
-                &self.vecs, &self.graph, metric, &q, &acorn_predicate::AllPass, &entries, ef,
-                lev, self.params.m, LookupMode::Truncate, &mut self.scratch, &mut stats,
+                &self.vecs,
+                &self.graph,
+                metric,
+                &q,
+                &acorn_predicate::AllPass,
+                &entries,
+                ef,
+                lev,
+                self.params.m,
+                LookupMode::Truncate,
+                &mut self.scratch,
+                &mut stats,
             );
             let kept = self.select_edges(new_id, lev, &candidates, budget);
             for &s in &kept {
@@ -349,8 +367,18 @@ impl AcornIndex {
         // Stage 1 + upper predicate-subgraph traversal: ef = 1 per level.
         for lev in (1..=self.graph.max_level()).rev() {
             let found = acorn_search_layer(
-                &self.vecs, &self.graph, metric, query, filter, &entries, 1, lev, m, mode,
-                scratch, stats,
+                &self.vecs,
+                &self.graph,
+                metric,
+                query,
+                filter,
+                &entries,
+                1,
+                lev,
+                m,
+                mode,
+                scratch,
+                stats,
             );
             if !found.is_empty() {
                 entries = found;
@@ -361,7 +389,17 @@ impl AcornIndex {
         // Bottom level with the full beam.
         let ef = efs.max(k);
         let mut found = acorn_search_layer(
-            &self.vecs, &self.graph, metric, query, filter, &entries, ef, 0, m, mode, scratch,
+            &self.vecs,
+            &self.graph,
+            metric,
+            query,
+            filter,
+            &entries,
+            ef,
+            0,
+            m,
+            mode,
+            scratch,
             stats,
         );
         found.truncate(k);

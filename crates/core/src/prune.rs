@@ -105,9 +105,7 @@ pub fn apply(
     v: u32,
 ) -> PruneOutcome {
     match strategy {
-        PruneStrategy::AcornCompress => {
-            acorn_compress(candidates, graph, level, m_beta, budget)
-        }
+        PruneStrategy::AcornCompress => acorn_compress(candidates, graph, level, m_beta, budget),
         PruneStrategy::RngBlind => {
             let kept = select_heuristic(vecs, metric, candidates, m_beta, 1.0, false);
             PruneOutcome { pruned: candidates.len() - kept.len(), kept }
@@ -143,9 +141,8 @@ fn select_label_aware(
         let mut good = true;
         for s in &kept {
             // Only a same-label relay may shadow c.
-            let relay_valid =
-                labels[s.id as usize] == labels[c.id as usize]
-                    && labels[s.id as usize] == labels[v as usize];
+            let relay_valid = labels[s.id as usize] == labels[c.id as usize]
+                && labels[s.id as usize] == labels[v as usize];
             if relay_valid && vecs.distance_between(metric, c.id, s.id) < c.dist {
                 good = false;
                 break;
@@ -176,10 +173,8 @@ mod tests {
     }
 
     fn cands(vecs: &VectorStore, v: &[f32], ids: &[u32]) -> Vec<Neighbor> {
-        let mut c: Vec<Neighbor> = ids
-            .iter()
-            .map(|&id| Neighbor::new(Metric::L2.distance(vecs.get(id), v), id))
-            .collect();
+        let mut c: Vec<Neighbor> =
+            ids.iter().map(|&id| Neighbor::new(Metric::L2.distance(vecs.get(id), v), id)).collect();
         c.sort_unstable();
         c
     }
@@ -264,9 +259,8 @@ mod tests {
                 // Pruned either by membership in H or by budget exhaustion;
                 // when pruned by membership it must be recoverable.
                 if h_all.contains(&cand.id) {
-                    let recoverable = kept_tail
-                        .iter()
-                        .any(|&t| g.neighbors(t, 0).contains(&cand.id));
+                    let recoverable =
+                        kept_tail.iter().any(|&t| g.neighbors(t, 0).contains(&cand.id));
                     assert!(recoverable, "pruned candidate {} not two-hop recoverable", cand.id);
                 }
             }

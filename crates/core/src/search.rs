@@ -47,9 +47,7 @@ fn get_neighbors<F: NodeFilter>(
 ) {
     out.clear();
     match mode {
-        LookupMode::Truncate => {
-            lookup::filtered(graph, v, level, filter, m, visited, out, stats)
-        }
+        LookupMode::Truncate => lookup::filtered(graph, v, level, filter, m, visited, out, stats),
         LookupMode::GammaSearch { m_beta, compressed_levels } => {
             if level < compressed_levels {
                 lookup::compressed(graph, v, level, filter, m, m_beta, visited, out, stats);
@@ -57,9 +55,7 @@ fn get_neighbors<F: NodeFilter>(
                 lookup::filtered(graph, v, level, filter, m, visited, out, stats);
             }
         }
-        LookupMode::TwoHop => {
-            lookup::two_hop(graph, v, level, filter, m, visited, out, stats)
-        }
+        LookupMode::TwoHop => lookup::two_hop(graph, v, level, filter, m, visited, out, stats),
     }
 }
 
@@ -167,8 +163,18 @@ mod tests {
         let mut stats = SearchStats::default();
         let q = [6.0];
         let out = acorn_search_layer(
-            &vecs, &g, Metric::L2, &q, &AllPass, &entry(&vecs, 0, &q), 2, 0, 3,
-            LookupMode::Truncate, &mut scratch, &mut stats,
+            &vecs,
+            &g,
+            Metric::L2,
+            &q,
+            &AllPass,
+            &entry(&vecs, 0, &q),
+            2,
+            0,
+            3,
+            LookupMode::Truncate,
+            &mut scratch,
+            &mut stats,
         );
         assert_eq!(out[0].id, 6);
     }
@@ -182,8 +188,18 @@ mod tests {
         let mut stats = SearchStats::default();
         let q = [6.0];
         let out = acorn_search_layer(
-            &vecs, &g, Metric::L2, &q, &f, &entry(&vecs, 0, &q), 10, 0, 3,
-            LookupMode::TwoHop, &mut scratch, &mut stats,
+            &vecs,
+            &g,
+            Metric::L2,
+            &q,
+            &f,
+            &entry(&vecs, 0, &q),
+            10,
+            0,
+            3,
+            LookupMode::TwoHop,
+            &mut scratch,
+            &mut stats,
         );
         assert!(!out.is_empty());
         for n in &out {
@@ -202,8 +218,18 @@ mod tests {
         let mut stats = SearchStats::default();
         let q = [2.0];
         let out = acorn_search_layer(
-            &vecs, &g, Metric::L2, &q, &f, &entry(&vecs, 0, &q), 4, 0, 3,
-            LookupMode::TwoHop, &mut scratch, &mut stats,
+            &vecs,
+            &g,
+            Metric::L2,
+            &q,
+            &f,
+            &entry(&vecs, 0, &q),
+            4,
+            0,
+            3,
+            LookupMode::TwoHop,
+            &mut scratch,
+            &mut stats,
         );
         assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![2]);
     }
@@ -217,8 +243,18 @@ mod tests {
         let mut stats = SearchStats::default();
         let q = [3.0];
         let out = acorn_search_layer(
-            &vecs, &g, Metric::L2, &q, &f, &entry(&vecs, 0, &q), 4, 0, 3,
-            LookupMode::TwoHop, &mut scratch, &mut stats,
+            &vecs,
+            &g,
+            Metric::L2,
+            &q,
+            &f,
+            &entry(&vecs, 0, &q),
+            4,
+            0,
+            3,
+            LookupMode::TwoHop,
+            &mut scratch,
+            &mut stats,
         );
         assert!(out.is_empty());
     }
@@ -243,8 +279,18 @@ mod tests {
         let mut stats = SearchStats::default();
         let q = [0.0];
         let out = acorn_search_layer(
-            &vecs, &g, Metric::L2, &q, &AllPass, &entry(&vecs, 0, &q), 10, 0, 2,
-            LookupMode::Truncate, &mut scratch, &mut stats,
+            &vecs,
+            &g,
+            Metric::L2,
+            &q,
+            &AllPass,
+            &entry(&vecs, 0, &q),
+            10,
+            0,
+            2,
+            LookupMode::Truncate,
+            &mut scratch,
+            &mut stats,
         );
         let ids: Vec<u32> = out.iter().map(|n| n.id).collect();
         assert!(ids.contains(&0) && ids.contains(&1) && ids.contains(&2));

@@ -196,13 +196,8 @@ mod tests {
     #[test]
     fn roundtrip_preserves_search_results() {
         let vecs = random_store(600, 8, 1);
-        let params = AcornParams {
-            m: 8,
-            gamma: 4,
-            m_beta: 16,
-            ef_construction: 32,
-            ..Default::default()
-        };
+        let params =
+            AcornParams { m: 8, gamma: 4, m_beta: 16, ef_construction: 32, ..Default::default() };
         let idx = AcornIndex::build(vecs.clone(), params, AcornVariant::Gamma);
 
         let mut buf = Vec::new();
@@ -221,13 +216,8 @@ mod tests {
     #[test]
     fn roundtrip_acorn1_and_s_min() {
         let vecs = random_store(200, 4, 2);
-        let params = AcornParams {
-            m: 8,
-            gamma: 6,
-            m_beta: 8,
-            ef_construction: 16,
-            ..Default::default()
-        };
+        let params =
+            AcornParams { m: 8, gamma: 6, m_beta: 8, ef_construction: 16, ..Default::default() };
         let idx = AcornIndex::build(vecs.clone(), params, AcornVariant::One);
         let mut buf = Vec::new();
         idx.save(&mut buf).unwrap();
@@ -239,7 +229,8 @@ mod tests {
     #[test]
     fn rejects_bad_magic_and_size_mismatch() {
         let vecs = random_store(50, 4, 3);
-        let params = AcornParams { m: 4, gamma: 2, m_beta: 4, ef_construction: 8, ..Default::default() };
+        let params =
+            AcornParams { m: 4, gamma: 2, m_beta: 4, ef_construction: 8, ..Default::default() };
         let idx = AcornIndex::build(vecs.clone(), params, AcornVariant::Gamma);
         let mut buf = Vec::new();
         idx.save(&mut buf).unwrap();
@@ -255,7 +246,8 @@ mod tests {
     #[test]
     fn truncated_stream_is_an_error_not_a_panic() {
         let vecs = random_store(50, 4, 5);
-        let params = AcornParams { m: 4, gamma: 2, m_beta: 4, ef_construction: 8, ..Default::default() };
+        let params =
+            AcornParams { m: 4, gamma: 2, m_beta: 4, ef_construction: 8, ..Default::default() };
         let idx = AcornIndex::build(vecs.clone(), params, AcornVariant::Gamma);
         let mut buf = Vec::new();
         idx.save(&mut buf).unwrap();

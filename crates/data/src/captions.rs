@@ -14,14 +14,13 @@ use rand::Rng;
 /// in the keywords bitmask, so captions and keyword attributes agree.
 pub const KEYWORDS: [&str; 30] = [
     "animal", "scary", "dog", "cat", "bird", "fish", "red", "blue", "green", "yellow", "large",
-    "small", "old", "young", "happy", "sad", "city", "beach", "forest", "mountain", "car",
-    "boat", "house", "tree", "flower", "food", "person", "child", "night", "sunny",
+    "small", "old", "young", "happy", "sad", "city", "beach", "forest", "mountain", "car", "boat",
+    "house", "tree", "flower", "food", "person", "child", "night", "sunny",
 ];
 
 /// Filler words used between keywords.
-const FILLERS: [&str; 12] = [
-    "a", "photo", "of", "the", "with", "in", "on", "very", "one", "two", "three", "style",
-];
+const FILLERS: [&str; 12] =
+    ["a", "photo", "of", "the", "with", "in", "on", "very", "one", "two", "three", "style"];
 
 /// Generate one caption for a record in cluster `cluster`, preferring the
 /// given cluster-affine keyword ids.

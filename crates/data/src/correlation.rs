@@ -92,10 +92,7 @@ mod tests {
         let neg_w = keyword_workload(&ds, Correlation::Negative, 12, 2);
         let pos = query_correlation(&ds.vectors, &ds.attrs, Metric::L2, &pos_w.queries, 3, 3);
         let neg = query_correlation(&ds.vectors, &ds.attrs, Metric::L2, &neg_w.queries, 3, 3);
-        assert!(
-            pos > neg,
-            "positive workload must score higher correlation: pos={pos} neg={neg}"
-        );
+        assert!(pos > neg, "positive workload must score higher correlation: pos={pos} neg={neg}");
     }
 
     #[test]

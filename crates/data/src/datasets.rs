@@ -83,7 +83,7 @@ fn draw_keywords(rng: &mut StdRng, cluster: u32, vocab: usize, count: usize) -> 
     let mut terms: Vec<u8> = Vec::with_capacity(count);
     while terms.len() < count {
         let kw = if rng.gen_bool(CLUSTER_AFFINITY) {
-            preferred[rng.gen_range(0..3)]
+            preferred[rng.gen_range(0..3usize)]
         } else {
             rng.gen_range(0..vocab) as u8
         };
@@ -149,10 +149,7 @@ pub fn tripclick_like(n: usize, seed: u64) -> HybridDataset {
         years.push(2020 - (u * u * u * 120.0) as i64);
     }
 
-    let attrs = AttrStore::builder()
-        .add_keywords("areas", areas)
-        .add_int("year", years)
-        .build();
+    let attrs = AttrStore::builder().add_keywords("areas", areas).add_int("year", years).build();
     HybridDataset {
         name: "tripclick-like".to_string(),
         vectors: Arc::new(mix.vectors),
@@ -179,10 +176,8 @@ pub fn laion_like(n: usize, seed: u64) -> HybridDataset {
         captions.push(caption(&mut rng, &preferred, 0.15));
     }
 
-    let attrs = AttrStore::builder()
-        .add_keywords("keywords", masks)
-        .add_text("caption", captions)
-        .build();
+    let attrs =
+        AttrStore::builder().add_keywords("keywords", masks).add_text("caption", captions).build();
     HybridDataset {
         name: "laion-like".to_string(),
         vectors: Arc::new(mix.vectors),
@@ -227,10 +222,7 @@ mod tests {
                 recent += 1;
             }
         }
-        assert!(
-            recent as f64 / d.len() as f64 > 0.5,
-            "years must be skewed toward recent"
-        );
+        assert!(recent as f64 / d.len() as f64 > 0.5, "years must be skewed toward recent");
     }
 
     #[test]

@@ -128,12 +128,12 @@ pub fn keyword_workload(
             for _ in 0..n_terms {
                 let kw = match correlation {
                     Correlation::Positive => {
-                        preferred_keywords(cluster, vocab)[rng.gen_range(0..3)]
+                        preferred_keywords(cluster, vocab)[rng.gen_range(0..3usize)]
                     }
                     Correlation::None => rng.gen_range(0..vocab) as u8,
                     Correlation::Negative => {
                         let far = (cluster + ds.n_clusters as u32 / 2) % ds.n_clusters as u32;
-                        preferred_keywords(far, vocab)[rng.gen_range(0..3)]
+                        preferred_keywords(far, vocab)[rng.gen_range(0..3usize)]
                     }
                 };
                 mask |= 1u64 << kw;
@@ -159,7 +159,7 @@ pub fn area_workload(ds: &HybridDataset, nq: usize, seed: u64) -> Workload {
             let mut mask = 0u64;
             for _ in 0..n_terms {
                 let kw = if rng.gen_bool(0.7) {
-                    preferred_keywords(cluster, TRIPCLICK_AREAS)[rng.gen_range(0..3)]
+                    preferred_keywords(cluster, TRIPCLICK_AREAS)[rng.gen_range(0..3usize)]
                 } else {
                     rng.gen_range(0..TRIPCLICK_AREAS) as u8
                 };
@@ -260,10 +260,7 @@ mod tests {
             let w = date_range_workload(&ds, target, 20, 4);
             let avg = w.avg_selectivity();
             // Ties on years can stretch the window slightly.
-            assert!(
-                (avg - target).abs() < 0.1,
-                "target {target} produced avg {avg}"
-            );
+            assert!((avg - target).abs() < 0.1, "target {target} produced avg {avg}");
         }
     }
 
@@ -278,8 +275,7 @@ mod tests {
                 let mut best = f32::INFINITY;
                 for i in 0..ds.len() as u32 {
                     if q.predicate.eval(&ds.attrs, i) {
-                        let d = acorn_hnsw::Metric::L2
-                            .distance(ds.vectors.get(i), &q.vector);
+                        let d = acorn_hnsw::Metric::L2.distance(ds.vectors.get(i), &q.vector);
                         best = best.min(d);
                     }
                 }

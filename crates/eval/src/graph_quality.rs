@@ -57,8 +57,7 @@ pub fn predicate_subgraph_quality_with<F: NodeFilter>(
     let mut height = 0usize;
 
     for level in 0..levels {
-        let nodes: Vec<u32> =
-            graph.nodes_on_level(level).filter(|&v| filter.passes(v)).collect();
+        let nodes: Vec<u32> = graph.nodes_on_level(level).filter(|&v| filter.passes(v)).collect();
         if !nodes.is_empty() {
             height = level + 1;
         }
@@ -113,11 +112,7 @@ pub fn predicate_subgraph_quality_with<F: NodeFilter>(
             adj.push(out);
         }
         nodes_per_level.push(nodes.len());
-        avg_deg.push(if nodes.is_empty() {
-            0.0
-        } else {
-            total_deg as f64 / nodes.len() as f64
-        });
+        avg_deg.push(if nodes.is_empty() { 0.0 } else { total_deg as f64 / nodes.len() as f64 });
         scc_per_level.push(count_sccs(&adj));
     }
 
@@ -219,9 +214,20 @@ mod tests {
             g.add_node(0);
         }
         // Clique A: 0,1,2; clique B: 3,4,5; one edge A -> B.
-        for &(a, b) in
-            &[(0u32, 1u32), (1, 2), (2, 0), (1, 0), (2, 1), (0, 2), (3, 4), (4, 5), (5, 3), (4, 3), (5, 4), (3, 5)]
-        {
+        for &(a, b) in &[
+            (0u32, 1u32),
+            (1, 2),
+            (2, 0),
+            (1, 0),
+            (2, 1),
+            (0, 2),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (4, 3),
+            (5, 4),
+            (3, 5),
+        ] {
             g.push_edge(a, b, 0);
         }
         g.push_edge(0, 3, 0);
@@ -273,8 +279,7 @@ mod tests {
         let f = BitmapFilter::new(Bitset::from_ids(3, [0u32, 2]));
         let one_hop = predicate_subgraph_quality(&g, &f, usize::MAX);
         assert_eq!(one_hop.scc_per_level, vec![2]);
-        let with_recovery =
-            super::predicate_subgraph_quality_with(&g, &f, usize::MAX, Some(0));
+        let with_recovery = super::predicate_subgraph_quality_with(&g, &f, usize::MAX, Some(0));
         assert_eq!(with_recovery.scc_per_level, vec![1], "two-hop must reconnect 0 and 2");
     }
 

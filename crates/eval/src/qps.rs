@@ -1,8 +1,9 @@
 //! The multi-threaded query driver.
 //!
 //! QPS is measured by sharding a workload's queries across worker threads
-//! (crossbeam scoped threads; one [`SearchScratch`] per worker so visited
-//! sets and heaps are reused) and dividing total queries by wall time.
+//! (`std::thread::scope` workers; one [`SearchScratch`] per worker so
+//! visited sets and heaps are reused) and dividing total queries by wall
+//! time.
 
 use std::time::{Duration, Instant};
 
@@ -51,12 +52,12 @@ where
     let t0 = Instant::now();
     if nq > 0 {
         let chunk = nq.div_ceil(threads);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let f = &f;
             for ((t, rchunk), tstat) in
                 results.chunks_mut(chunk).enumerate().zip(thread_stats.iter_mut())
             {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut scratch = SearchScratch::default();
                     let base = t * chunk;
                     for rep in 0..repeats {
@@ -70,8 +71,7 @@ where
                     }
                 });
             }
-        })
-        .expect("query worker panicked");
+        });
     }
     let elapsed = t0.elapsed();
 
@@ -80,8 +80,7 @@ where
         stats.merge(st);
     }
     let executions = (nq * repeats) as f64;
-    let qps =
-        if elapsed.as_secs_f64() > 0.0 { executions / elapsed.as_secs_f64() } else { 0.0 };
+    let qps = if elapsed.as_secs_f64() > 0.0 { executions / elapsed.as_secs_f64() } else { 0.0 };
     // Stats are averaged back to per-workload scale so avg-per-query
     // figures are repeat-independent.
     stats.ndis /= repeats as u64;
@@ -115,9 +114,7 @@ mod tests {
 
     #[test]
     fn single_thread_matches_multi_thread_results() {
-        let f = |i: usize, _s: &mut SearchScratch| {
-            (vec![(i * 3) as u32], SearchStats::default())
-        };
+        let f = |i: usize, _s: &mut SearchScratch| (vec![(i * 3) as u32], SearchStats::default());
         let a = run_queries(20, 1, f);
         let b = run_queries(20, 8, f);
         assert_eq!(a.results, b.results);

@@ -117,7 +117,8 @@ mod tests {
     #[test]
     fn sweep_improves_with_param() {
         // Fake index: with param p, "find" the first min(p, 10) truth items.
-        let truth: Vec<Vec<u32>> = (0..8).map(|q| (0..10u32).map(|i| q * 100 + i).collect()).collect();
+        let truth: Vec<Vec<u32>> =
+            (0..8).map(|q| (0..10u32).map(|i| q * 100 + i).collect()).collect();
         let points = sweep(&[2, 5, 10], &truth, 10, 2, |q, p, _s| {
             let ids: Vec<u32> = (0..p.min(10) as u32).map(|i| q as u32 * 100 + i).collect();
             (ids, SearchStats { ndis: p as u64, ..Default::default() })

@@ -51,12 +51,8 @@ impl Table {
         }
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
-        let line: Vec<String> = self
-            .headers
-            .iter()
-            .zip(&widths)
-            .map(|(h, w)| format!("{h:<w$}"))
-            .collect();
+        let line: Vec<String> =
+            self.headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
         let _ = writeln!(out, "| {} |", line.join(" | "));
         let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
         let _ = writeln!(out, "|-{}-|", sep.join("-|-"));
@@ -84,8 +80,7 @@ impl Table {
             self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
         );
         for row in &self.rows {
-            let _ =
-                writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
         }
         std::fs::write(path, out)
     }

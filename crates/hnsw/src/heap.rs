@@ -234,7 +234,8 @@ mod tests {
     #[test]
     fn topk_matches_sort_oracle() {
         // Deterministic pseudo-random data, no external RNG needed here.
-        let mut xs: Vec<f32> = (0..200).map(|i| ((i * 2654435761u64 % 1000) as f32) / 10.0).collect();
+        let mut xs: Vec<f32> =
+            (0..200).map(|i| ((i * 2654435761u64 % 1000) as f32) / 10.0).collect();
         let mut t = TopK::new(10);
         for (i, &d) in xs.iter().enumerate() {
             t.push(Neighbor::new(d, i as u32));

@@ -160,8 +160,7 @@ impl HnswIndex {
                 &mut stats,
             );
             let m_level = self.params.max_degree(lev);
-            let selected =
-                select_heuristic(&self.vecs, metric, &candidates, m_level, 1.0, true);
+            let selected = select_heuristic(&self.vecs, metric, &candidates, m_level, 1.0, true);
             for &s in &selected {
                 self.graph.push_edge(s, new_id, lev);
                 self.shrink_if_needed(s, lev);
@@ -236,17 +235,8 @@ impl HnswIndex {
         }
         scratch.visited.reset();
         let ef = efs.max(k);
-        let mut found = search_layer(
-            &self.vecs,
-            &self.graph,
-            metric,
-            query,
-            &[ep],
-            ef,
-            0,
-            scratch,
-            stats,
-        );
+        let mut found =
+            search_layer(&self.vecs, &self.graph, metric, query, &[ep], ef, 0, scratch, stats);
         found.truncate(k);
         found
     }
@@ -336,7 +326,10 @@ mod tests {
     #[test]
     fn results_are_sorted_and_unique() {
         let vecs = random_store(500, 8, 11);
-        let idx = HnswIndex::build(vecs, HnswParams { m: 8, ef_construction: 32, metric: Metric::L2, seed: 2 });
+        let idx = HnswIndex::build(
+            vecs,
+            HnswParams { m: 8, ef_construction: 32, metric: Metric::L2, seed: 2 },
+        );
         let out = idx.search(&[0.1; 8], 10, 50);
         for w in out.windows(2) {
             assert!(w[0].dist <= w[1].dist, "results must be sorted");

@@ -85,10 +85,8 @@ mod tests {
     }
 
     fn cands(vecs: &VectorStore, v: &[f32], ids: &[u32]) -> Vec<Neighbor> {
-        let mut c: Vec<Neighbor> = ids
-            .iter()
-            .map(|&id| Neighbor::new(Metric::L2.distance(vecs.get(id), v), id))
-            .collect();
+        let mut c: Vec<Neighbor> =
+            ids.iter().map(|&id| Neighbor::new(Metric::L2.distance(vecs.get(id), v), id)).collect();
         c.sort_unstable();
         c
     }

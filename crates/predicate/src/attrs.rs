@@ -150,10 +150,7 @@ impl AttrStoreBuilder {
     /// # Panics
     /// Panics on duplicate field names.
     pub fn add(mut self, name: &str, col: Column) -> Self {
-        assert!(
-            !self.names.iter().any(|n| n == name),
-            "duplicate attribute field name: {name}"
-        );
+        assert!(!self.names.iter().any(|n| n == name), "duplicate attribute field name: {name}");
         self.names.push(name.to_string());
         self.columns.push(col);
         self
@@ -230,10 +227,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "expected 3")]
     fn mismatched_lengths_panic() {
-        let _ = AttrStore::builder()
-            .add_int("a", vec![1, 2, 3])
-            .add_int("b", vec![1])
-            .build();
+        let _ = AttrStore::builder().add_int("a", vec![1, 2, 3]).add_int("b", vec![1]).build();
     }
 
     #[test]

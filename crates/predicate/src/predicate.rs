@@ -81,9 +81,7 @@ impl Predicate {
                 *lo <= v && v <= *hi
             }
             Predicate::ContainsAny { field, mask } => attrs.keywords(*field, id) & mask != 0,
-            Predicate::ContainsAll { field, mask } => {
-                attrs.keywords(*field, id) & mask == *mask
-            }
+            Predicate::ContainsAll { field, mask } => attrs.keywords(*field, id) & mask == *mask,
             Predicate::RegexMatch { field, regex } => regex.is_match(attrs.text(*field, id)),
             Predicate::And(ps) => ps.iter().all(|p| p.eval(attrs, id)),
             Predicate::Or(ps) => ps.iter().any(|p| p.eval(attrs, id)),
@@ -147,7 +145,10 @@ mod tests {
         AttrStore::builder()
             .add_int("year", vec![1999, 2005, 2020, 2005])
             .add_keywords("kw", vec![0b001, 0b011, 0b100, 0b000])
-            .add_text("cap", vec!["red dog".into(), "blue cat".into(), "red cat".into(), "fish".into()])
+            .add_text(
+                "cap",
+                vec!["red dog".into(), "blue cat".into(), "red cat".into(), "fish".into()],
+            )
             .build()
     }
 

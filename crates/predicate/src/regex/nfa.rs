@@ -78,18 +78,37 @@ impl Program {
                 match &self.insts[pc as usize] {
                     Inst::Char(want)
                         if *want == c
-                            && self.add_thread(pc + 1, pos + 1, chars.len(), &mut next, &mut on_next)
-                        => {
-                            return true;
-                        }
+                            && self.add_thread(
+                                pc + 1,
+                                pos + 1,
+                                chars.len(),
+                                &mut next,
+                                &mut on_next,
+                            ) =>
+                    {
+                        return true;
+                    }
                     Inst::Any
-                        if self.add_thread(pc + 1, pos + 1, chars.len(), &mut next, &mut on_next) => {
-                            return true;
-                        }
+                        if self.add_thread(
+                            pc + 1,
+                            pos + 1,
+                            chars.len(),
+                            &mut next,
+                            &mut on_next,
+                        ) =>
+                    {
+                        return true;
+                    }
                     Inst::Class { negated, ranges } => {
                         let inside = ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
                         if inside != *negated
-                            && self.add_thread(pc + 1, pos + 1, chars.len(), &mut next, &mut on_next)
+                            && self.add_thread(
+                                pc + 1,
+                                pos + 1,
+                                chars.len(),
+                                &mut next,
+                                &mut on_next,
+                            )
                         {
                             return true;
                         }
@@ -128,9 +147,7 @@ impl Program {
                 self.add_thread(*a, pos, text_len, list, on_list)
                     || self.add_thread(*b, pos, text_len, list, on_list)
             }
-            Inst::AssertStart => {
-                pos == 0 && self.add_thread(pc + 1, pos, text_len, list, on_list)
-            }
+            Inst::AssertStart => pos == 0 && self.add_thread(pc + 1, pos, text_len, list, on_list),
             Inst::AssertEnd => {
                 pos == text_len && self.add_thread(pc + 1, pos, text_len, list, on_list)
             }
@@ -149,10 +166,9 @@ fn emit(ast: &Ast, out: &mut Vec<Inst>) {
         Ast::Empty => {}
         Ast::Char(c) => out.push(Inst::Char(*c)),
         Ast::Any => out.push(Inst::Any),
-        Ast::Class { negated, ranges } => out.push(Inst::Class {
-            negated: *negated,
-            ranges: ranges.clone().into_boxed_slice(),
-        }),
+        Ast::Class { negated, ranges } => {
+            out.push(Inst::Class { negated: *negated, ranges: ranges.clone().into_boxed_slice() })
+        }
         Ast::StartAnchor => out.push(Inst::AssertStart),
         Ast::EndAnchor => out.push(Inst::AssertEnd),
         Ast::Concat(seq) => {

@@ -150,9 +150,7 @@ impl Parser {
     fn atom(&mut self) -> Result<Ast, ParseError> {
         match self.peek() {
             None => Err(self.err("expected an atom, found end of pattern")),
-            Some('*') | Some('+') | Some('?') => {
-                Err(self.err("quantifier with nothing to repeat"))
-            }
+            Some('*') | Some('+') | Some('?') => Err(self.err("quantifier with nothing to repeat")),
             Some('(') => {
                 self.bump();
                 let inner = self.alt()?;
@@ -266,10 +264,7 @@ mod tests {
 
     #[test]
     fn parses_literal_concat() {
-        assert_eq!(
-            parse("ab").unwrap(),
-            Ast::Concat(vec![Ast::Char('a'), Ast::Char('b')])
-        );
+        assert_eq!(parse("ab").unwrap(), Ast::Concat(vec![Ast::Char('a'), Ast::Char('b')]));
     }
 
     #[test]
@@ -289,10 +284,7 @@ mod tests {
     fn star_binds_tighter_than_concat() {
         // ab* == a(b*)
         let ast = parse("ab*").unwrap();
-        assert_eq!(
-            ast,
-            Ast::Concat(vec![Ast::Char('a'), Ast::Star(Box::new(Ast::Char('b')))])
-        );
+        assert_eq!(ast, Ast::Concat(vec![Ast::Char('a'), Ast::Star(Box::new(Ast::Char('b')))]));
     }
 
     #[test]

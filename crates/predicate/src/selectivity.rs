@@ -63,9 +63,7 @@ mod tests {
 
     fn store(n: usize) -> AttrStore {
         // x cycles 0..10, so Equals{value:0} has exact selectivity 0.1.
-        AttrStore::builder()
-            .add_int("x", (0..n as i64).map(|i| i % 10).collect())
-            .build()
+        AttrStore::builder().add_int("x", (0..n as i64).map(|i| i % 10).collect()).build()
     }
 
     #[test]

@@ -15,12 +15,15 @@ fn pattern() -> impl Strategy<Value = String> {
         1 => Just(r"\d".to_string()),
         1 => Just(r"\w".to_string()),
     ];
-    let repeated = (atom, prop_oneof![
-        5 => Just(""),
-        1 => Just("*"),
-        1 => Just("+"),
-        1 => Just("?"),
-    ])
+    let repeated = (
+        atom,
+        prop_oneof![
+            5 => Just(""),
+            1 => Just("*"),
+            1 => Just("+"),
+            1 => Just("?"),
+        ],
+    )
         .prop_map(|(a, q)| format!("{a}{q}"));
     let concat = prop::collection::vec(repeated, 1..5).prop_map(|v| v.concat());
     let alt = prop::collection::vec(concat, 1..3).prop_map(|v| v.join("|"));
@@ -44,7 +47,7 @@ fn text() -> impl Strategy<Value = String> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     #[test]
     fn nfa_agrees_with_backtracking_oracle(pat in pattern(), txt in text()) {

@@ -72,10 +72,7 @@ fn main() {
         (
             "anything but bags, under $20",
             Predicate::And(vec![
-                Predicate::Not(Box::new(Predicate::ContainsAny {
-                    field: category,
-                    mask: 1 << 7,
-                })),
+                Predicate::Not(Box::new(Predicate::ContainsAny { field: category, mask: 1 << 7 })),
                 Predicate::Between { field: price, lo: 0, hi: 2000 },
             ]),
         ),
@@ -84,9 +81,11 @@ fn main() {
     let mut scratch = SearchScratch::new(n);
     for (label, predicate) in &scenarios {
         let selectivity = acorn::predicate::exact_selectivity(&attrs, predicate);
-        let (hits, stats) =
-            index.hybrid_search(&reference, predicate, &attrs, 5, 64, &mut scratch);
-        println!("query: similar items, filter = {label} (selectivity {selectivity:.3}, fallback = {})", stats.fallback);
+        let (hits, stats) = index.hybrid_search(&reference, predicate, &attrs, 5, 64, &mut scratch);
+        println!(
+            "query: similar items, filter = {label} (selectivity {selectivity:.3}, fallback = {})",
+            stats.fallback
+        );
         for h in &hits {
             let cat_mask = attrs.keywords(category, h.id);
             let cat = CATEGORIES[cat_mask.trailing_zeros() as usize];

@@ -29,10 +29,7 @@ fn main() {
     // different structured constraints.
     let query_img = 4321u32;
     let query = ds.vectors.get(query_img).to_vec();
-    println!(
-        "reference image #{query_img}: \"{}\"\n",
-        ds.attrs.text(caption, query_img)
-    );
+    println!("reference image #{query_img}: \"{}\"\n", ds.attrs.text(caption, query_img));
 
     let dog = KEYWORDS.iter().position(|&k| k == "dog").unwrap() as u8;
     let cat = KEYWORDS.iter().position(|&k| k == "cat").unwrap() as u8;
@@ -59,7 +56,10 @@ fn main() {
     for (label, predicate) in &scenarios {
         let s = acorn::predicate::exact_selectivity(&ds.attrs, predicate);
         let (hits, stats) = index.hybrid_search(&query, predicate, &ds.attrs, 5, 64, &mut scratch);
-        println!("filter: {label}  (selectivity {s:.3}, ndis {}, fallback {})", stats.ndis, stats.fallback);
+        println!(
+            "filter: {label}  (selectivity {s:.3}, ndis {}, fallback {})",
+            stats.ndis, stats.fallback
+        );
         if hits.is_empty() {
             println!("  (no matching images)");
         }

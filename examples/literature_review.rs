@@ -12,8 +12,14 @@ use acorn::prelude::*;
 /// Human-readable clinical area names for the demo.
 fn area_name(i: u8) -> String {
     const NAMES: [&str; 8] = [
-        "cardiology", "infectious disease", "surgery", "oncology", "neurology", "pediatrics",
-        "radiology", "psychiatry",
+        "cardiology",
+        "infectious disease",
+        "surgery",
+        "oncology",
+        "neurology",
+        "pediatrics",
+        "radiology",
+        "psychiatry",
     ];
     if (i as usize) < NAMES.len() {
         NAMES[i as usize].to_string()
@@ -77,14 +83,17 @@ fn main() {
     // Post-filtering baseline on the same query.
     let filter = PredicateFilter::new(&ds.attrs, &predicate);
     let mut stats = SearchStats::default();
-    let post =
-        hnsw.search(&query, &filter, 5, 64, selectivity, &mut scratch, &mut stats);
+    let post = hnsw.search(&query, &filter, 5, 64, selectivity, &mut scratch, &mut stats);
     println!("\nHNSW post-filter found {} of 5 ({} distance computations)", post.len(), stats.ndis);
 
     // Pre-filtering (exact but scans every passing document).
     let mut stats = SearchStats::default();
     let pre = scan.search(&query, &filter, 5, &mut stats);
-    println!("pre-filter scan found {} of 5 ({} distance computations — exact)", pre.len(), stats.ndis);
+    println!(
+        "pre-filter scan found {} of 5 ({} distance computations — exact)",
+        pre.len(),
+        stats.ndis
+    );
 
     // All three agree on the predicate; ACORN gets there with the fewest
     // distance computations at high recall (the paper's core claim).

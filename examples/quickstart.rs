@@ -38,9 +38,17 @@ fn main() {
     for (name, index) in [("ACORN-gamma", &acorn_gamma), ("ACORN-1", &acorn_one)] {
         let (hits, stats) =
             index.hybrid_search(&query, &predicate, &dataset.attrs, 10, 64, &mut scratch);
-        println!("\n{name}: top-10 with label == 7 (ndis = {}, fallback = {}):", stats.ndis, stats.fallback);
+        println!(
+            "\n{name}: top-10 with label == 7 (ndis = {}, fallback = {}):",
+            stats.ndis, stats.fallback
+        );
         for h in &hits {
-            println!("  id {:>5}  dist {:.3}  label {}", h.id, h.dist, dataset.attrs.int(field, h.id));
+            println!(
+                "  id {:>5}  dist {:.3}  label {}",
+                h.id,
+                h.dist,
+                dataset.attrs.int(field, h.id)
+            );
             assert_eq!(dataset.attrs.int(field, h.id), 7, "results must pass the predicate");
         }
     }
