@@ -13,8 +13,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use acorn_hnsw::heap::{MinHeap, Neighbor, TopK};
-use acorn_hnsw::{Metric, SearchStats, VectorStore, VisitedSet};
+use acorn_hnsw::heap::{Neighbor, TopK};
+use acorn_hnsw::{Metric, SearchScratch, SearchStats, VectorStore};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -43,18 +43,15 @@ fn filtered_greedy(
     label: i64,
     query: &[f32],
     l: usize,
-    visited: &mut VisitedSet,
-    visited_out: &mut Vec<Neighbor>,
+    scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
-    visited.grow(adj.len());
-    visited.reset();
-    visited_out.clear();
+    scratch.begin(adj.len());
     let mut beam = TopK::new(l.max(1));
-    let mut cands = MinHeap::with_capacity(l * 2);
+    let cands = &mut scratch.candidates;
     let d0 = vecs.distance_to(metric, start, query);
     stats.ndis += 1;
-    visited.insert(start);
+    scratch.visited.insert(start);
     let e = Neighbor::new(d0, start);
     if labels[start as usize] == label {
         beam.push(e);
@@ -69,13 +66,13 @@ fn filtered_greedy(
             }
         }
         stats.nhops += 1;
-        visited_out.push(c);
+        scratch.frontier.push(c);
         for &nb in &adj[c.id as usize] {
             stats.npred += 1;
             if labels[nb as usize] != label {
                 continue;
             }
-            if !visited.insert(nb) {
+            if !scratch.visited.insert(nb) {
                 continue;
             }
             let d = vecs.distance_to(metric, nb, query);
@@ -162,8 +159,7 @@ impl FilteredVamana {
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut order: Vec<u32> = (0..n as u32).collect();
         order.shuffle(&mut rng);
-        let mut visited = VisitedSet::new(n);
-        let mut visited_out = Vec::new();
+        let mut scratch = SearchScratch::new(n);
         let mut stats = SearchStats::default();
 
         for &p in &order {
@@ -179,12 +175,11 @@ impl FilteredVamana {
                 label,
                 &q,
                 idx.params.l,
-                &mut visited,
-                &mut visited_out,
+                &mut scratch,
                 &mut stats,
             );
             let mut cands: Vec<Neighbor> =
-                visited_out.iter().copied().filter(|nb| nb.id != p).collect();
+                scratch.frontier.iter().copied().filter(|nb| nb.id != p).collect();
             for &nb in &adj[p as usize] {
                 cands.push(Neighbor::new(idx.vecs.distance_between(idx.params.metric, p, nb), nb));
             }
@@ -240,7 +235,9 @@ impl FilteredVamana {
         self.adj.iter().map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>()).sum()
     }
 
-    /// Search for the `k` nearest points carrying exactly `label`.
+    /// Search for the `k` nearest points carrying exactly `label`,
+    /// allocating fresh scratch space. Query loops should prefer
+    /// [`search_with`](Self::search_with) with a reused (pooled) scratch.
     pub fn search(
         &self,
         query: &[f32],
@@ -249,11 +246,25 @@ impl FilteredVamana {
         l: usize,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
+        let mut scratch = SearchScratch::new(self.adj.len());
+        self.search_with(query, label, k, l, &mut scratch, stats)
+    }
+
+    /// Search for the `k` nearest points carrying exactly `label` using
+    /// caller-provided scratch space.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_with(
+        &self,
+        query: &[f32],
+        label: i64,
+        k: usize,
+        l: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
         let Some(&start) = self.start_points.get(&label) else {
             return Vec::new();
         };
-        let mut visited = VisitedSet::new(self.adj.len());
-        let mut visited_out = Vec::new();
         let mut beam = filtered_greedy(
             &self.vecs,
             self.params.metric,
@@ -263,8 +274,7 @@ impl FilteredVamana {
             label,
             query,
             l.max(k),
-            &mut visited,
-            &mut visited_out,
+            scratch,
             stats,
         );
         beam.truncate(k);

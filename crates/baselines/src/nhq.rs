@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use acorn_hnsw::heap::{MinHeap, Neighbor, TopK};
 use acorn_hnsw::select::select_heuristic;
-use acorn_hnsw::{Metric, SearchStats, VectorStore, VisitedSet};
+use acorn_hnsw::{Metric, SearchScratch, SearchStats, VectorStore, VisitedSet};
 
 /// NHQ construction/search parameters.
 #[derive(Debug, Clone, Copy)]
@@ -153,15 +153,31 @@ impl NhqIndex {
             + self.labels.len() * 8
     }
 
-    /// Fusion-distance hybrid search: the `k` best nodes under
-    /// `dist + w·[label ≠ target]`. Results that still mismatch the label
-    /// are filtered out at the end (they rank behind matching ones).
+    /// Fusion-distance hybrid search, allocating fresh scratch space. Query
+    /// loops should prefer [`search_with`](Self::search_with) with a reused
+    /// (pooled) scratch.
     pub fn search(
         &self,
         query: &[f32],
         target_label: i64,
         k: usize,
         ef: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let mut scratch = SearchScratch::new(self.adj.len());
+        self.search_with(query, target_label, k, ef, &mut scratch, stats)
+    }
+
+    /// Fusion-distance hybrid search: the `k` best nodes under
+    /// `dist + w·[label ≠ target]`. Results that still mismatch the label
+    /// are filtered out at the end (they rank behind matching ones).
+    pub fn search_with(
+        &self,
+        query: &[f32],
+        target_label: i64,
+        k: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
         if self.adj.is_empty() {
@@ -177,11 +193,11 @@ impl NhqIndex {
                 d + self.params.weight
             }
         };
-        let mut visited = VisitedSet::new(self.adj.len());
-        visited.reset();
+        scratch.begin(self.adj.len());
+        let visited = &mut scratch.visited;
         let ef = ef.max(k).max(1);
         let mut beam = TopK::new(ef);
-        let mut cands = MinHeap::with_capacity(ef * 2);
+        let cands = &mut scratch.candidates;
         visited.insert(self.entry);
         let e = Neighbor::new(fused(self.entry, stats), self.entry);
         beam.push(e);

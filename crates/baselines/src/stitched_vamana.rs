@@ -8,8 +8,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use acorn_hnsw::heap::{MinHeap, Neighbor, TopK};
-use acorn_hnsw::{Metric, SearchStats, VectorStore, VisitedSet};
+use acorn_hnsw::heap::{Neighbor, TopK};
+use acorn_hnsw::{Metric, SearchScratch, SearchStats, VectorStore};
 
 use crate::vamana::{medoid, robust_prune, Vamana, VamanaParams};
 
@@ -119,7 +119,9 @@ impl StitchedVamana {
         self.adj.iter().map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>()).sum()
     }
 
-    /// Search for the `k` nearest points carrying exactly `label`.
+    /// Search for the `k` nearest points carrying exactly `label`,
+    /// allocating fresh scratch space. Query loops should prefer
+    /// [`search_with`](Self::search_with) with a reused (pooled) scratch.
     pub fn search(
         &self,
         query: &[f32],
@@ -128,17 +130,32 @@ impl StitchedVamana {
         l: usize,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
+        let mut scratch = SearchScratch::new(self.adj.len());
+        self.search_with(query, label, k, l, &mut scratch, stats)
+    }
+
+    /// Search for the `k` nearest points carrying exactly `label` using
+    /// caller-provided scratch space.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_with(
+        &self,
+        query: &[f32],
+        label: i64,
+        k: usize,
+        l: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
         let Some(&start) = self.start_points.get(&label) else {
             return Vec::new();
         };
-        let mut visited = VisitedSet::new(self.adj.len());
-        visited.reset();
+        scratch.begin(self.adj.len());
         let ef = l.max(k).max(1);
         let mut beam = TopK::new(ef);
-        let mut cands = MinHeap::with_capacity(ef * 2);
+        let cands = &mut scratch.candidates;
         let d0 = self.vecs.distance_to(self.metric, start, query);
         stats.ndis += 1;
-        visited.insert(start);
+        scratch.visited.insert(start);
         let e = Neighbor::new(d0, start);
         beam.push(e);
         cands.push(e);
@@ -156,7 +173,7 @@ impl StitchedVamana {
                 if self.labels[nb as usize] != label {
                     continue;
                 }
-                if !visited.insert(nb) {
+                if !scratch.visited.insert(nb) {
                     continue;
                 }
                 let d = self.vecs.distance_to(self.metric, nb, query);

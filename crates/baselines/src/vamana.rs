@@ -8,8 +8,8 @@
 
 use std::sync::Arc;
 
-use acorn_hnsw::heap::{MinHeap, Neighbor, TopK};
-use acorn_hnsw::{Metric, SearchStats, VectorStore, VisitedSet};
+use acorn_hnsw::heap::{Neighbor, TopK};
+use acorn_hnsw::{Metric, SearchScratch, SearchStats, VectorStore};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -77,7 +77,9 @@ pub fn robust_prune(
 }
 
 /// Greedy beam search over a single-layer adjacency list. Returns the beam
-/// (sorted nearest-first) and records every expanded node in `visited_out`.
+/// (sorted nearest-first) and records every expanded node in
+/// `scratch.frontier`. All per-query state (visited set, candidate heap,
+/// frontier log) lives in `scratch`, so query loops reuse allocations.
 #[allow(clippy::too_many_arguments)]
 pub fn greedy_search(
     vecs: &VectorStore,
@@ -86,19 +88,16 @@ pub fn greedy_search(
     start: u32,
     query: &[f32],
     l: usize,
-    visited: &mut VisitedSet,
-    visited_out: &mut Vec<Neighbor>,
+    scratch: &mut SearchScratch,
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
-    visited.grow(adj.len());
-    visited.reset();
-    visited_out.clear();
+    scratch.begin(adj.len());
     let mut beam = TopK::new(l.max(1));
-    let mut cands = MinHeap::with_capacity(l * 2);
+    let cands = &mut scratch.candidates;
     let d0 = vecs.distance_to(metric, start, query);
     stats.ndis += 1;
     let e = Neighbor::new(d0, start);
-    visited.insert(start);
+    scratch.visited.insert(start);
     beam.push(e);
     cands.push(e);
     while let Some(c) = cands.pop() {
@@ -110,9 +109,9 @@ pub fn greedy_search(
             }
         }
         stats.nhops += 1;
-        visited_out.push(c);
+        scratch.frontier.push(c);
         for &nb in &adj[c.id as usize] {
-            if !visited.insert(nb) {
+            if !scratch.visited.insert(nb) {
                 continue;
             }
             let d = vecs.distance_to(metric, nb, query);
@@ -178,8 +177,7 @@ impl Vamana {
         let mut idx = Self { params, vecs, adj, medoid: med };
 
         let mut order: Vec<u32> = (0..n as u32).collect();
-        let mut visited = VisitedSet::new(n);
-        let mut visited_out = Vec::new();
+        let mut scratch = SearchScratch::new(n);
         for alpha in [1.0, params.alpha] {
             order.shuffle(&mut rng);
             let mut stats = SearchStats::default();
@@ -192,12 +190,11 @@ impl Vamana {
                     idx.medoid,
                     &q,
                     params.l,
-                    &mut visited,
-                    &mut visited_out,
+                    &mut scratch,
                     &mut stats,
                 );
                 let mut cands: Vec<Neighbor> =
-                    visited_out.iter().copied().filter(|nb| nb.id != p).collect();
+                    scratch.frontier.iter().copied().filter(|nb| nb.id != p).collect();
                 for &nb in &idx.adj[p as usize] {
                     cands.push(Neighbor::new(idx.vecs.distance_between(params.metric, p, nb), nb));
                 }
@@ -248,7 +245,11 @@ impl Vamana {
         self.adj.iter().map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>()).sum()
     }
 
-    /// ANN search with beam width `l`.
+    /// ANN search with beam width `l`, allocating fresh scratch space.
+    ///
+    /// Query loops should prefer [`search_with`](Self::search_with) with a
+    /// reused (pooled) scratch; this convenience form pays an O(n) visited
+    /// set allocation per call.
     pub fn search(
         &self,
         query: &[f32],
@@ -256,11 +257,23 @@ impl Vamana {
         l: usize,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
+        let mut scratch = SearchScratch::new(self.adj.len());
+        self.search_with(query, k, l, &mut scratch, stats)
+    }
+
+    /// ANN search with beam width `l` using caller-provided scratch space
+    /// (the form used by the benchmark driver and thread pools).
+    pub fn search_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        l: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
         if self.adj.is_empty() {
             return Vec::new();
         }
-        let mut visited = VisitedSet::new(self.adj.len());
-        let mut visited_out = Vec::new();
         let mut beam = greedy_search(
             &self.vecs,
             self.params.metric,
@@ -268,8 +281,7 @@ impl Vamana {
             self.medoid,
             query,
             l.max(k),
-            &mut visited,
-            &mut visited_out,
+            scratch,
             stats,
         );
         beam.truncate(k);

@@ -1,0 +1,181 @@
+//! `bench_qps` — the QueryEngine throughput benchmark.
+//!
+//! Measures hybrid-search QPS and recall@10 through the
+//! [`QueryEngine`](acorn_core::engine::QueryEngine) batch layer on a
+//! TripClick-like dataset with date-range predicates at three selectivity
+//! bands, at 1, 2, and 4 worker threads. The lowest band sits below
+//! `s_min = 1/γ`, so it exercises the pre-filter fallback path; the others
+//! exercise predicate-subgraph traversal.
+//!
+//! Emits `BENCH_hybrid.json` at the repository root (machine-readable
+//! perf-trajectory datapoint) and an aligned table on stdout. Scaled by the
+//! usual `ACORN_BENCH_N` / `ACORN_BENCH_NQ` / `ACORN_BENCH_REPEATS`
+//! environment variables.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use acorn_bench::{bench_n, bench_nq, bench_repeats};
+use acorn_core::engine::QueryEngine;
+use acorn_core::{AcornIndex, AcornParams, AcornVariant};
+use acorn_data::workloads::date_range_workload;
+use acorn_data::{datasets::tripclick_like, ground_truth};
+use acorn_eval::{workload_recall, Table};
+use acorn_hnsw::Metric;
+use acorn_predicate::Predicate;
+
+/// One measured (band × thread-count) cell.
+struct Cell {
+    threads: usize,
+    qps: f64,
+    recall: f64,
+    avg_ndis: f64,
+    avg_npred: f64,
+}
+
+fn main() {
+    let n = bench_n(8000);
+    let nq = bench_nq(50);
+    let repeats = bench_repeats();
+    let k = 10;
+    let efs = 64;
+    let thread_counts = [1usize, 2, 4];
+    // Below, at, and well above s_min = 1/γ = 1/12.
+    let bands = [0.05f64, 0.20, 0.50];
+
+    let ds = tripclick_like(n, 42);
+    println!("dataset: {}", ds.summary());
+    let params = AcornParams {
+        m: 32,
+        gamma: 12,
+        m_beta: 64,
+        ef_construction: 40,
+        metric: Metric::L2,
+        seed: 7,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let idx = AcornIndex::build(ds.vectors.clone(), params, AcornVariant::Gamma);
+    println!("ACORN-gamma built over n = {n} in {:.1?}", t0.elapsed());
+
+    let mut table = Table::new(
+        "QueryEngine hybrid batch QPS (k = 10)",
+        &["band", "avg_sel", "threads", "QPS", "recall@10", "avg_ndis", "avg_npred"],
+    );
+    let mut bands_json = Vec::new();
+
+    for &target in &bands {
+        let w = date_range_workload(&ds, target, nq, 1000 + (target * 100.0) as u64);
+        let truth = ground_truth(&ds.vectors, &ds.attrs, Metric::L2, &w.queries, k, 0);
+        let batch: Vec<(&[f32], &Predicate)> =
+            w.queries.iter().map(|q| (q.vector.as_slice(), &q.predicate)).collect();
+        let avg_sel = w.avg_selectivity();
+
+        // One single-pass warm-up per band: engines share the index's
+        // scratch pool, so this fills it for every thread count below and
+        // faults pages in; the measured passes reflect steady-state serving.
+        let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
+        let _ = QueryEngine::new(&idx)
+            .with_threads(max_threads)
+            .hybrid_search_batch(&batch, &ds.attrs, k, efs);
+
+        let mut cells = Vec::new();
+        for &threads in &thread_counts {
+            let engine = QueryEngine::new(&idx).with_threads(threads).with_repeats(repeats);
+            let out = engine.hybrid_search_batch(&batch, &ds.attrs, k, efs);
+            let ids: Vec<Vec<u32>> =
+                out.results.iter().map(|r| r.iter().map(|x| x.id).collect()).collect();
+            let denom = nq.max(1) as f64;
+            let cell = Cell {
+                threads,
+                qps: out.qps,
+                recall: workload_recall(&ids, &truth, k),
+                avg_ndis: out.stats.ndis as f64 / denom,
+                avg_npred: out.stats.npred as f64 / denom,
+            };
+            table.row(vec![
+                format!("{target:.2}"),
+                format!("{avg_sel:.3}"),
+                cell.threads.to_string(),
+                format!("{:.0}", cell.qps),
+                format!("{:.4}", cell.recall),
+                format!("{:.1}", cell.avg_ndis),
+                format!("{:.1}", cell.avg_npred),
+            ]);
+            cells.push(cell);
+        }
+        bands_json.push((target, avg_sel, cells));
+    }
+
+    println!("\n{}", table.render());
+
+    // Speedup of the best multi-thread configuration over single-thread,
+    // averaged across bands (the perf-trajectory headline number).
+    let mut speedups = Vec::new();
+    for (_, _, cells) in &bands_json {
+        let single = cells.iter().find(|c| c.threads == 1).map(|c| c.qps).unwrap_or(0.0);
+        let multi = cells.iter().filter(|c| c.threads > 1).map(|c| c.qps).fold(0.0f64, f64::max);
+        if single > 0.0 {
+            speedups.push(multi / single);
+        }
+    }
+    let avg_speedup = if speedups.is_empty() {
+        0.0
+    } else {
+        speedups.iter().sum::<f64>() / speedups.len() as f64
+    };
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!("\nbest multi-thread speedup over 1 thread (avg across bands): {avg_speedup:.2}x");
+    println!("available cores: {cores}");
+
+    let json = render_json(n, nq, k, efs, repeats, cores, avg_speedup, &bands_json);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hybrid.json");
+    std::fs::write(&path, json).expect("cannot write BENCH_hybrid.json");
+    println!("wrote {}", path.display());
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde dependency).
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    n: usize,
+    nq: usize,
+    k: usize,
+    efs: usize,
+    repeats: usize,
+    cores: usize,
+    avg_speedup: f64,
+    bands: &[(f64, f64, Vec<Cell>)],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"hybrid_batch_qps\",");
+    let _ = writeln!(s, "  \"engine\": \"QueryEngine\",");
+    let _ = writeln!(s, "  \"dataset\": \"tripclick_like\",");
+    let _ = writeln!(
+        s,
+        "  \"n\": {n}, \"nq\": {nq}, \"k\": {k}, \"efs\": {efs}, \"repeats\": {repeats},"
+    );
+    let _ = writeln!(s, "  \"available_cores\": {cores},");
+    let _ = writeln!(s, "  \"multi_thread_speedup_avg\": {avg_speedup:.3},");
+    let _ = writeln!(s, "  \"bands\": [");
+    for (bi, (target, avg_sel, cells)) in bands.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"selectivity_target\": {target:.3},");
+        let _ = writeln!(s, "      \"selectivity_avg\": {avg_sel:.4},");
+        let _ = writeln!(s, "      \"runs\": [");
+        for (ci, c) in cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "        {{\"threads\": {}, \"qps\": {:.1}, \"recall_at_10\": {:.4}, \
+                 \"avg_ndis\": {:.1}, \"avg_npred\": {:.1}}}",
+                c.threads, c.qps, c.recall, c.avg_ndis, c.avg_npred
+            );
+            let _ = writeln!(s, "{}", if ci + 1 < cells.len() { "," } else { "" });
+        }
+        let _ = writeln!(s, "      ]");
+        let _ = writeln!(s, "    }}{}", if bi + 1 < bands.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

@@ -7,10 +7,11 @@ use acorn_baselines::{
     FilteredVamana, IvfFlat, IvfSq8, NhqIndex, OraclePartitionIndex, PostFilterHnsw, PreFilter,
     StitchedVamana,
 };
+use acorn_core::engine::{BatchOutput, QueryEngine};
 use acorn_core::AcornIndex;
 use acorn_data::{ground_truth, HybridDataset, Workload};
 use acorn_eval::sweep::{sweep_repeated, SweepPoint};
-use acorn_eval::Table;
+use acorn_eval::{workload_recall, Table};
 use acorn_hnsw::Metric;
 use acorn_predicate::{Predicate, PredicateFilter};
 
@@ -52,21 +53,34 @@ pub fn equals_label(p: &Predicate) -> i64 {
     }
 }
 
-/// Sweep ACORN (γ or 1) with its full cost-model routing (§5.2 fallback).
+/// Turn one engine batch into a sweep point, scoring recall against the
+/// context's ground truth.
+fn batch_point(ctx: &BenchCtx, param: usize, out: &BatchOutput) -> SweepPoint {
+    let ids: Vec<Vec<u32>> = out.results.iter().map(|r| r.iter().map(|n| n.id).collect()).collect();
+    let denom = ctx.nq().max(1) as f64;
+    SweepPoint {
+        param,
+        recall: workload_recall(&ids, &ctx.truth, ctx.k),
+        qps: out.qps,
+        avg_ndis: out.stats.ndis as f64 / denom,
+        avg_npred: out.stats.npred as f64 / denom,
+    }
+}
+
+/// Sweep ACORN (γ or 1) with its full cost-model routing (§5.2 fallback),
+/// served through the [`QueryEngine`] batch layer.
 pub fn sweep_acorn(idx: &AcornIndex, ctx: &BenchCtx, params: &[usize]) -> Vec<SweepPoint> {
-    sweep_repeated(
-        params,
-        &ctx.truth,
-        ctx.k,
-        ctx.threads,
-        crate::bench_repeats(),
-        |i, efs, scratch| {
-            let q = &ctx.workload.queries[i];
-            let (out, stats) =
-                idx.hybrid_search(&q.vector, &q.predicate, &ctx.ds.attrs, ctx.k, efs, scratch);
-            (out.iter().map(|n| n.id).collect(), stats)
-        },
-    )
+    let engine =
+        QueryEngine::new(idx).with_threads(ctx.threads).with_repeats(crate::bench_repeats());
+    let batch: Vec<(&[f32], &Predicate)> =
+        ctx.workload.queries.iter().map(|q| (q.vector.as_slice(), &q.predicate)).collect();
+    params
+        .iter()
+        .map(|&efs| {
+            let out = engine.hybrid_search_batch(&batch, &ctx.ds.attrs, ctx.k, efs);
+            batch_point(ctx, efs, &out)
+        })
+        .collect()
 }
 
 /// Sweep ACORN without the pre-filter fallback (pure predicate-subgraph
@@ -164,11 +178,11 @@ pub fn sweep_filtered_vamana(
         ctx.k,
         ctx.threads,
         crate::bench_repeats(),
-        |i, l, _scratch| {
+        |i, l, scratch| {
             let q = &ctx.workload.queries[i];
             let label = equals_label(&q.predicate);
             let mut stats = acorn_hnsw::SearchStats::default();
-            let out = fv.search(&q.vector, label, ctx.k, l, &mut stats);
+            let out = fv.search_with(&q.vector, label, ctx.k, l, scratch, &mut stats);
             (out.iter().map(|n| n.id).collect(), stats)
         },
     )
@@ -182,11 +196,11 @@ pub fn sweep_stitched(sv: &StitchedVamana, ctx: &BenchCtx, params: &[usize]) -> 
         ctx.k,
         ctx.threads,
         crate::bench_repeats(),
-        |i, l, _scratch| {
+        |i, l, scratch| {
             let q = &ctx.workload.queries[i];
             let label = equals_label(&q.predicate);
             let mut stats = acorn_hnsw::SearchStats::default();
-            let out = sv.search(&q.vector, label, ctx.k, l, &mut stats);
+            let out = sv.search_with(&q.vector, label, ctx.k, l, scratch, &mut stats);
             (out.iter().map(|n| n.id).collect(), stats)
         },
     )
@@ -200,11 +214,11 @@ pub fn sweep_nhq(nhq: &NhqIndex, ctx: &BenchCtx, params: &[usize]) -> Vec<SweepP
         ctx.k,
         ctx.threads,
         crate::bench_repeats(),
-        |i, ef, _scratch| {
+        |i, ef, scratch| {
             let q = &ctx.workload.queries[i];
             let label = equals_label(&q.predicate);
             let mut stats = acorn_hnsw::SearchStats::default();
-            let out = nhq.search(&q.vector, label, ctx.k, ef, &mut stats);
+            let out = nhq.search_with(&q.vector, label, ctx.k, ef, scratch, &mut stats);
             (out.iter().map(|n| n.id).collect(), stats)
         },
     )

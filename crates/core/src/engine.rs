@@ -1,0 +1,335 @@
+//! The batch query engine: concurrent, scratch-pooled serving on top of
+//! [`AcornIndex`].
+//!
+//! ACORN's headline results are QPS–recall tradeoffs under hybrid
+//! predicates (§7), which makes batched, multi-threaded query execution the
+//! production-facing surface of the index. [`QueryEngine`] provides it:
+//!
+//! * queries are sharded across `std::thread::scope` workers in contiguous
+//!   chunks, so output ordering is **deterministic** — result `i` always
+//!   answers query `i`, and the results are identical to a sequential loop
+//!   regardless of the thread count;
+//! * every worker checks one [`SearchScratch`] out of a shared
+//!   [`ScratchPool`] for its whole shard, so no O(n) visited set is ever
+//!   allocated per query;
+//! * per-worker [`SearchStats`] are merged into one aggregate, and wall
+//!   time / QPS are measured around the whole batch.
+//!
+//! A `repeats` knob re-executes every query several times (reporting
+//! results from the final pass and averaging the stats back down), which
+//! keeps wall time well above thread start-up cost on small benchmark
+//! workloads — the same convention as the `acorn-eval` QPS driver.
+
+use std::time::Duration;
+
+use acorn_hnsw::heap::Neighbor;
+use acorn_hnsw::{ScratchPool, SearchScratch, SearchStats};
+use acorn_predicate::{AttrStore, NodeFilter, Predicate};
+
+use crate::index::AcornIndex;
+
+/// The answer to one batch of queries.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// Per-query results, indexed like the input query slice (deterministic
+    /// regardless of thread count).
+    pub results: Vec<Vec<Neighbor>>,
+    /// Search statistics aggregated across all queries (averaged back to
+    /// one-execution scale when `repeats > 1`).
+    pub stats: SearchStats,
+    /// Wall time of the whole batch.
+    pub elapsed: Duration,
+    /// Query executions per second (counts every repeat).
+    pub qps: f64,
+}
+
+/// A batch-serving layer over a borrowed [`AcornIndex`].
+///
+/// Construction is free; the engine draws scratches from the index's own
+/// [`ScratchPool`], so engine batches, other engines over the same index,
+/// and single-query [`AcornIndex::search`] calls all share one set of
+/// reusable allocations. Keep one engine per index for the lifetime of a
+/// serving process and feed it query batches.
+#[derive(Debug)]
+pub struct QueryEngine<'a> {
+    index: &'a AcornIndex,
+    pool: &'a ScratchPool,
+    threads: usize,
+    repeats: usize,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// An engine over `index` using all available cores and one execution
+    /// per query.
+    pub fn new(index: &'a AcornIndex) -> Self {
+        Self { index, pool: index.scratch_pool(), threads: 0, repeats: 1 }
+    }
+
+    /// Set the worker-thread count (`0` = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Execute every query `repeats` times per batch (QPS counts every
+    /// execution; results come from the final pass). Benchmarks use this to
+    /// amortize thread start-up; serving keeps the default of 1.
+    pub fn with_repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats.max(1);
+        self
+    }
+
+    /// The scratch pool this engine draws from (the index's own pool;
+    /// mainly for introspection in tests).
+    pub fn pool(&self) -> &ScratchPool {
+        self.pool
+    }
+
+    /// The index this engine serves.
+    pub fn index(&self) -> &AcornIndex {
+        self.index
+    }
+
+    /// Shard `nq` queries across scoped workers; `f(i, scratch, stats)`
+    /// answers query `i`. Output slot `i` always holds query `i`'s answer.
+    /// The shard/repeat/measure semantics live in the one shared driver,
+    /// [`acorn_hnsw::pool::run_sharded`].
+    fn run_batch<F>(&self, nq: usize, f: F) -> BatchOutput
+    where
+        F: Fn(usize, &mut SearchScratch, &mut SearchStats) -> Vec<Neighbor> + Sync,
+    {
+        let run = acorn_hnsw::pool::run_sharded(
+            self.pool,
+            nq,
+            self.threads,
+            self.repeats,
+            self.index.len(),
+            f,
+        );
+        let qps = run.throughput();
+        BatchOutput { results: run.results, stats: run.stats, elapsed: run.elapsed, qps }
+    }
+
+    /// Pure ANN search for a batch of queries: the `k` nearest neighbors of
+    /// each, with beam width `efs`.
+    pub fn search_batch<Q>(&self, queries: &[Q], k: usize, efs: usize) -> BatchOutput
+    where
+        Q: AsRef<[f32]> + Sync,
+    {
+        self.run_batch(queries.len(), |i, scratch, stats| {
+            self.index.search_filtered(
+                queries[i].as_ref(),
+                &acorn_predicate::AllPass,
+                k,
+                efs,
+                scratch,
+                stats,
+            )
+        })
+    }
+
+    /// Filtered search (Algorithm 2, no fallback routing) for a batch of
+    /// queries sharing one predicate filter.
+    pub fn search_filtered_batch<Q, F>(
+        &self,
+        queries: &[Q],
+        filter: &F,
+        k: usize,
+        efs: usize,
+    ) -> BatchOutput
+    where
+        Q: AsRef<[f32]> + Sync,
+        F: NodeFilter + Sync,
+    {
+        self.run_batch(queries.len(), |i, scratch, stats| {
+            self.index.search_filtered(queries[i].as_ref(), filter, k, efs, scratch, stats)
+        })
+    }
+
+    /// Full hybrid search (§5.2 cost-model routing included) for a batch of
+    /// `(vector, predicate)` queries against one attribute store.
+    pub fn hybrid_search_batch<Q>(
+        &self,
+        queries: &[(Q, &Predicate)],
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+    ) -> BatchOutput
+    where
+        Q: AsRef<[f32]> + Sync,
+    {
+        self.run_batch(queries.len(), |i, scratch, stats| {
+            let (q, predicate) = &queries[i];
+            let (out, st) = self.index.hybrid_search(q.as_ref(), predicate, attrs, k, efs, scratch);
+            stats.merge(&st);
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use acorn_hnsw::{Metric, VectorStore};
+    use acorn_predicate::{AttrStore, BitmapFilter, Bitset, Predicate};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    use super::*;
+    use crate::params::{AcornParams, AcornVariant};
+
+    fn random_store(n: usize, dim: usize, seed: u64) -> Arc<VectorStore> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::with_capacity(dim, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        Arc::new(s)
+    }
+
+    fn small_index(n: usize, seed: u64) -> AcornIndex {
+        let vecs = random_store(n, 8, seed);
+        let params = AcornParams {
+            m: 8,
+            gamma: 4,
+            m_beta: 16,
+            ef_construction: 32,
+            metric: Metric::L2,
+            seed,
+            ..Default::default()
+        };
+        AcornIndex::build(vecs, params, AcornVariant::Gamma)
+    }
+
+    fn queries(nq: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..nq).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+    }
+
+    fn ids(out: &BatchOutput) -> Vec<Vec<u32>> {
+        out.results.iter().map(|r| r.iter().map(|n| n.id).collect()).collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_loop_across_thread_counts() {
+        let idx = small_index(800, 1);
+        let qs = queries(23, 8, 2);
+
+        // The reference: a plain sequential loop over search_filtered.
+        let mut scratch = SearchScratch::new(idx.len());
+        let sequential: Vec<Vec<Neighbor>> = qs
+            .iter()
+            .map(|q| {
+                let mut stats = SearchStats::default();
+                idx.search_filtered(q, &acorn_predicate::AllPass, 10, 48, &mut scratch, &mut stats)
+            })
+            .collect();
+
+        for threads in [1, 2, 4] {
+            let engine = QueryEngine::new(&idx).with_threads(threads);
+            let out = engine.search_batch(&qs, 10, 48);
+            assert_eq!(out.results.len(), qs.len());
+            for (got, want) in out.results.iter().zip(&sequential) {
+                let g: Vec<(u32, f32)> = got.iter().map(|n| (n.id, n.dist)).collect();
+                let w: Vec<(u32, f32)> = want.iter().map(|n| (n.id, n.dist)).collect();
+                assert_eq!(g, w, "threads = {threads} must be bit-identical to sequential");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_aggregates_stats_and_counts_executions() {
+        let idx = small_index(500, 3);
+        let qs = queries(10, 8, 4);
+        let engine = QueryEngine::new(&idx).with_threads(2).with_repeats(3);
+        let out = engine.search_batch(&qs, 5, 32);
+        assert!(out.stats.ndis > 0, "distance counters must aggregate");
+        assert!(out.stats.nhops > 0);
+        assert!(out.qps > 0.0);
+        // Repeats average back to one-execution scale: roughly the same ndis
+        // as a single pass (identical queries, deterministic search).
+        let single = QueryEngine::new(&idx).with_threads(2).search_batch(&qs, 5, 32);
+        assert_eq!(out.stats.ndis, single.stats.ndis);
+    }
+
+    #[test]
+    fn filtered_batch_respects_filter() {
+        let n = 600;
+        let idx = small_index(n, 5);
+        let qs = queries(8, 8, 6);
+        let bits = Bitset::from_ids(n, (0..n as u32).filter(|i| i % 3 == 0));
+        let filter = BitmapFilter::new(bits);
+        let engine = QueryEngine::new(&idx).with_threads(2);
+        let out = engine.search_filtered_batch(&qs, &filter, 10, 64);
+        for r in &out.results {
+            assert!(!r.is_empty());
+            for nb in r {
+                assert_eq!(nb.id % 3, 0, "filtered batch leaked a failing row");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_batch_matches_sequential_and_routes_fallback() {
+        let n = 900;
+        let idx = small_index(n, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let labels: Vec<i64> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+        // Rare label 99 on a handful of rows: selectivity below s_min = 1/4.
+        let labels: Vec<i64> =
+            labels.iter().enumerate().map(|(i, &l)| if i < 5 { 99 } else { l }).collect();
+        let attrs = AttrStore::builder().add_int("label", labels).build();
+        let field = attrs.field("label").unwrap();
+
+        let qs = queries(12, 8, 9);
+        let preds: Vec<Predicate> = (0..qs.len())
+            .map(|i| Predicate::Equals { field, value: if i == 0 { 99 } else { (i % 4) as i64 } })
+            .collect();
+        let batch: Vec<(&[f32], &Predicate)> =
+            qs.iter().zip(&preds).map(|(q, p)| (q.as_slice(), p)).collect();
+
+        let mut scratch = SearchScratch::new(n);
+        let sequential: Vec<Vec<u32>> = qs
+            .iter()
+            .zip(&preds)
+            .map(|(q, p)| {
+                let (out, _) = idx.hybrid_search(q, p, &attrs, 5, 32, &mut scratch);
+                out.iter().map(|nb| nb.id).collect()
+            })
+            .collect();
+
+        for threads in [1, 3] {
+            let engine = QueryEngine::new(&idx).with_threads(threads);
+            let out = engine.hybrid_search_batch(&batch, &attrs, 5, 32);
+            assert_eq!(ids(&out), sequential, "threads = {threads}");
+            assert!(out.stats.fallback, "the rare-label query must have routed to the fallback");
+            assert!(out.stats.npred > 0);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let idx = small_index(50, 10);
+        let engine = QueryEngine::new(&idx);
+        let out = engine.search_batch(&Vec::<Vec<f32>>::new(), 5, 16);
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats, SearchStats::default());
+    }
+
+    #[test]
+    fn workers_return_scratches_to_the_pool() {
+        let idx = small_index(400, 11);
+        let qs = queries(16, 8, 12);
+        let engine = QueryEngine::new(&idx).with_threads(4);
+        let _ = engine.search_batch(&qs, 5, 32);
+        let idle_after_first = engine.pool().idle();
+        assert!((1..=4).contains(&idle_after_first), "workers must return scratches");
+        let _ = engine.search_batch(&qs, 5, 32);
+        assert!(
+            engine.pool().idle() <= 4,
+            "the pool must never hold more scratches than peak concurrency"
+        );
+    }
+}

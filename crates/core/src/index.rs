@@ -4,7 +4,9 @@
 use std::sync::Arc;
 
 use acorn_hnsw::heap::Neighbor;
-use acorn_hnsw::{LayeredGraph, LevelSampler, SearchScratch, SearchStats, VectorStore};
+use acorn_hnsw::{
+    LayeredGraph, LevelSampler, ScratchPool, SearchScratch, SearchStats, VectorStore,
+};
 use acorn_predicate::{estimate_selectivity, AttrStore, NodeFilter, Predicate, PredicateFilter};
 
 use crate::params::{AcornParams, AcornVariant};
@@ -23,10 +25,25 @@ pub struct AcornIndex {
     graph: LayeredGraph,
     sampler: LevelSampler,
     scratch: SearchScratch,
+    /// Pool of query scratches backing [`search`](Self::search) and external
+    /// drivers ([`QueryEngine`](crate::engine::QueryEngine)).
+    pool: ScratchPool,
     /// Node labels for the metadata-aware pruning ablation (Figure 12).
     labels: Option<Vec<i64>>,
     /// Total candidate edges pruned during construction (Figure 12c).
     edges_pruned: u64,
+}
+
+/// The `M` used for level sampling: tied to `M` (never `M·γ`, §5.2) unless
+/// the Qdrant flattening ablation is explicitly requested. Shared by
+/// [`AcornIndex::new`] and [`AcornIndex::from_parts`] so a deserialized
+/// index resumes inserts with the same level distribution it was built with.
+fn sampler_m(params: &AcornParams) -> usize {
+    if params.flatten_hierarchy {
+        (params.m * params.gamma).max(2)
+    } else {
+        params.m.max(2)
+    }
 }
 
 impl AcornIndex {
@@ -52,16 +69,10 @@ impl AcornIndex {
         }
         params.validate();
         let n = vecs.len();
-        // mL is tied to M, never to M·γ (§5.2) — except when the Qdrant
-        // flattening ablation is explicitly requested.
-        let sampler_m = if params.flatten_hierarchy {
-            (params.m * params.gamma).max(2)
-        } else {
-            params.m.max(2)
-        };
         Self {
-            sampler: LevelSampler::new(sampler_m, params.seed),
+            sampler: LevelSampler::new(sampler_m(&params), params.seed),
             scratch: SearchScratch::new(n),
+            pool: ScratchPool::new(),
             graph: LayeredGraph::with_capacity(n),
             vecs,
             params,
@@ -111,8 +122,9 @@ impl AcornIndex {
     ) -> Self {
         let n = vecs.len();
         Self {
-            sampler: LevelSampler::new(params.m.max(2), params.seed),
+            sampler: LevelSampler::new(sampler_m(&params), params.seed),
             scratch: SearchScratch::new(n),
+            pool: ScratchPool::new(),
             graph,
             vecs,
             params,
@@ -454,9 +466,18 @@ impl AcornIndex {
         (out, stats)
     }
 
-    /// Pure ANN search (no predicate).
+    /// The index's internal scratch pool. [`search`](Self::search) checks
+    /// scratches out of it; external drivers (e.g.
+    /// [`QueryEngine`](crate::engine::QueryEngine)) may share it too.
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        &self.pool
+    }
+
+    /// Pure ANN search (no predicate). Scratch space comes from the index's
+    /// internal [`ScratchPool`], so repeated calls reuse the O(n) visited
+    /// set instead of reallocating it per query.
     pub fn search(&self, query: &[f32], k: usize, efs: usize) -> Vec<Neighbor> {
-        let mut scratch = SearchScratch::new(self.graph.len());
+        let mut scratch = self.pool.checkout(self.graph.len());
         let mut stats = SearchStats::default();
         self.search_filtered(query, &acorn_predicate::AllPass, k, efs, &mut scratch, &mut stats)
     }
@@ -669,6 +690,52 @@ mod tests {
         let pred = Predicate::Equals { field, value: 0 };
         let (_, stats) = idx.hybrid_search(&[0.0; 8], &pred, &attrs, 5, 32, &mut scratch);
         assert!(!stats.fallback);
+    }
+
+    #[test]
+    fn from_parts_matches_new_sampler_for_flattened_hierarchy() {
+        // Regression: from_parts rebuilt the level sampler from M alone,
+        // ignoring flatten_hierarchy, so a loaded flattening-ablation index
+        // resumed inserts with the wrong level distribution.
+        let params = AcornParams { flatten_hierarchy: true, ..small_params(4, 8) };
+        let vecs = random_store(10, 4, 20);
+        let built = AcornIndex::new(vecs.clone(), params.clone(), AcornVariant::Gamma);
+        let loaded = AcornIndex::from_parts(
+            params,
+            AcornVariant::Gamma,
+            vecs,
+            LayeredGraph::with_capacity(10),
+            0,
+        );
+        assert_eq!(built.sampler.ml(), loaded.sampler.ml());
+        // Flattening ties mL to M·γ = 32, the Qdrant-ablation behaviour.
+        assert!((loaded.sampler.ml() - 1.0 / 32f64.ln()).abs() < 1e-12);
+
+        // The non-flattened default stays tied to M.
+        let params = small_params(4, 8);
+        let loaded = AcornIndex::from_parts(
+            params,
+            AcornVariant::Gamma,
+            random_store(10, 4, 21),
+            LayeredGraph::with_capacity(10),
+            0,
+        );
+        assert!((loaded.sampler.ml() - 1.0 / 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn search_reuses_pooled_scratch() {
+        let vecs = random_store(300, 8, 22);
+        let idx = AcornIndex::build(vecs, small_params(8, 2), AcornVariant::Gamma);
+        assert_eq!(idx.scratch_pool().idle(), 0);
+        let a = idx.search(&[0.0; 8], 5, 32);
+        assert_eq!(idx.scratch_pool().idle(), 1, "scratch must return to the pool");
+        let b = idx.search(&[0.0; 8], 5, 32);
+        assert_eq!(idx.scratch_pool().idle(), 1, "second search must reuse the pooled scratch");
+        assert_eq!(
+            a.iter().map(|n| n.id).collect::<Vec<_>>(),
+            b.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
     }
 
     #[test]

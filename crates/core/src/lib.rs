@@ -30,8 +30,11 @@
 //!
 //! The crate also exposes the pruning-strategy ablation of the paper's
 //! Figure 12 ([`prune::PruneStrategy`]) and graph introspection for
-//! Table 6 / Figure 13.
+//! Table 6 / Figure 13, plus the batch-serving layer ([`QueryEngine`]):
+//! concurrent, scratch-pooled execution of pure/filtered/hybrid query
+//! batches with deterministic output ordering and aggregated search stats.
 
+pub mod engine;
 pub mod index;
 pub mod lookup;
 pub mod params;
@@ -39,8 +42,9 @@ pub mod prune;
 pub mod search;
 pub mod serialize;
 
+pub use engine::{BatchOutput, QueryEngine};
 pub use index::AcornIndex;
 pub use params::{AcornParams, AcornVariant};
 pub use prune::PruneStrategy;
 
-pub use acorn_hnsw::{Neighbor, SearchScratch, SearchStats};
+pub use acorn_hnsw::{Neighbor, ScratchPool, SearchScratch, SearchStats};

@@ -87,7 +87,17 @@ impl AcornIndex {
         put_u64(w, g.len() as u64)?;
         for v in 0..g.len() as u32 {
             let level = g.level_of(v);
-            w.write_all(&[level as u8])?;
+            // The format stores levels as one byte. Real graphs top out
+            // around level ~10 (geometric level distribution), so > 255 is
+            // pathological — but silently truncating it would corrupt the
+            // file, so refuse instead.
+            let level_byte = u8::try_from(level).map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("node {v} has level {level}, exceeding the format maximum of 255"),
+                )
+            })?;
+            w.write_all(&[level_byte])?;
             for lev in 0..=level {
                 let list = g.neighbors(v, lev);
                 put_u32(w, list.len() as u32)?;
@@ -148,6 +158,12 @@ impl AcornIndex {
             let v = graph.add_node(level);
             for lev in 0..=level {
                 let len = get_u32(r)? as usize;
+                // A node cannot have more neighbors than the graph has
+                // nodes; rejecting earlier also stops a corrupt length from
+                // driving a multi-gigabyte Vec::with_capacity below.
+                if len > n {
+                    return Err(bad("neighbor list longer than the graph"));
+                }
                 let mut list = Vec::with_capacity(len);
                 for _ in 0..len {
                     let id = get_u32(r)?;
@@ -241,6 +257,36 @@ mod tests {
 
         let wrong_store = random_store(49, 4, 4);
         assert!(AcornIndex::load(&mut buf.as_slice(), wrong_store).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds supported maximum")]
+    fn levels_beyond_u8_cannot_enter_a_graph() {
+        // The save-side `u8::try_from(level)` guard is defense-in-depth:
+        // this assertion in `LayeredGraph::add_node` is what makes a > 255
+        // level unrepresentable before serialization is ever reached, so
+        // `level as u8` can no longer truncate silently anywhere.
+        let mut graph = LayeredGraph::with_capacity(1);
+        graph.add_node(300);
+    }
+
+    #[test]
+    fn load_rejects_oversized_neighbor_list() {
+        let vecs = random_store(50, 4, 10);
+        let params =
+            AcornParams { m: 4, gamma: 2, m_beta: 4, ef_construction: 8, ..Default::default() };
+        let idx = AcornIndex::build(vecs.clone(), params, AcornVariant::Gamma);
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        // Layout: 4 magic + 4 version + 1 variant + 4×8 params + 1 metric
+        // + 8 seed + 8 s_min + 8 n_c + 1 flatten = 67 bytes of header, then
+        // 8 bytes of n, 1 byte of node-0 level, then node 0's first list
+        // length at offset 76. Corrupt it to an absurd value: load must
+        // error out instead of attempting a 16 GiB allocation.
+        buf[76..80].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = AcornIndex::load(&mut buf.as_slice(), vecs).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("neighbor list"), "unexpected message: {err}");
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! The multi-threaded query driver.
 //!
 //! QPS is measured by sharding a workload's queries across worker threads
-//! (`std::thread::scope` workers; one [`SearchScratch`] per worker so
-//! visited sets and heaps are reused) and dividing total queries by wall
-//! time.
+//! (`std::thread::scope` workers; each checks one [`SearchScratch`] out of
+//! a shared [`ScratchPool`] so visited sets and heaps are reused across
+//! queries *and* across runs) and dividing total queries by wall time.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use acorn_hnsw::{SearchScratch, SearchStats};
+use acorn_hnsw::{ScratchPool, SearchScratch, SearchStats};
 
 /// Output of one timed workload run.
 #[derive(Debug, Clone)]
@@ -40,53 +40,34 @@ pub fn run_queries_repeated<F>(nq: usize, threads: usize, repeats: usize, f: F) 
 where
     F: Fn(usize, &mut SearchScratch) -> (Vec<u32>, SearchStats) + Sync,
 {
-    let repeats = repeats.max(1);
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-    } else {
-        threads
-    };
-    let mut results: Vec<Vec<u32>> = vec![Vec::new(); nq];
-    let mut thread_stats: Vec<SearchStats> = vec![SearchStats::default(); threads.max(1)];
+    let pool = ScratchPool::new();
+    run_queries_pooled(&pool, nq, threads, repeats, f)
+}
 
-    let t0 = Instant::now();
-    if nq > 0 {
-        let chunk = nq.div_ceil(threads);
-        std::thread::scope(|s| {
-            let f = &f;
-            for ((t, rchunk), tstat) in
-                results.chunks_mut(chunk).enumerate().zip(thread_stats.iter_mut())
-            {
-                s.spawn(move || {
-                    let mut scratch = SearchScratch::default();
-                    let base = t * chunk;
-                    for rep in 0..repeats {
-                        for (off, slot) in rchunk.iter_mut().enumerate() {
-                            let (ids, st) = f(base + off, &mut scratch);
-                            tstat.merge(&st);
-                            if rep + 1 == repeats {
-                                *slot = ids;
-                            }
-                        }
-                    }
-                });
-            }
-        });
-    }
-    let elapsed = t0.elapsed();
-
-    let mut stats = SearchStats::default();
-    for st in &thread_stats {
-        stats.merge(st);
-    }
-    let executions = (nq * repeats) as f64;
-    let qps = if elapsed.as_secs_f64() > 0.0 { executions / elapsed.as_secs_f64() } else { 0.0 };
-    // Stats are averaged back to per-workload scale so avg-per-query
-    // figures are repeat-independent.
-    stats.ndis /= repeats as u64;
-    stats.nhops /= repeats as u64;
-    stats.npred /= repeats as u64;
-    QpsResult { elapsed, qps, results, stats }
+/// [`run_queries_repeated`] drawing worker scratches from a caller-owned
+/// [`ScratchPool`], so consecutive runs (e.g. the points of a beam-width
+/// sweep) reuse the same scratch allocations instead of re-allocating
+/// per-run.
+pub fn run_queries_pooled<F>(
+    pool: &ScratchPool,
+    nq: usize,
+    threads: usize,
+    repeats: usize,
+    f: F,
+) -> QpsResult
+where
+    F: Fn(usize, &mut SearchScratch) -> (Vec<u32>, SearchStats) + Sync,
+{
+    // One shared driver (acorn_hnsw::pool::run_sharded) defines the
+    // chunking, repeat-averaging, and timing semantics for the whole
+    // workspace; this wrapper only adapts the closure shape.
+    let run = acorn_hnsw::pool::run_sharded(pool, nq, threads, repeats, 0, |i, scratch, tstat| {
+        let (ids, st) = f(i, scratch);
+        tstat.merge(&st);
+        ids
+    });
+    let qps = run.throughput();
+    QpsResult { elapsed: run.elapsed, qps, results: run.results, stats: run.stats }
 }
 
 #[cfg(test)]
@@ -118,5 +99,23 @@ mod tests {
         let a = run_queries(20, 1, f);
         let b = run_queries(20, 8, f);
         assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn pooled_runs_reuse_scratches_across_runs() {
+        let pool = acorn_hnsw::ScratchPool::new();
+        let f = |i: usize, s: &mut SearchScratch| {
+            s.visited.grow(64);
+            s.visited.insert(i as u32 % 64);
+            (vec![i as u32], SearchStats::default())
+        };
+        // Workers return scratches on completion; a worker that starts after
+        // another finished may reuse its scratch, so the pool holds between
+        // 1 and `threads` scratches — never zero, never more.
+        let _ = run_queries_pooled(&pool, 16, 2, 1, f);
+        let after_first = pool.idle();
+        assert!((1..=2).contains(&after_first), "expected 1..=2 pooled scratches");
+        let _ = run_queries_pooled(&pool, 16, 2, 1, f);
+        assert!(pool.idle() <= 2, "the second run must reuse, not endlessly grow, the pool");
     }
 }

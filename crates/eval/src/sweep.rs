@@ -6,9 +6,9 @@
 //! "varying the search parameter efs from 10 to 800" (§7.2); the experiment
 //! binaries do the same.
 
-use acorn_hnsw::{SearchScratch, SearchStats};
+use acorn_hnsw::{ScratchPool, SearchScratch, SearchStats};
 
-use crate::qps::run_queries_repeated;
+use crate::qps::run_queries_pooled;
 use crate::recall::workload_recall;
 
 /// One point on a recall-QPS curve.
@@ -57,10 +57,14 @@ where
     F: Fn(usize, usize, &mut SearchScratch) -> (Vec<u32>, SearchStats) + Sync,
 {
     let nq = truth.len();
+    // One pool for the whole sweep: every parameter point reuses the same
+    // worker scratches instead of re-allocating visited sets per run.
+    let pool = ScratchPool::new();
     params
         .iter()
         .map(|&param| {
-            let run = run_queries_repeated(nq, threads, repeats, |i, scratch| f(i, param, scratch));
+            let run =
+                run_queries_pooled(&pool, nq, threads, repeats, |i, scratch| f(i, param, scratch));
             let recall = workload_recall(&run.results, truth, k);
             let denom = nq.max(1) as f64;
             SweepPoint {

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use crate::graph::LayeredGraph;
 use crate::heap::Neighbor;
 use crate::level::LevelSampler;
+use crate::pool::ScratchPool;
 use crate::search::{greedy_descend, search_layer, SearchScratch};
 use crate::select::select_heuristic;
 use crate::stats::SearchStats;
@@ -57,6 +58,7 @@ pub struct HnswIndex {
     graph: LayeredGraph,
     sampler: LevelSampler,
     scratch: SearchScratch,
+    pool: ScratchPool,
 }
 
 impl HnswIndex {
@@ -70,6 +72,7 @@ impl HnswIndex {
             graph: LayeredGraph::with_capacity(n),
             vecs,
             params,
+            pool: ScratchPool::new(),
         }
     }
 
@@ -193,12 +196,19 @@ impl HnswIndex {
         self.graph.set_neighbors(v, lev, kept);
     }
 
+    /// The index's internal scratch pool (shared by [`search`](Self::search)
+    /// calls; external drivers may check scratches out of it too).
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        &self.pool
+    }
+
     /// ANN search: the `k` (approximately) nearest vectors to `query`.
     ///
     /// `efs` is the beam width at level 0 (quality/latency knob). Results are
-    /// sorted nearest-first.
+    /// sorted nearest-first. Scratch space comes from the index's internal
+    /// [`ScratchPool`], so repeated calls do not re-allocate visited sets.
     pub fn search(&self, query: &[f32], k: usize, efs: usize) -> Vec<Neighbor> {
-        let mut scratch = SearchScratch::new(self.graph.len());
+        let mut scratch = self.pool.checkout(self.graph.len());
         let mut stats = SearchStats::default();
         self.search_with(query, k, efs, &mut scratch, &mut stats)
     }

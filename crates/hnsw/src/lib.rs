@@ -14,6 +14,8 @@
 //! * [`heap`] — binary-heap helpers ordered on `(distance, id)` pairs
 //!   ([`Neighbor`]).
 //! * [`visited`] — epoch-stamped visited sets reusable across queries.
+//! * [`pool`] — a checkout/return pool of search scratches shared by query
+//!   threads ([`ScratchPool`]).
 //! * [`level`] — the exponentially decaying level sampler used by HNSW and
 //!   ACORN (`mL = 1/ln(M)`).
 //! * [`graph`] — the multi-level adjacency structure ([`LayeredGraph`]).
@@ -30,6 +32,7 @@ pub mod graph;
 pub mod heap;
 pub mod index;
 pub mod level;
+pub mod pool;
 pub mod search;
 pub mod select;
 pub mod stats;
@@ -40,6 +43,7 @@ pub use graph::LayeredGraph;
 pub use heap::Neighbor;
 pub use index::{HnswIndex, HnswParams};
 pub use level::LevelSampler;
+pub use pool::{run_sharded, PooledScratch, ScratchPool, ShardedRun};
 pub use search::SearchScratch;
 pub use stats::SearchStats;
 pub use vecs::{Metric, VectorStore};

@@ -14,7 +14,9 @@ use crate::visited::VisitedSet;
 /// Reusable per-thread scratch space for graph searches.
 ///
 /// Allocating a visited set per query would dominate small-query latency;
-/// create one scratch per worker thread and pass it to every search call.
+/// create one scratch per worker thread (or check one out of a
+/// [`ScratchPool`](crate::pool::ScratchPool)) and pass it to every search
+/// call.
 #[derive(Debug, Clone, Default)]
 pub struct SearchScratch {
     /// Visited-node stamps.
@@ -23,20 +25,44 @@ pub struct SearchScratch {
     pub candidates: MinHeap,
     /// Secondary buffer for neighbor-list expansion (used by ACORN lookups).
     pub expansion: Vec<u32>,
+    /// Expanded-node log (used by Vamana-style searches, which re-rank every
+    /// node the beam expanded).
+    pub frontier: Vec<Neighbor>,
 }
 
 impl SearchScratch {
     /// Scratch sized for a graph of `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { visited: VisitedSet::new(n), candidates: MinHeap::new(), expansion: Vec::new() }
+        Self {
+            visited: VisitedSet::new(n),
+            candidates: MinHeap::new(),
+            expansion: Vec::new(),
+            frontier: Vec::new(),
+        }
     }
 
-    /// Ensure capacity for `n` nodes and reset per-query state.
-    pub fn begin(&mut self, n: usize) {
+    /// Prepare this scratch for a query over a graph of `n` nodes: grow the
+    /// visited set if the index has grown since the scratch was created, and
+    /// clear all per-query state while keeping the allocations.
+    ///
+    /// This is the reuse API behind [`ScratchPool`](crate::pool::ScratchPool):
+    /// a pooled scratch sized for an older, smaller index is rehabilitated
+    /// here rather than reallocated.
+    pub fn reset_for(&mut self, n: usize) {
         self.visited.grow(n);
         self.visited.reset();
         self.candidates.clear();
         self.expansion.clear();
+        self.frontier.clear();
+    }
+
+    /// Ensure capacity for `n` nodes and reset per-query state: the name
+    /// the search routines call at query start. Alias of
+    /// [`reset_for`](Self::reset_for) (which pools call at checkout); the
+    /// double reset when a pooled scratch enters a search is an O(1) epoch
+    /// bump, not a wipe.
+    pub fn begin(&mut self, n: usize) {
+        self.reset_for(n);
     }
 }
 

@@ -88,10 +88,22 @@ pub fn neg_cosine(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Dense row-major storage for `n` vectors of fixed dimension.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct VectorStore {
     dim: usize,
     data: Vec<f32>,
+}
+
+/// An empty store of dimension 1.
+///
+/// A derived `Default` would set `dim = 0`, violating the `dim > 0`
+/// invariant every constructor asserts and making [`VectorStore::len`]
+/// divide by zero; the manual impl keeps `Default` usable (e.g. inside
+/// other `#[derive(Default)]` types) without a panicking landmine.
+impl Default for VectorStore {
+    fn default() -> Self {
+        Self { dim: 1, data: Vec::new() }
+    }
 }
 
 impl VectorStore {
@@ -261,6 +273,19 @@ mod tests {
     fn push_wrong_dim_panics() {
         let mut s = VectorStore::new(3);
         s.push(&[1.0]);
+    }
+
+    #[test]
+    fn default_store_upholds_dim_invariant() {
+        // Regression: the derived Default had dim = 0, so len() divided by
+        // zero the moment anyone touched a defaulted store.
+        let mut s = VectorStore::default();
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.dim(), 1);
+        s.push(&[2.5]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0), &[2.5]);
     }
 
     #[test]

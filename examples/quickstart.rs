@@ -63,4 +63,21 @@ fn main() {
     let (_, stats) =
         acorn_gamma.hybrid_search(&query, &selective, &dataset.attrs, 10, 64, &mut scratch);
     println!("\ncompound predicate routed via fallback = {}", stats.fallback);
+
+    // 5. Serving at scale: the QueryEngine shards a query batch across
+    //    worker threads, reusing pooled scratch space, with output order
+    //    (and results) identical to a sequential loop.
+    let queries: Vec<Vec<f32>> = (0..64u32).map(|i| dataset.vectors.get(i * 7).to_vec()).collect();
+    let batch: Vec<(&[f32], &Predicate)> =
+        queries.iter().map(|q| (q.as_slice(), &predicate)).collect();
+    let engine = QueryEngine::new(&acorn_gamma).with_threads(0); // 0 = all cores
+    let out = engine.hybrid_search_batch(&batch, &dataset.attrs, 10, 64);
+    println!(
+        "\nbatch of {} hybrid queries: {:.0} QPS, {} total distance computations, {:.1?} wall",
+        batch.len(),
+        out.qps,
+        out.stats.ndis,
+        out.elapsed
+    );
+    assert_eq!(out.results.len(), batch.len());
 }

@@ -8,7 +8,9 @@
 //!
 //! This facade crate re-exports the full workspace:
 //!
-//! * [`core`] — the ACORN-γ and ACORN-1 indices (the paper's contribution).
+//! * [`core`] — the ACORN-γ and ACORN-1 indices (the paper's contribution),
+//!   plus the [`QueryEngine`](core::engine::QueryEngine) batch-serving layer
+//!   (concurrent, scratch-pooled query execution).
 //! * [`hnsw`] — the HNSW substrate (vector store, layered graph, Algorithm 1).
 //! * [`predicate`] — attributes, predicates (`equals`/`between`/`contains`/
 //!   regex), filters, and selectivity estimation.
@@ -42,6 +44,14 @@
 //!     assert_eq!(dataset.attrs.int(field, h.id), 7);
 //! }
 //! assert!(stats.ndis > 0);
+//!
+//! // 4. Batch serving: shard a query batch across worker threads with
+//! //    pooled scratch space and deterministic output ordering.
+//! let engine = QueryEngine::new(&index).with_threads(2);
+//! let batch: Vec<(&[f32], &Predicate)> =
+//!     (0..4).map(|i| (dataset.vectors.get(i), &predicate)).collect();
+//! let out = engine.hybrid_search_batch(&batch, &dataset.attrs, 10, 64);
+//! assert_eq!(out.results.len(), 4);
 //! ```
 
 pub use acorn_baselines as baselines;
@@ -53,9 +63,12 @@ pub use acorn_predicate as predicate;
 
 /// The most commonly used types, importable in one line.
 pub mod prelude {
-    pub use acorn_core::{AcornIndex, AcornParams, AcornVariant, PruneStrategy};
+    pub use acorn_core::{
+        AcornIndex, AcornParams, AcornVariant, BatchOutput, PruneStrategy, QueryEngine,
+    };
     pub use acorn_hnsw::{
-        HnswIndex, HnswParams, Metric, Neighbor, SearchScratch, SearchStats, VectorStore,
+        HnswIndex, HnswParams, Metric, Neighbor, ScratchPool, SearchScratch, SearchStats,
+        VectorStore,
     };
     pub use acorn_predicate::{
         AllPass, AttrStore, BitmapFilter, Bitset, NodeFilter, Predicate, PredicateFilter, Regex,

@@ -127,6 +127,71 @@ fn results_always_pass_predicate_even_under_bad_estimates() {
 }
 
 #[test]
+fn hybrid_fallback_is_equivalent_to_explicit_prefilter_scan() {
+    // §5.2: when a query routes below s_min, hybrid_search must answer with
+    // exactly the pre-filter scan — same ids, same distances, exact results.
+    let ds = sift_like(3000, 21);
+    let field = ds.attrs.field("label").unwrap();
+    // s_min raised to 0.5 so the ≈ 1/12-selectivity equality predicate
+    // routes to the fallback deterministically (no estimator borderline).
+    let params = AcornParams { s_min_override: Some(0.5), ..paper_params() };
+    let idx = AcornIndex::build(ds.vectors.clone(), params, AcornVariant::Gamma);
+    let mut scratch = SearchScratch::new(ds.len());
+
+    let pred = Predicate::Equals { field, value: 3 };
+    let filter = PredicateFilter::new(&ds.attrs, &pred);
+
+    for qi in [0u32, 100, 2000] {
+        let q = ds.vectors.get(qi).to_vec();
+        let (hybrid, stats) = idx.hybrid_search(&q, &pred, &ds.attrs, 10, 64, &mut scratch);
+        assert!(stats.fallback, "predicate must route to the fallback");
+
+        let mut scan_stats = SearchStats::default();
+        let scan = idx.prefilter_scan(&q, &filter, 10, &mut scan_stats);
+        let h: Vec<(u32, f32)> = hybrid.iter().map(|n| (n.id, n.dist)).collect();
+        let s: Vec<(u32, f32)> = scan.iter().map(|n| (n.id, n.dist)).collect();
+        assert_eq!(h, s, "fallback answer must equal an explicit prefilter_scan");
+
+        // And both must agree with brute force (the fallback is exact).
+        let mut truth: Vec<(f32, u32)> = (0..ds.len() as u32)
+            .filter(|&i| ds.attrs.int(field, i) == 3)
+            .map(|i| (Metric::L2.distance(ds.vectors.get(i), &q), i))
+            .collect();
+        truth.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let want: Vec<u32> = truth.iter().take(10).map(|&(_, i)| i).collect();
+        assert_eq!(hybrid.iter().map(|n| n.id).collect::<Vec<_>>(), want);
+    }
+}
+
+#[test]
+fn query_engine_batch_matches_per_query_calls_end_to_end() {
+    let ds = sift_like(2500, 23);
+    let w = equality_workload(&ds, 12, 24);
+    let idx = AcornIndex::build(ds.vectors.clone(), paper_params(), AcornVariant::Gamma);
+
+    let mut scratch = SearchScratch::new(ds.len());
+    let sequential: Vec<Vec<u32>> = w
+        .queries
+        .iter()
+        .map(|q| {
+            let (hits, _) =
+                idx.hybrid_search(&q.vector, &q.predicate, &ds.attrs, 10, 64, &mut scratch);
+            hits.iter().map(|n| n.id).collect()
+        })
+        .collect();
+
+    let batch: Vec<(&[f32], &Predicate)> =
+        w.queries.iter().map(|q| (q.vector.as_slice(), &q.predicate)).collect();
+    for threads in [1, 2, 4] {
+        let engine = QueryEngine::new(&idx).with_threads(threads);
+        let out = engine.hybrid_search_batch(&batch, &ds.attrs, 10, 64);
+        let got: Vec<Vec<u32>> =
+            out.results.iter().map(|r| r.iter().map(|n| n.id).collect()).collect();
+        assert_eq!(got, sequential, "engine batch diverged at {threads} threads");
+    }
+}
+
+#[test]
 fn empty_predicate_result_returns_empty_not_panic() {
     let ds = sift_like(1000, 13);
     let field = ds.attrs.field("label").unwrap();

@@ -1,0 +1,123 @@
+//! Property tests for the [`QueryEngine`] batch layer: whatever the thread
+//! count, batched execution must be indistinguishable from a sequential
+//! loop over the same index.
+
+use std::sync::Arc;
+
+use acorn::prelude::*;
+use proptest::prelude::*;
+
+fn store(n: usize, dim: usize, seed: u64) -> Arc<VectorStore> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = VectorStore::with_capacity(dim, n);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        s.push(&v);
+    }
+    Arc::new(s)
+}
+
+fn query_set(nq: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    (0..nq).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `search_batch` over 1, 2, and 4 threads returns results bit-identical
+    /// (ids *and* distances) to a sequential loop over `search_filtered`.
+    #[test]
+    fn search_batch_matches_sequential_for_any_thread_count(
+        n in 60usize..300,
+        nq in 1usize..24,
+        k in 1usize..12,
+        efs in 4usize..48,
+        seed in 0u64..300,
+    ) {
+        let vecs = store(n, 6, seed);
+        let params = AcornParams {
+            m: 8, gamma: 3, m_beta: 8, ef_construction: 24, seed,
+            ..Default::default()
+        };
+        let idx = AcornIndex::build(vecs, params, AcornVariant::Gamma);
+        let qs = query_set(nq, 6, seed);
+
+        let mut scratch = SearchScratch::new(n);
+        let sequential: Vec<Vec<(u32, f32)>> = qs
+            .iter()
+            .map(|q| {
+                let mut stats = SearchStats::default();
+                idx.search_filtered(q, &AllPass, k, efs, &mut scratch, &mut stats)
+                    .iter()
+                    .map(|nb| (nb.id, nb.dist))
+                    .collect()
+            })
+            .collect();
+
+        for threads in [1usize, 2, 4] {
+            let engine = QueryEngine::new(&idx).with_threads(threads);
+            let out = engine.search_batch(&qs, k, efs);
+            prop_assert_eq!(out.results.len(), nq);
+            let got: Vec<Vec<(u32, f32)>> = out
+                .results
+                .iter()
+                .map(|r| r.iter().map(|nb| (nb.id, nb.dist)).collect())
+                .collect();
+            prop_assert_eq!(
+                &got, &sequential,
+                "batch results diverged from the sequential loop at {} threads", threads
+            );
+        }
+    }
+
+    /// The hybrid batch path (cost-model routing included) is also
+    /// thread-count invariant, and its aggregated stats match a sequential
+    /// accumulation.
+    #[test]
+    fn hybrid_batch_is_thread_count_invariant(
+        n in 80usize..300,
+        nq in 1usize..12,
+        seed in 0u64..200,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let vecs = store(n, 6, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xACE);
+        let labels: Vec<i64> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+        let attrs = AttrStore::builder().add_int("label", labels).build();
+        let field = attrs.field("label").unwrap();
+        let params = AcornParams {
+            m: 8, gamma: 4, m_beta: 8, ef_construction: 24, seed,
+            ..Default::default()
+        };
+        let idx = AcornIndex::build(vecs, params, AcornVariant::Gamma);
+
+        let qs = query_set(nq, 6, seed);
+        let preds: Vec<Predicate> = (0..nq)
+            .map(|i| Predicate::Equals { field, value: (i % 4) as i64 })
+            .collect();
+        let batch: Vec<(&[f32], &Predicate)> =
+            qs.iter().zip(&preds).map(|(q, p)| (q.as_slice(), p)).collect();
+
+        let reference = QueryEngine::new(&idx)
+            .with_threads(1)
+            .hybrid_search_batch(&batch, &attrs, 5, 24);
+        for threads in [2usize, 4] {
+            let engine = QueryEngine::new(&idx).with_threads(threads);
+            let out = engine.hybrid_search_batch(&batch, &attrs, 5, 24);
+            let a: Vec<Vec<u32>> = reference
+                .results.iter().map(|r| r.iter().map(|nb| nb.id).collect()).collect();
+            let b: Vec<Vec<u32>> =
+                out.results.iter().map(|r| r.iter().map(|nb| nb.id).collect()).collect();
+            prop_assert_eq!(a, b, "hybrid batch diverged at {} threads", threads);
+            prop_assert_eq!(out.stats.ndis, reference.stats.ndis,
+                "aggregated ndis must not depend on sharding");
+            prop_assert_eq!(out.stats.npred, reference.stats.npred);
+        }
+    }
+}
