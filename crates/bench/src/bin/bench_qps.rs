@@ -3,14 +3,20 @@
 //! Measures hybrid-search QPS and recall@10 through the
 //! [`QueryEngine`](acorn_core::engine::QueryEngine) batch layer on a
 //! TripClick-like dataset with date-range predicates at three selectivity
-//! bands, at 1, 2, and 4 worker threads. The lowest band sits below
-//! `s_min = 1/γ`, so it exercises the pre-filter fallback path; the others
-//! exercise predicate-subgraph traversal.
+//! bands, at 1, 2, and 4 worker threads, over **both graph layouts**: the
+//! nested build-time `LayeredGraph` and the frozen CSR form produced by
+//! `AcornIndex::compact()`. The lowest band sits below `s_min = 1/γ`, so it
+//! exercises the pre-filter fallback path; the others exercise
+//! predicate-subgraph traversal. Results are asserted identical across
+//! layouts before QPS is reported.
 //!
 //! Emits `BENCH_hybrid.json` at the repository root (machine-readable
-//! perf-trajectory datapoint) and an aligned table on stdout. Scaled by the
-//! usual `ACORN_BENCH_N` / `ACORN_BENCH_NQ` / `ACORN_BENCH_REPEATS`
-//! environment variables.
+//! perf-trajectory datapoint; `qps` is the CSR serving number, `qps_nested`
+//! the baseline) and an aligned table on stdout. Scaled by the usual
+//! `ACORN_BENCH_N` / `ACORN_BENCH_NQ` / `ACORN_BENCH_REPEATS` environment
+//! variables. Setting `ACORN_BENCH_MIN_CSR_RATIO` (e.g. `0.9` in CI) makes
+//! the binary exit non-zero if the average CSR/nested QPS ratio falls below
+//! it.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -24,10 +30,11 @@ use acorn_eval::{workload_recall, Table};
 use acorn_hnsw::Metric;
 use acorn_predicate::Predicate;
 
-/// One measured (band × thread-count) cell.
+/// One measured (band × thread-count) cell, covering both layouts.
 struct Cell {
     threads: usize,
-    qps: f64,
+    qps_nested: f64,
+    qps_csr: f64,
     recall: f64,
     avg_ndis: f64,
     avg_npred: f64,
@@ -55,12 +62,34 @@ fn main() {
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
-    let idx = AcornIndex::build(ds.vectors.clone(), params, AcornVariant::Gamma);
+    let nested_idx = AcornIndex::build(ds.vectors.clone(), params, AcornVariant::Gamma);
     println!("ACORN-gamma built over n = {n} in {:.1?}", t0.elapsed());
 
+    let t0 = std::time::Instant::now();
+    let mut csr_idx = nested_idx.clone();
+    let csr_bytes = csr_idx.compact().memory_bytes();
+    let nested_bytes = nested_idx.memory_bytes();
+    println!(
+        "compacted to CSR in {:.1?}: {:.1} MB nested -> {:.1} MB CSR ({:.2}x smaller)",
+        t0.elapsed(),
+        nested_bytes as f64 / (1024.0 * 1024.0),
+        csr_bytes as f64 / (1024.0 * 1024.0),
+        nested_bytes as f64 / csr_bytes as f64
+    );
+
     let mut table = Table::new(
-        "QueryEngine hybrid batch QPS (k = 10)",
-        &["band", "avg_sel", "threads", "QPS", "recall@10", "avg_ndis", "avg_npred"],
+        "QueryEngine hybrid batch QPS (k = 10), nested vs CSR layout",
+        &[
+            "band",
+            "avg_sel",
+            "threads",
+            "QPS nested",
+            "QPS csr",
+            "csr/nested",
+            "recall@10",
+            "avg_ndis",
+            "avg_npred",
+        ],
     );
     let mut bands_json = Vec::new();
 
@@ -71,33 +100,48 @@ fn main() {
             w.queries.iter().map(|q| (q.vector.as_slice(), &q.predicate)).collect();
         let avg_sel = w.avg_selectivity();
 
-        // One single-pass warm-up per band: engines share the index's
-        // scratch pool, so this fills it for every thread count below and
-        // faults pages in; the measured passes reflect steady-state serving.
+        // One single-pass warm-up per band and index: engines share each
+        // index's scratch pool, so this fills it for every thread count
+        // below and faults pages in; the measured passes reflect
+        // steady-state serving.
         let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
-        let _ = QueryEngine::new(&idx)
-            .with_threads(max_threads)
-            .hybrid_search_batch(&batch, &ds.attrs, k, efs);
+        for idx in [&nested_idx, &csr_idx] {
+            let _ = QueryEngine::new(idx)
+                .with_threads(max_threads)
+                .hybrid_search_batch(&batch, &ds.attrs, k, efs);
+        }
 
         let mut cells = Vec::new();
         for &threads in &thread_counts {
-            let engine = QueryEngine::new(&idx).with_threads(threads).with_repeats(repeats);
-            let out = engine.hybrid_search_batch(&batch, &ds.attrs, k, efs);
+            let nested_out = QueryEngine::new(&nested_idx)
+                .with_threads(threads)
+                .with_repeats(repeats)
+                .hybrid_search_batch(&batch, &ds.attrs, k, efs);
+            let csr_out = QueryEngine::new(&csr_idx)
+                .with_threads(threads)
+                .with_repeats(repeats)
+                .hybrid_search_batch(&batch, &ds.attrs, k, efs);
             let ids: Vec<Vec<u32>> =
-                out.results.iter().map(|r| r.iter().map(|x| x.id).collect()).collect();
+                csr_out.results.iter().map(|r| r.iter().map(|x| x.id).collect()).collect();
+            let nested_ids: Vec<Vec<u32>> =
+                nested_out.results.iter().map(|r| r.iter().map(|x| x.id).collect()).collect();
+            assert_eq!(ids, nested_ids, "CSR and nested layouts must answer identically");
             let denom = nq.max(1) as f64;
             let cell = Cell {
                 threads,
-                qps: out.qps,
+                qps_nested: nested_out.qps,
+                qps_csr: csr_out.qps,
                 recall: workload_recall(&ids, &truth, k),
-                avg_ndis: out.stats.ndis as f64 / denom,
-                avg_npred: out.stats.npred as f64 / denom,
+                avg_ndis: csr_out.stats.ndis as f64 / denom,
+                avg_npred: csr_out.stats.npred as f64 / denom,
             };
             table.row(vec![
                 format!("{target:.2}"),
                 format!("{avg_sel:.3}"),
                 cell.threads.to_string(),
-                format!("{:.0}", cell.qps),
+                format!("{:.0}", cell.qps_nested),
+                format!("{:.0}", cell.qps_csr),
+                format!("{:.2}", cell.qps_csr / cell.qps_nested),
                 format!("{:.4}", cell.recall),
                 format!("{:.1}", cell.avg_ndis),
                 format!("{:.1}", cell.avg_npred),
@@ -109,29 +153,60 @@ fn main() {
 
     println!("\n{}", table.render());
 
-    // Speedup of the best multi-thread configuration over single-thread,
-    // averaged across bands (the perf-trajectory headline number).
+    // Speedup of the best multi-thread configuration over single-thread on
+    // the serving (CSR) layout, averaged across bands.
     let mut speedups = Vec::new();
+    let mut csr_ratios = Vec::new();
     for (_, _, cells) in &bands_json {
-        let single = cells.iter().find(|c| c.threads == 1).map(|c| c.qps).unwrap_or(0.0);
-        let multi = cells.iter().filter(|c| c.threads > 1).map(|c| c.qps).fold(0.0f64, f64::max);
+        let single = cells.iter().find(|c| c.threads == 1).map(|c| c.qps_csr).unwrap_or(0.0);
+        let multi =
+            cells.iter().filter(|c| c.threads > 1).map(|c| c.qps_csr).fold(0.0f64, f64::max);
         if single > 0.0 {
             speedups.push(multi / single);
         }
+        for c in cells {
+            if c.qps_nested > 0.0 {
+                csr_ratios.push(c.qps_csr / c.qps_nested);
+            }
+        }
     }
-    let avg_speedup = if speedups.is_empty() {
-        0.0
-    } else {
-        speedups.iter().sum::<f64>() / speedups.len() as f64
-    };
+    let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let avg_speedup = avg(&speedups);
+    let csr_over_nested = avg(&csr_ratios);
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     println!("\nbest multi-thread speedup over 1 thread (avg across bands): {avg_speedup:.2}x");
+    println!("CSR over nested QPS (avg across bands x threads): {csr_over_nested:.2}x");
     println!("available cores: {cores}");
 
-    let json = render_json(n, nq, k, efs, repeats, cores, avg_speedup, &bands_json);
+    let json = render_json(
+        n,
+        nq,
+        k,
+        efs,
+        repeats,
+        cores,
+        avg_speedup,
+        csr_over_nested,
+        nested_bytes,
+        csr_bytes,
+        &bands_json,
+    );
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hybrid.json");
     std::fs::write(&path, json).expect("cannot write BENCH_hybrid.json");
     println!("wrote {}", path.display());
+
+    // CI guard: the compacted read path must not regress below the given
+    // fraction of nested throughput (generous slack for runner noise).
+    if let Ok(min) = std::env::var("ACORN_BENCH_MIN_CSR_RATIO") {
+        let min: f64 = min.parse().expect("ACORN_BENCH_MIN_CSR_RATIO must be a float");
+        if csr_over_nested < min {
+            eprintln!(
+                "FAIL: CSR/nested QPS ratio {csr_over_nested:.3} is below the required {min:.3}"
+            );
+            std::process::exit(1);
+        }
+        println!("CSR ratio guard passed: {csr_over_nested:.3} >= {min:.3}");
+    }
 }
 
 /// Hand-rolled JSON (the workspace deliberately has no serde dependency).
@@ -144,6 +219,9 @@ fn render_json(
     repeats: usize,
     cores: usize,
     avg_speedup: f64,
+    csr_over_nested: f64,
+    nested_bytes: usize,
+    csr_bytes: usize,
     bands: &[(f64, f64, Vec<Cell>)],
 ) -> String {
     let mut s = String::new();
@@ -156,6 +234,10 @@ fn render_json(
         "  \"n\": {n}, \"nq\": {nq}, \"k\": {k}, \"efs\": {efs}, \"repeats\": {repeats},"
     );
     let _ = writeln!(s, "  \"available_cores\": {cores},");
+    let _ = writeln!(s, "  \"graph_layouts\": [\"nested\", \"csr\"],");
+    let _ = writeln!(s, "  \"index_bytes_nested\": {nested_bytes},");
+    let _ = writeln!(s, "  \"index_bytes_csr\": {csr_bytes},");
+    let _ = writeln!(s, "  \"csr_over_nested_qps_avg\": {csr_over_nested:.3},");
     let _ = writeln!(s, "  \"multi_thread_speedup_avg\": {avg_speedup:.3},");
     let _ = writeln!(s, "  \"bands\": [");
     for (bi, (target, avg_sel, cells)) in bands.iter().enumerate() {
@@ -166,9 +248,16 @@ fn render_json(
         for (ci, c) in cells.iter().enumerate() {
             let _ = write!(
                 s,
-                "        {{\"threads\": {}, \"qps\": {:.1}, \"recall_at_10\": {:.4}, \
+                "        {{\"threads\": {}, \"graph_layout\": \"csr\", \"qps\": {:.1}, \
+                 \"qps_nested\": {:.1}, \"csr_over_nested\": {:.3}, \"recall_at_10\": {:.4}, \
                  \"avg_ndis\": {:.1}, \"avg_npred\": {:.1}}}",
-                c.threads, c.qps, c.recall, c.avg_ndis, c.avg_npred
+                c.threads,
+                c.qps_csr,
+                c.qps_nested,
+                c.qps_csr / c.qps_nested,
+                c.recall,
+                c.avg_ndis,
+                c.avg_npred
             );
             let _ = writeln!(s, "{}", if ci + 1 < cells.len() { "," } else { "" });
         }

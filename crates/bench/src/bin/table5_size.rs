@@ -4,6 +4,11 @@
 //! in MB, mirroring Table 5's methods. Paper's finding: ACORN-γ is at most
 //! ~1.3× HNSW and smaller than StitchedVamana; ACORN-1 sits between HNSW
 //! and ACORN-γ; the flat index is the floor.
+//!
+//! The extra "ACORN-gamma CSR" column reports the same ACORN-γ graph after
+//! `compact()`: one flat offsets/targets arena per level instead of nested
+//! `Vec`s, which removes the per-list headers and allocator slack that
+//! inflate the build-time layout.
 
 use acorn_baselines::stitched_vamana::StitchedParams;
 use acorn_baselines::vamana::VamanaParams;
@@ -25,7 +30,9 @@ fn run(ds: &HybridDataset, t: &mut Table) {
     let hnsw_params = HnswParams { m: 32, ef_construction: 40, ..Default::default() };
 
     eprintln!("[{}] building indices...", ds.name);
-    let acorn_g = AcornIndex::build(ds.vectors.clone(), acorn_params.clone(), AcornVariant::Gamma);
+    let mut acorn_g =
+        AcornIndex::build(ds.vectors.clone(), acorn_params.clone(), AcornVariant::Gamma);
+    let acorn_g_csr_bytes = acorn_g.compact().memory_bytes();
     let acorn_1 = AcornIndex::build(ds.vectors.clone(), acorn_params, AcornVariant::One);
     let hnsw = HnswIndex::build(ds.vectors.clone(), hnsw_params);
 
@@ -49,6 +56,7 @@ fn run(ds: &HybridDataset, t: &mut Table) {
     t.row(vec![
         ds.name.clone(),
         mb(vec_bytes + acorn_g.memory_bytes()),
+        mb(vec_bytes + acorn_g_csr_bytes),
         mb(vec_bytes + acorn_1.memory_bytes()),
         mb(vec_bytes + hnsw.graph().memory_bytes()),
         mb(vec_bytes),
@@ -62,7 +70,16 @@ fn main() {
     println!("Table 5 (index size MB, vectors + index) — n = {n}\n");
     let mut t = Table::new(
         "Table 5: Index Size (MB)",
-        &["dataset", "ACORN-gamma", "ACORN-1", "HNSW", "Flat", "FilteredVamana", "StitchedVamana"],
+        &[
+            "dataset",
+            "ACORN-gamma",
+            "ACORN-gamma CSR",
+            "ACORN-1",
+            "HNSW",
+            "Flat",
+            "FilteredVamana",
+            "StitchedVamana",
+        ],
     );
     run(&sift_like(n, 1), &mut t);
     run(&paper_like(n, 2), &mut t);

@@ -5,7 +5,8 @@ use std::sync::Arc;
 
 use acorn_hnsw::heap::Neighbor;
 use acorn_hnsw::{
-    LayeredGraph, LevelSampler, ScratchPool, SearchScratch, SearchStats, VectorStore,
+    CsrGraph, GraphView, LayeredGraph, LevelSampler, ScratchPool, SearchScratch, SearchStats,
+    VectorStore,
 };
 use acorn_predicate::{estimate_selectivity, AttrStore, NodeFilter, Predicate, PredicateFilter};
 
@@ -23,6 +24,10 @@ pub struct AcornIndex {
     variant: AcornVariant,
     vecs: Arc<VectorStore>,
     graph: LayeredGraph,
+    /// Frozen CSR snapshot of `graph`, preferred by the read path when
+    /// present. Built by [`compact`](Self::compact); invalidated by
+    /// [`insert`](Self::insert).
+    csr: Option<CsrGraph>,
     sampler: LevelSampler,
     scratch: SearchScratch,
     /// Pool of query scratches backing [`search`](Self::search) and external
@@ -74,6 +79,7 @@ impl AcornIndex {
             scratch: SearchScratch::new(n),
             pool: ScratchPool::new(),
             graph: LayeredGraph::with_capacity(n),
+            csr: None,
             vecs,
             params,
             variant,
@@ -126,6 +132,7 @@ impl AcornIndex {
             scratch: SearchScratch::new(n),
             pool: ScratchPool::new(),
             graph,
+            csr: None,
             vecs,
             params,
             variant,
@@ -157,6 +164,26 @@ impl AcornIndex {
     /// The underlying layered graph (graph-quality analyses, Figure 13).
     pub fn graph(&self) -> &LayeredGraph {
         &self.graph
+    }
+
+    /// Freeze the graph into its flat CSR form and cache it; all subsequent
+    /// searches ([`search`](Self::search), [`search_filtered`](Self::search_filtered),
+    /// [`hybrid_search`](Self::hybrid_search), and every
+    /// [`QueryEngine`](crate::engine::QueryEngine) batch over this index)
+    /// serve from the compacted layout. Idempotent until the next
+    /// [`insert`](Self::insert), which invalidates the cache. Results are
+    /// bit-identical across layouts.
+    pub fn compact(&mut self) -> &CsrGraph {
+        if self.csr.is_none() {
+            self.csr = Some(self.graph.freeze());
+        }
+        self.csr.as_ref().expect("just populated")
+    }
+
+    /// The cached CSR snapshot, if [`compact`](Self::compact) has been
+    /// called since the last insert.
+    pub fn csr(&self) -> Option<&CsrGraph> {
+        self.csr.as_ref()
     }
 
     /// The shared vector store.
@@ -195,6 +222,7 @@ impl AcornIndex {
         assert_eq!(id as usize, self.graph.len(), "ids must be inserted sequentially");
         assert!((id as usize) < self.vecs.len(), "id not present in vector store");
 
+        self.csr = None; // mutation invalidates the frozen snapshot
         let level = self.sampler.sample();
         let prev_entry = self.graph.entry_point();
         let prev_max = self.graph.max_level();
@@ -204,7 +232,12 @@ impl AcornIndex {
             return;
         };
 
-        let q = self.vecs.get(new_id).to_vec();
+        // Borrow the query row through a local Arc handle instead of copying
+        // it: `q` then borrows from `vecs`, not `self`, so the `&mut self`
+        // calls below coexist with it without a per-insert heap allocation
+        // of `dim` floats on the build hot path.
+        let vecs = Arc::clone(&self.vecs);
+        let q = vecs.get(new_id);
         let metric = self.params.metric;
         let budget = self.params.edge_budget();
         let mut stats = SearchStats::default();
@@ -212,13 +245,13 @@ impl AcornIndex {
 
         // Phase 1 (§2.1): greedy descent with ef = 1 down to level l + 1,
         // using the metadata-agnostic truncated lookup.
-        let mut entries = vec![Neighbor::new(self.vecs.distance_to(metric, entry, &q), entry)];
+        let mut entries = vec![Neighbor::new(vecs.distance_to(metric, entry, q), entry)];
         for lev in ((level + 1)..=prev_max).rev() {
             let found = acorn_search_layer(
-                &self.vecs,
+                &vecs,
                 &self.graph,
                 metric,
-                &q,
+                q,
                 &acorn_predicate::AllPass,
                 &entries,
                 1,
@@ -238,10 +271,10 @@ impl AcornIndex {
         let ef = self.params.ef_construction.max(budget);
         for lev in (0..=level.min(prev_max)).rev() {
             let candidates = acorn_search_layer(
-                &self.vecs,
+                &vecs,
                 &self.graph,
                 metric,
-                &q,
+                q,
                 &acorn_predicate::AllPass,
                 &entries,
                 ef,
@@ -365,10 +398,28 @@ impl AcornIndex {
         scratch: &mut SearchScratch,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
-        let Some(entry) = self.graph.entry_point() else {
+        match &self.csr {
+            Some(csr) => self.search_filtered_on(csr, query, filter, k, efs, scratch, stats),
+            None => self.search_filtered_on(&self.graph, query, filter, k, efs, scratch, stats),
+        }
+    }
+
+    /// Algorithm 2 over any [`GraphView`] layout (nested or CSR).
+    #[allow(clippy::too_many_arguments)]
+    fn search_filtered_on<G: GraphView, F: NodeFilter>(
+        &self,
+        graph: &G,
+        query: &[f32],
+        filter: &F,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let Some(entry) = graph.entry_point() else {
             return Vec::new();
         };
-        scratch.begin(self.graph.len());
+        scratch.begin(graph.len());
         let metric = self.params.metric;
         let mode = self.lookup_mode();
         let m = self.params.m;
@@ -377,20 +428,9 @@ impl AcornIndex {
         stats.ndis += 1;
 
         // Stage 1 + upper predicate-subgraph traversal: ef = 1 per level.
-        for lev in (1..=self.graph.max_level()).rev() {
+        for lev in (1..=graph.max_level()).rev() {
             let found = acorn_search_layer(
-                &self.vecs,
-                &self.graph,
-                metric,
-                query,
-                filter,
-                &entries,
-                1,
-                lev,
-                m,
-                mode,
-                scratch,
-                stats,
+                &self.vecs, graph, metric, query, filter, &entries, 1, lev, m, mode, scratch, stats,
             );
             if !found.is_empty() {
                 entries = found;
@@ -401,18 +441,7 @@ impl AcornIndex {
         // Bottom level with the full beam.
         let ef = efs.max(k);
         let mut found = acorn_search_layer(
-            &self.vecs,
-            &self.graph,
-            metric,
-            query,
-            filter,
-            &entries,
-            ef,
-            0,
-            m,
-            mode,
-            scratch,
-            stats,
+            &self.vecs, graph, metric, query, filter, &entries, ef, 0, m, mode, scratch, stats,
         );
         found.truncate(k);
         found
@@ -420,6 +449,11 @@ impl AcornIndex {
 
     /// Exact pre-filtered scan: the fallback for highly selective queries
     /// (§5.2) and the building block reused by tests.
+    ///
+    /// Enumeration goes through [`NodeFilter::for_each_passing`], so
+    /// bitmap-backed filters skip failing rows with a word-level scan
+    /// instead of evaluating all `n` ids (`stats.npred` records the
+    /// evaluations actually performed).
     pub fn prefilter_scan<F: NodeFilter>(
         &self,
         query: &[f32],
@@ -429,14 +463,14 @@ impl AcornIndex {
     ) -> Vec<Neighbor> {
         let metric = self.params.metric;
         let mut top = acorn_hnsw::heap::TopK::new(k.max(1));
-        for id in 0..self.graph.len() as u32 {
-            stats.npred += 1;
-            if filter.passes(id) {
-                let d = self.vecs.distance_to(metric, id, query);
-                stats.ndis += 1;
-                top.push(Neighbor::new(d, id));
-            }
-        }
+        let mut ndis = 0u64;
+        let evals = filter.for_each_passing(self.graph.len(), &mut |id| {
+            let d = self.vecs.distance_to(metric, id, query);
+            ndis += 1;
+            top.push(Neighbor::new(d, id));
+        });
+        stats.npred += evals;
+        stats.ndis += ndis;
         stats.fallback = true;
         top.into_sorted()
     }

@@ -47,4 +47,4 @@ pub use index::AcornIndex;
 pub use params::{AcornParams, AcornVariant};
 pub use prune::PruneStrategy;
 
-pub use acorn_hnsw::{Neighbor, ScratchPool, SearchScratch, SearchStats};
+pub use acorn_hnsw::{CsrGraph, GraphView, Neighbor, ScratchPool, SearchScratch, SearchStats};

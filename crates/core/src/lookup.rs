@@ -21,15 +21,15 @@
 //! the search frontier from collapsing onto previously seen nodes.
 //! Predicate evaluations are counted into `SearchStats::npred`.
 
-use acorn_hnsw::{LayeredGraph, SearchStats, VisitedSet};
+use acorn_hnsw::{GraphView, SearchStats, VisitedSet};
 use acorn_predicate::NodeFilter;
 
 /// Simple predicate filter over the neighbor list (Figure 4a).
 ///
 /// Appends up to `m` unvisited passing neighbor ids to `out`.
 #[allow(clippy::too_many_arguments)]
-pub fn filtered<F: NodeFilter>(
-    graph: &LayeredGraph,
+pub fn filtered<G: GraphView, F: NodeFilter>(
+    graph: &G,
     v: u32,
     level: usize,
     filter: &F,
@@ -56,8 +56,8 @@ pub fn filtered<F: NodeFilter>(
 /// `m_beta` entries, then expansion of the remaining entries' one-hop
 /// neighborhoods before filtering.
 #[allow(clippy::too_many_arguments)]
-pub fn compressed<F: NodeFilter>(
-    graph: &LayeredGraph,
+pub fn compressed<G: GraphView, F: NodeFilter>(
+    graph: &G,
     v: u32,
     level: usize,
     filter: &F,
@@ -113,8 +113,8 @@ pub fn compressed<F: NodeFilter>(
 /// Full two-hop expansion (Figure 4c, ACORN-1): all one-hop and two-hop
 /// neighbors, filtered, truncated to `m`.
 #[allow(clippy::too_many_arguments)]
-pub fn two_hop<F: NodeFilter>(
-    graph: &LayeredGraph,
+pub fn two_hop<G: GraphView, F: NodeFilter>(
+    graph: &G,
     v: u32,
     level: usize,
     filter: &F,
@@ -155,6 +155,7 @@ pub fn two_hop<F: NodeFilter>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acorn_hnsw::LayeredGraph;
     use acorn_predicate::{AllPass, BitmapFilter, Bitset};
 
     /// Star graph: 0 -> 1..=6; 1 -> 7, 2 -> 8.

@@ -7,8 +7,8 @@
 //! predicate — stage 1 of the search (§6.3.2) expands it anyway, dropping
 //! through levels until the predicate subgraph is reached.
 
-use acorn_hnsw::heap::{MinHeap, Neighbor, TopK};
-use acorn_hnsw::{LayeredGraph, Metric, SearchScratch, SearchStats, VectorStore, VisitedSet};
+use acorn_hnsw::heap::{Neighbor, TopK};
+use acorn_hnsw::{GraphView, Metric, SearchScratch, SearchStats, VectorStore, VisitedSet};
 use acorn_predicate::NodeFilter;
 
 use crate::lookup;
@@ -34,8 +34,8 @@ pub enum LookupMode {
 
 /// Collect the (filtered, truncated) neighborhood of `v` according to `mode`.
 #[allow(clippy::too_many_arguments)]
-fn get_neighbors<F: NodeFilter>(
-    graph: &LayeredGraph,
+fn get_neighbors<G: GraphView, F: NodeFilter>(
+    graph: &G,
     v: u32,
     level: usize,
     filter: &F,
@@ -67,9 +67,9 @@ fn get_neighbors<F: NodeFilter>(
 /// is reachable (the caller then drops to the next level with its previous
 /// entry point, per stage 1 of §6.3.2).
 #[allow(clippy::too_many_arguments)]
-pub fn acorn_search_layer<F: NodeFilter>(
+pub fn acorn_search_layer<G: GraphView, F: NodeFilter>(
     vecs: &VectorStore,
-    graph: &LayeredGraph,
+    graph: &G,
     metric: Metric,
     query: &[f32],
     filter: &F,
@@ -82,12 +82,12 @@ pub fn acorn_search_layer<F: NodeFilter>(
     stats: &mut SearchStats,
 ) -> Vec<Neighbor> {
     debug_assert!(ef > 0);
-    let mut candidates = MinHeap::with_capacity(ef * 2);
+    scratch.candidates.clear();
     let mut results = TopK::new(ef);
 
     for &e in entries {
         if scratch.visited.insert(e.id) {
-            candidates.push(e);
+            scratch.candidates.push(e);
             stats.npred += 1;
             if filter.passes(e.id) {
                 results.push(e);
@@ -95,8 +95,7 @@ pub fn acorn_search_layer<F: NodeFilter>(
         }
     }
 
-    let mut hood: Vec<u32> = Vec::with_capacity(m);
-    while let Some(c) = candidates.pop() {
+    while let Some(c) = scratch.candidates.pop() {
         if results.is_full() {
             if let Some(worst) = results.worst() {
                 if c.dist > worst.dist {
@@ -105,20 +104,31 @@ pub fn acorn_search_layer<F: NodeFilter>(
             }
         }
         stats.nhops += 1;
-        get_neighbors(graph, c.id, level, filter, m, mode, &scratch.visited, &mut hood, stats);
-        for &v in &hood {
-            if !scratch.visited.insert(v) {
-                continue; // dedup within a single lookup's output
-            }
-            let d = vecs.distance_to(metric, v, query);
-            stats.ndis += 1;
+        get_neighbors(
+            graph,
+            c.id,
+            level,
+            filter,
+            m,
+            mode,
+            &scratch.visited,
+            &mut scratch.expansion,
+            stats,
+        );
+        // Dedup within the lookup's output, then compute the whole hood's
+        // distances in one batched, prefetched pass over the vector store.
+        let visited = &mut scratch.visited;
+        scratch.expansion.retain(|&v| visited.insert(v));
+        vecs.distances_batch(metric, query, &scratch.expansion, &mut scratch.dist_buf);
+        stats.ndis += scratch.expansion.len() as u64;
+        for (&v, &d) in scratch.expansion.iter().zip(&scratch.dist_buf) {
             let cand = Neighbor::new(d, v);
             let admit = match results.worst() {
                 Some(w) => d < w.dist || !results.is_full(),
                 None => true,
             };
             if admit {
-                candidates.push(cand);
+                scratch.candidates.push(cand);
                 // v passed the predicate inside the lookup, so it is a
                 // legitimate member of the result list.
                 results.push(cand);
@@ -132,6 +142,7 @@ pub fn acorn_search_layer<F: NodeFilter>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acorn_hnsw::LayeredGraph;
     use acorn_predicate::{AllPass, BitmapFilter, Bitset};
 
     /// A line of points 0..6 at x = 0..6, chained bidirectionally, level 0.

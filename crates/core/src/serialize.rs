@@ -10,8 +10,17 @@
 //! magic "ACRN" | version u32 | variant u8 | m u64 | gamma u64 | m_beta u64
 //! | efc u64 | metric u8 | seed u64 | s_min f64 (NaN = none) | n_c u64
 //! | flatten u8 | n u64 | per node: level u8, per level: len u32, ids [u32]
-//! | edges_pruned u64
+//! | edges_pruned u64 | compacted u8
 //! ```
+//!
+//! The trailing `compacted` flag records whether the index was serving from
+//! its frozen CSR layout when saved; [`AcornIndex::load`] re-freezes the
+//! graph (deterministic, so the reconstructed [`CsrGraph`] is identical)
+//! and the loaded index serves from CSR immediately. The adjacency itself
+//! is stored once, in nested form, so a compacted index costs one extra
+//! byte on disk, not a second copy of the graph.
+//!
+//! [`CsrGraph`]: acorn_hnsw::CsrGraph
 
 use std::io::{self, Read, Write};
 use std::sync::Arc;
@@ -23,7 +32,7 @@ use crate::params::{AcornParams, AcornVariant};
 use crate::prune::PruneStrategy;
 
 const MAGIC: &[u8; 4] = b"ACRN";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -107,6 +116,7 @@ impl AcornIndex {
             }
         }
         put_u64(w, self.edges_pruned())?;
+        w.write_all(&[self.csr().is_some() as u8])?;
         Ok(())
     }
 
@@ -176,6 +186,7 @@ impl AcornIndex {
             }
         }
         let edges_pruned = get_u64(r)?;
+        let compacted = get_u8(r)? != 0;
 
         let params = AcornParams {
             m,
@@ -189,7 +200,11 @@ impl AcornIndex {
             compressed_levels,
             flatten_hierarchy,
         };
-        Ok(AcornIndex::from_parts(params, variant, vecs, graph, edges_pruned))
+        let mut idx = AcornIndex::from_parts(params, variant, vecs, graph, edges_pruned);
+        if compacted {
+            idx.compact();
+        }
+        Ok(idx)
     }
 }
 
@@ -240,6 +255,31 @@ mod tests {
         let loaded = AcornIndex::load(&mut buf.as_slice(), vecs).unwrap();
         assert_eq!(loaded.variant(), AcornVariant::One);
         assert_eq!(loaded.params().s_min(), idx.params().s_min());
+    }
+
+    #[test]
+    fn compacted_flag_roundtrips_and_loads_serving_from_csr() {
+        let vecs = random_store(400, 8, 6);
+        let params =
+            AcornParams { m: 8, gamma: 4, m_beta: 16, ef_construction: 32, ..Default::default() };
+        let mut idx = AcornIndex::build(vecs.clone(), params, AcornVariant::Gamma);
+        idx.compact();
+
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        let loaded = AcornIndex::load(&mut buf.as_slice(), vecs.clone()).unwrap();
+        assert!(loaded.csr().is_some(), "loaded index must serve from CSR immediately");
+        let q = vec![0.3; 8];
+        let a: Vec<(u32, f32)> = idx.search(&q, 10, 64).iter().map(|n| (n.id, n.dist)).collect();
+        let b: Vec<(u32, f32)> = loaded.search(&q, 10, 64).iter().map(|n| (n.id, n.dist)).collect();
+        assert_eq!(a, b);
+
+        // An uncompacted index stays uncompacted through the round trip.
+        let plain = AcornIndex::build(vecs.clone(), idx.params().clone(), AcornVariant::Gamma);
+        let mut buf = Vec::new();
+        plain.save(&mut buf).unwrap();
+        let loaded = AcornIndex::load(&mut buf.as_slice(), vecs).unwrap();
+        assert!(loaded.csr().is_none());
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Property tests for the frozen CSR read path: searching over
+//! `LayeredGraph::freeze()` must be *bit-identical* to searching the nested
+//! layout — same ids, same distances, same search-statistics counters — for
+//! every lookup strategy, both ACORN variants, and through the serialize →
+//! load round trip of a compacted index.
+
+use std::sync::Arc;
+
+use acorn_core::search::{acorn_search_layer, LookupMode};
+use acorn_core::{AcornIndex, AcornParams, AcornVariant};
+use acorn_hnsw::heap::Neighbor;
+use acorn_hnsw::{Metric, SearchScratch, SearchStats, VectorStore};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_store(n: usize, dim: usize, seed: u64) -> Arc<VectorStore> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = VectorStore::with_capacity(dim, n);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        s.push(&v);
+    }
+    Arc::new(s)
+}
+
+fn random_query(dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51ab);
+    (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn random_filter(n: usize, keep_one_in: u32, seed: u64) -> acorn_predicate::BitmapFilter {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf117e5);
+    let bits = acorn_predicate::Bitset::from_ids(
+        n,
+        (0..n as u32).filter(|_| rng.gen_range(0..keep_one_in) == 0),
+    );
+    acorn_predicate::BitmapFilter::new(bits)
+}
+
+fn small_params(seed: u64) -> AcornParams {
+    AcornParams { m: 8, gamma: 4, m_beta: 12, ef_construction: 32, seed, ..Default::default() }
+}
+
+fn pairs(out: &[Neighbor]) -> Vec<(u32, f32)> {
+    out.iter().map(|n| (n.id, n.dist)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `acorn_search_layer` over the frozen layout matches the nested layout
+    /// exactly — results *and* stats counters — under all three
+    /// `LookupMode`s.
+    #[test]
+    fn layer_search_identical_across_layouts_and_modes(
+        n in 30usize..250,
+        keep_one_in in 1u32..4,
+        ef in 1usize..24,
+        seed in 0u64..500,
+    ) {
+        let vecs = random_store(n, 6, seed);
+        let idx = AcornIndex::build(vecs.clone(), small_params(seed), AcornVariant::Gamma);
+        let g = idx.graph();
+        let csr = g.freeze();
+        let q = random_query(6, seed);
+        let filter = random_filter(n, keep_one_in, seed);
+        let entry = g.entry_point().unwrap();
+        let entries = vec![Neighbor::new(Metric::L2.distance(vecs.get(entry), &q), entry)];
+
+        let modes = [
+            LookupMode::Truncate,
+            LookupMode::GammaSearch { m_beta: 12, compressed_levels: 1 },
+            LookupMode::TwoHop,
+        ];
+        for mode in modes {
+            let mut s_nested = SearchScratch::new(n);
+            s_nested.begin(n);
+            let mut st_nested = SearchStats::default();
+            let a = acorn_search_layer(
+                &vecs, g, Metric::L2, &q, &filter, &entries, ef, 0, 8, mode,
+                &mut s_nested, &mut st_nested,
+            );
+            let mut s_csr = SearchScratch::new(n);
+            s_csr.begin(n);
+            let mut st_csr = SearchStats::default();
+            let b = acorn_search_layer(
+                &vecs, &csr, Metric::L2, &q, &filter, &entries, ef, 0, 8, mode,
+                &mut s_csr, &mut st_csr,
+            );
+            prop_assert_eq!(pairs(&a), pairs(&b), "results differ under {:?}", mode);
+            prop_assert_eq!(st_nested, st_csr, "stats counters differ under {:?}", mode);
+        }
+    }
+
+    /// Full filtered index search is bit-identical before and after
+    /// `compact()` for both ACORN variants (covering the GammaSearch and
+    /// TwoHop serving paths end to end, upper levels included).
+    #[test]
+    fn compacted_index_search_identical_for_both_variants(
+        n in 50usize..400,
+        keep_one_in in 1u32..4,
+        seed in 0u64..500,
+    ) {
+        for variant in [AcornVariant::Gamma, AcornVariant::One] {
+            let vecs = random_store(n, 8, seed);
+            let mut idx = AcornIndex::build(vecs, small_params(seed), variant);
+            let filter = random_filter(n, keep_one_in, seed);
+            let mut scratch = SearchScratch::new(n);
+            let queries: Vec<Vec<f32>> =
+                (0..4).map(|i| random_query(8, seed.wrapping_add(i))).collect();
+
+            let mut nested = Vec::new();
+            for q in &queries {
+                let mut stats = SearchStats::default();
+                nested.push((
+                    pairs(&idx.search_filtered(q, &filter, 10, 40, &mut scratch, &mut stats)),
+                    stats,
+                ));
+            }
+            idx.compact();
+            prop_assert!(idx.csr().is_some());
+            for (q, (want, want_stats)) in queries.iter().zip(&nested) {
+                let mut stats = SearchStats::default();
+                let got =
+                    pairs(&idx.search_filtered(q, &filter, 10, 40, &mut scratch, &mut stats));
+                prop_assert_eq!(&got, want, "{:?} CSR result drift", variant);
+                prop_assert_eq!(&stats, want_stats, "{:?} CSR stats drift", variant);
+            }
+        }
+    }
+
+    /// serialize → load of a compacted index serves from CSR and answers
+    /// exactly like the in-memory index it was saved from.
+    #[test]
+    fn compacted_serialize_roundtrip_identical(n in 40usize..300, seed in 0u64..500) {
+        let vecs = random_store(n, 6, seed);
+        let mut idx = AcornIndex::build(vecs.clone(), small_params(seed), AcornVariant::Gamma);
+        idx.compact();
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        let loaded = AcornIndex::load(&mut buf.as_slice(), vecs).unwrap();
+        prop_assert!(loaded.csr().is_some(), "flag must round-trip");
+
+        let filter = random_filter(n, 2, seed);
+        let mut scratch = SearchScratch::new(n);
+        for i in 0..3 {
+            let q = random_query(6, seed.wrapping_add(i));
+            let mut sa = SearchStats::default();
+            let mut sb = SearchStats::default();
+            let a = pairs(&idx.search_filtered(&q, &filter, 8, 32, &mut scratch, &mut sa));
+            let b = pairs(&loaded.search_filtered(&q, &filter, 8, 32, &mut scratch, &mut sb));
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(sa, sb);
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! * **hierarchy** — graph height (max level holding a passing node);
 //! * **navigability** — average filtered out-degree per level.
 
-use acorn_hnsw::LayeredGraph;
+use acorn_hnsw::GraphView;
 use acorn_predicate::NodeFilter;
 
 /// Quality statistics of one predicate subgraph.
@@ -31,8 +31,8 @@ pub struct SubgraphQuality {
 ///
 /// `m_truncate` applies the search-time neighbor-list truncation (pass the
 /// index's `M`; `usize::MAX` analyzes untruncated lists).
-pub fn predicate_subgraph_quality<F: NodeFilter>(
-    graph: &LayeredGraph,
+pub fn predicate_subgraph_quality<G: GraphView, F: NodeFilter>(
+    graph: &G,
     filter: &F,
     m_truncate: usize,
 ) -> SubgraphQuality {
@@ -44,8 +44,8 @@ pub fn predicate_subgraph_quality<F: NodeFilter>(
 /// include the two-hop expansion of stored entries beyond `M_β`
 /// (Figure 4b) — the connectivity the search actually traverses, including
 /// recovered pruned edges.
-pub fn predicate_subgraph_quality_with<F: NodeFilter>(
-    graph: &LayeredGraph,
+pub fn predicate_subgraph_quality_with<G: GraphView, F: NodeFilter>(
+    graph: &G,
     filter: &F,
     m_truncate: usize,
     level0_m_beta: Option<usize>,
@@ -57,7 +57,9 @@ pub fn predicate_subgraph_quality_with<F: NodeFilter>(
     let mut height = 0usize;
 
     for level in 0..levels {
-        let nodes: Vec<u32> = graph.nodes_on_level(level).filter(|&v| filter.passes(v)).collect();
+        let nodes: Vec<u32> = (0..graph.len() as u32)
+            .filter(|&v| graph.level_of(v) >= level && filter.passes(v))
+            .collect();
         if !nodes.is_empty() {
             height = level + 1;
         }
@@ -180,6 +182,7 @@ pub fn count_sccs(adj: &[Vec<usize>]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use acorn_hnsw::LayeredGraph;
     use acorn_predicate::{AllPass, BitmapFilter, Bitset};
 
     #[test]
@@ -281,6 +284,19 @@ mod tests {
         assert_eq!(one_hop.scc_per_level, vec![2]);
         let with_recovery = super::predicate_subgraph_quality_with(&g, &f, usize::MAX, Some(0));
         assert_eq!(with_recovery.scc_per_level, vec![1], "two-hop must reconnect 0 and 2");
+    }
+
+    #[test]
+    fn frozen_graph_analysis_matches_nested() {
+        let g = two_cliques();
+        let csr = g.freeze();
+        let f = BitmapFilter::new(Bitset::from_ids(6, [0u32, 1, 2, 4]));
+        let nested = predicate_subgraph_quality(&g, &f, usize::MAX);
+        let frozen = predicate_subgraph_quality(&csr, &f, usize::MAX);
+        assert_eq!(nested.scc_per_level, frozen.scc_per_level);
+        assert_eq!(nested.nodes_per_level, frozen.nodes_per_level);
+        assert_eq!(nested.avg_out_degree_per_level, frozen.avg_out_degree_per_level);
+        assert_eq!(nested.height, frozen.height);
     }
 
     #[test]

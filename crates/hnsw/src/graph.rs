@@ -7,6 +7,31 @@
 //! bearing for ACORN, whose search truncates lists to a prefix and whose
 //! compression keeps the `M_β` nearest candidates verbatim.
 
+/// Read-only view of a multi-level graph: the contract query-time traversal
+/// is written against.
+///
+/// Both the mutable build-time layout ([`LayeredGraph`]) and the frozen
+/// query-time layout ([`CsrGraph`](crate::csr::CsrGraph)) implement this
+/// trait, so every search routine (`search_layer`, `greedy_descend`,
+/// ACORN's `acorn_search_layer` and its lookups) is generic over the
+/// representation and monomorphizes to direct slice access on either.
+pub trait GraphView {
+    /// Number of nodes.
+    fn len(&self) -> usize;
+    /// True if the graph has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The fixed entry point (highest node inserted so far).
+    fn entry_point(&self) -> Option<u32>;
+    /// Maximum level index present.
+    fn max_level(&self) -> usize;
+    /// Maximum level of node `v`.
+    fn level_of(&self, v: u32) -> usize;
+    /// Borrow the neighbor list of `v` at `level`.
+    fn neighbors(&self, v: u32, level: usize) -> &[u32];
+}
+
 /// Per-level statistics used by Table 6 and Figure 13 of the paper.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LevelStats {
@@ -166,10 +191,21 @@ impl LayeredGraph {
         out
     }
 
+    /// Freeze this graph into the flat, query-optimized
+    /// [`CsrGraph`](crate::csr::CsrGraph) layout.
+    ///
+    /// The frozen graph is a read-only snapshot: neighbor lists, ordering,
+    /// entry point, and levels are preserved exactly, so search over either
+    /// layout returns bit-identical results.
+    pub fn freeze(&self) -> crate::csr::CsrGraph {
+        crate::csr::CsrGraph::from_layered(self)
+    }
+
     /// Total bytes consumed by adjacency lists and level tags (index-only
     /// footprint; vectors are accounted separately).
     pub fn memory_bytes(&self) -> usize {
         let mut bytes = self.levels.len() * std::mem::size_of::<u8>();
+        bytes += self.adj.len() * std::mem::size_of::<Vec<Vec<u32>>>();
         for per_node in &self.adj {
             bytes += std::mem::size_of::<Vec<u32>>() * per_node.len();
             for list in per_node {
@@ -177,6 +213,33 @@ impl LayeredGraph {
             }
         }
         bytes
+    }
+}
+
+impl GraphView for LayeredGraph {
+    #[inline]
+    fn len(&self) -> usize {
+        LayeredGraph::len(self)
+    }
+
+    #[inline]
+    fn entry_point(&self) -> Option<u32> {
+        LayeredGraph::entry_point(self)
+    }
+
+    #[inline]
+    fn max_level(&self) -> usize {
+        LayeredGraph::max_level(self)
+    }
+
+    #[inline]
+    fn level_of(&self, v: u32) -> usize {
+        LayeredGraph::level_of(self, v)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: u32, level: usize) -> &[u32] {
+        LayeredGraph::neighbors(self, v, level)
     }
 }
 

@@ -9,7 +9,8 @@
 
 use std::sync::Arc;
 
-use crate::graph::LayeredGraph;
+use crate::csr::CsrGraph;
+use crate::graph::{GraphView, LayeredGraph};
 use crate::heap::Neighbor;
 use crate::level::LevelSampler;
 use crate::pool::ScratchPool;
@@ -56,6 +57,10 @@ pub struct HnswIndex {
     params: HnswParams,
     vecs: Arc<VectorStore>,
     graph: LayeredGraph,
+    /// Frozen CSR snapshot of `graph`, preferred by the read path when
+    /// present. Built by [`compact`](Self::compact); invalidated by
+    /// [`insert`](Self::insert).
+    csr: Option<CsrGraph>,
     sampler: LevelSampler,
     scratch: SearchScratch,
     pool: ScratchPool,
@@ -70,6 +75,7 @@ impl HnswIndex {
             sampler: LevelSampler::new(params.m.max(2), params.seed),
             scratch: SearchScratch::new(n),
             graph: LayeredGraph::with_capacity(n),
+            csr: None,
             vecs,
             params,
             pool: ScratchPool::new(),
@@ -105,6 +111,22 @@ impl HnswIndex {
         &self.graph
     }
 
+    /// Freeze the graph into its CSR form and cache it; subsequent searches
+    /// serve from the flat layout. Idempotent until the next
+    /// [`insert`](Self::insert), which invalidates the cache.
+    pub fn compact(&mut self) -> &CsrGraph {
+        if self.csr.is_none() {
+            self.csr = Some(self.graph.freeze());
+        }
+        self.csr.as_ref().expect("just populated")
+    }
+
+    /// The cached CSR snapshot, if [`compact`](Self::compact) has been
+    /// called since the last insert.
+    pub fn csr(&self) -> Option<&CsrGraph> {
+        self.csr.as_ref()
+    }
+
     /// The shared vector store.
     pub fn vectors(&self) -> &Arc<VectorStore> {
         &self.vecs
@@ -119,6 +141,7 @@ impl HnswIndex {
         assert_eq!(id as usize, self.graph.len(), "ids must be inserted sequentially");
         assert!((id as usize) < self.vecs.len(), "id not present in vector store");
 
+        self.csr = None; // mutation invalidates the frozen snapshot
         let level = self.sampler.sample();
         let prev_entry = self.graph.entry_point();
         let prev_max = self.graph.max_level();
@@ -128,18 +151,22 @@ impl HnswIndex {
             return; // first node: nothing to connect
         };
 
-        let q = self.vecs.get(new_id).to_vec();
+        // Borrow the query row through a local Arc handle instead of copying
+        // it: `q` then borrows from `vecs`, not `self`, so the `&mut self`
+        // calls below coexist with it without a per-insert heap allocation.
+        let vecs = Arc::clone(&self.vecs);
+        let q = vecs.get(new_id);
         let metric = self.params.metric;
         let mut stats = SearchStats::default();
         self.scratch.begin(self.graph.len());
 
-        let mut ep = Neighbor::new(self.vecs.distance_to(metric, entry, &q), entry);
+        let mut ep = Neighbor::new(vecs.distance_to(metric, entry, q), entry);
         if prev_max > level {
             ep = greedy_descend(
-                &self.vecs,
+                &vecs,
                 &self.graph,
                 metric,
-                &q,
+                q,
                 ep,
                 prev_max,
                 level + 1,
@@ -152,10 +179,10 @@ impl HnswIndex {
         let mut entries = vec![ep];
         for lev in (0..=top).rev() {
             let candidates = search_layer(
-                &self.vecs,
+                &vecs,
                 &self.graph,
                 metric,
-                &q,
+                q,
                 &entries,
                 self.params.ef_construction,
                 lev,
@@ -214,7 +241,9 @@ impl HnswIndex {
     }
 
     /// ANN search using caller-provided scratch space and stats counters
-    /// (the form used by the benchmark harness and thread pools).
+    /// (the form used by the benchmark harness and thread pools). Serves
+    /// from the CSR snapshot when [`compact`](Self::compact) has been
+    /// called; the two layouts return bit-identical results.
     pub fn search_with(
         &self,
         query: &[f32],
@@ -223,21 +252,37 @@ impl HnswIndex {
         scratch: &mut SearchScratch,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
-        let Some(entry) = self.graph.entry_point() else {
+        match &self.csr {
+            Some(csr) => self.search_on(csr, query, k, efs, scratch, stats),
+            None => self.search_on(&self.graph, query, k, efs, scratch, stats),
+        }
+    }
+
+    /// Algorithm 1 over any [`GraphView`] layout.
+    fn search_on<G: GraphView>(
+        &self,
+        graph: &G,
+        query: &[f32],
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let Some(entry) = graph.entry_point() else {
             return Vec::new();
         };
-        scratch.begin(self.graph.len());
+        scratch.begin(graph.len());
         let metric = self.params.metric;
         let mut ep = Neighbor::new(self.vecs.distance_to(metric, entry, query), entry);
         stats.ndis += 1;
-        if self.graph.max_level() > 0 {
+        if graph.max_level() > 0 {
             ep = greedy_descend(
                 &self.vecs,
-                &self.graph,
+                graph,
                 metric,
                 query,
                 ep,
-                self.graph.max_level(),
+                graph.max_level(),
                 1,
                 scratch,
                 stats,
@@ -246,7 +291,7 @@ impl HnswIndex {
         scratch.visited.reset();
         let ef = efs.max(k);
         let mut found =
-            search_layer(&self.vecs, &self.graph, metric, query, &[ep], ef, 0, scratch, stats);
+            search_layer(&self.vecs, graph, metric, query, &[ep], ef, 0, scratch, stats);
         found.truncate(k);
         found
     }
@@ -345,6 +390,37 @@ mod tests {
             assert!(w[0].dist <= w[1].dist, "results must be sorted");
             assert_ne!(w[0].id, w[1].id, "results must be unique");
         }
+    }
+
+    #[test]
+    fn compacted_search_is_bit_identical() {
+        let vecs = random_store(1200, 16, 23);
+        let params = HnswParams { m: 12, ef_construction: 48, metric: Metric::L2, seed: 9 };
+        let mut idx = HnswIndex::build(vecs, params);
+        let qs: Vec<Vec<f32>> = (0..12).map(|i| vec![(i as f32 * 0.17).sin(); 16]).collect();
+        let nested: Vec<Vec<(u32, f32)>> = qs
+            .iter()
+            .map(|q| idx.search(q, 10, 48).iter().map(|n| (n.id, n.dist)).collect())
+            .collect();
+        assert!(idx.csr().is_none());
+        let saved = idx.compact().memory_bytes();
+        assert!(saved < idx.graph().memory_bytes(), "CSR must be smaller than nested");
+        for (q, want) in qs.iter().zip(&nested) {
+            let got: Vec<(u32, f32)> =
+                idx.search(q, 10, 48).iter().map(|n| (n.id, n.dist)).collect();
+            assert_eq!(&got, want, "CSR search must be bit-identical");
+        }
+        // Insert invalidates the snapshot (the store has no row 1200, so
+        // only check the cache flag via a fresh smaller build).
+        let vecs = random_store(40, 4, 24);
+        let mut small = HnswIndex::new(vecs, params);
+        for id in 0..39 {
+            small.insert(id);
+        }
+        small.compact();
+        assert!(small.csr().is_some());
+        small.insert(39);
+        assert!(small.csr().is_none(), "insert must invalidate the CSR cache");
     }
 
     #[test]

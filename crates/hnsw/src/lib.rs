@@ -18,7 +18,10 @@
 //!   threads ([`ScratchPool`]).
 //! * [`level`] — the exponentially decaying level sampler used by HNSW and
 //!   ACORN (`mL = 1/ln(M)`).
-//! * [`graph`] — the multi-level adjacency structure ([`LayeredGraph`]).
+//! * [`graph`] — the multi-level adjacency structure ([`LayeredGraph`]) and
+//!   the [`GraphView`] trait the read path is generic over.
+//! * [`csr`] — the frozen, flat [`CsrGraph`] layout serving queries after
+//!   [`LayeredGraph::freeze`] / `compact()`.
 //! * [`select`] — neighbor selection: simple top-`M` and the RNG-based
 //!   heuristic pruning from the HNSW paper, with an `alpha` knob that also
 //!   serves Vamana's robust prune.
@@ -28,6 +31,7 @@
 //! The ACORN paper (SIGMOD 2024) extends this structure; see the
 //! `acorn-core` crate for the extension.
 
+pub mod csr;
 pub mod graph;
 pub mod heap;
 pub mod index;
@@ -39,7 +43,8 @@ pub mod stats;
 pub mod vecs;
 pub mod visited;
 
-pub use graph::LayeredGraph;
+pub use csr::CsrGraph;
+pub use graph::{GraphView, LayeredGraph};
 pub use heap::Neighbor;
 pub use index::{HnswIndex, HnswParams};
 pub use level::LevelSampler;

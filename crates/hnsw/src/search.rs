@@ -5,7 +5,7 @@
 //! of the ACORN paper) lives in `acorn-core`; it shares this module's
 //! scratch-space type so thread pools can reuse allocations across queries.
 
-use crate::graph::LayeredGraph;
+use crate::graph::GraphView;
 use crate::heap::{MinHeap, Neighbor, TopK};
 use crate::stats::SearchStats;
 use crate::vecs::{Metric, VectorStore};
@@ -28,6 +28,9 @@ pub struct SearchScratch {
     /// Expanded-node log (used by Vamana-style searches, which re-rank every
     /// node the beam expanded).
     pub frontier: Vec<Neighbor>,
+    /// Per-hood distance buffer filled by
+    /// [`VectorStore::distances_batch`] (reused allocation).
+    pub dist_buf: Vec<f32>,
 }
 
 impl SearchScratch {
@@ -38,6 +41,7 @@ impl SearchScratch {
             candidates: MinHeap::new(),
             expansion: Vec::new(),
             frontier: Vec::new(),
+            dist_buf: Vec::new(),
         }
     }
 
@@ -54,6 +58,7 @@ impl SearchScratch {
         self.candidates.clear();
         self.expansion.clear();
         self.frontier.clear();
+        self.dist_buf.clear();
     }
 
     /// Ensure capacity for `n` nodes and reset per-query state: the name
@@ -73,9 +78,9 @@ impl SearchScratch {
 /// stops when the closest unexpanded candidate is further than the worst of
 /// the `ef` results.
 #[allow(clippy::too_many_arguments)]
-pub fn search_layer(
+pub fn search_layer<G: GraphView>(
     vecs: &VectorStore,
-    graph: &LayeredGraph,
+    graph: &G,
     metric: Metric,
     query: &[f32],
     entry: &[Neighbor],
@@ -102,12 +107,17 @@ pub fn search_layer(
             }
         }
         stats.nhops += 1;
+        // Gather the unvisited neighbors, then compute all their distances
+        // in one batched, prefetched pass over the vector store.
+        scratch.expansion.clear();
         for &nb in graph.neighbors(c.id, level) {
-            if !scratch.visited.insert(nb) {
-                continue;
+            if scratch.visited.insert(nb) {
+                scratch.expansion.push(nb);
             }
-            let d = vecs.distance_to(metric, nb, query);
-            stats.ndis += 1;
+        }
+        vecs.distances_batch(metric, query, &scratch.expansion, &mut scratch.dist_buf);
+        stats.ndis += scratch.expansion.len() as u64;
+        for (&nb, &d) in scratch.expansion.iter().zip(&scratch.dist_buf) {
             let cand = Neighbor::new(d, nb);
             let admit = match results.worst() {
                 Some(w) => d < w.dist || !results.is_full(),
@@ -126,9 +136,9 @@ pub fn search_layer(
 /// Greedy descent: at each level choose the single closest node (`ef = 1`).
 /// Returns the entry point for the next level.
 #[allow(clippy::too_many_arguments)]
-pub fn greedy_descend(
+pub fn greedy_descend<G: GraphView>(
     vecs: &VectorStore,
-    graph: &LayeredGraph,
+    graph: &G,
     metric: Metric,
     query: &[f32],
     mut entry: Neighbor,
@@ -165,6 +175,7 @@ pub fn greedy_descend(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::LayeredGraph;
 
     /// Build a tiny single-level graph: a path 0 - 1 - 2 - 3 on a line.
     fn line_world() -> (VectorStore, LayeredGraph) {

@@ -67,8 +67,8 @@ pub mod prelude {
         AcornIndex, AcornParams, AcornVariant, BatchOutput, PruneStrategy, QueryEngine,
     };
     pub use acorn_hnsw::{
-        HnswIndex, HnswParams, Metric, Neighbor, ScratchPool, SearchScratch, SearchStats,
-        VectorStore,
+        CsrGraph, GraphView, HnswIndex, HnswParams, Metric, Neighbor, ScratchPool, SearchScratch,
+        SearchStats, VectorStore,
     };
     pub use acorn_predicate::{
         AllPass, AttrStore, BitmapFilter, Bitset, NodeFilter, Predicate, PredicateFilter, Regex,
