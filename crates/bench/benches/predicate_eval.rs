@@ -3,7 +3,10 @@
 //! these benches quantify that constant per operator).
 
 use acorn_data::datasets::{laion_like, tripclick_like};
-use acorn_predicate::{BitmapFilter, NodeFilter, Predicate, PredicateFilter, Regex};
+use acorn_predicate::{
+    BitmapFilter, CompiledFilter, CompiledPredicate, MemoFilter, MemoTable, NodeFilter, Predicate,
+    PredicateFilter, Regex,
+};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_predicates(c: &mut Criterion) {
@@ -41,6 +44,27 @@ fn bench_predicates(c: &mut Criterion) {
     });
     group.bench_function("materialize/bitmap_2k_rows", |b| {
         b.iter(|| BitmapFilter::from_predicate(black_box(&trip.attrs), black_box(&compound)))
+    });
+    // The compiled engine against the interpreted walks above: scalar
+    // program evaluation, memoized re-checks, and the 64-row block scan.
+    let compiled = CompiledPredicate::compile(&compound);
+    group.bench_function("compiled/eval_compound", |b| {
+        let f = CompiledFilter::new(&trip.attrs, &compiled);
+        b.iter(|| f.passes(black_box(1234)))
+    });
+    group.bench_function("compiled/memo_hit", |b| {
+        let inner = CompiledFilter::new(&trip.attrs, &compiled);
+        let mut memo = MemoTable::new();
+        memo.reset_for(trip.attrs.len());
+        let f = MemoFilter::new(&inner, memo);
+        let _ = f.passes(1234); // prime the memo: the loop measures hits
+        b.iter(|| f.passes(black_box(1234)))
+    });
+    group.bench_function("compiled/block_scan_2k_rows", |b| {
+        b.iter(|| compiled.to_bitset(black_box(&trip.attrs)))
+    });
+    group.bench_function("compiled/compile_compound", |b| {
+        b.iter(|| CompiledPredicate::compile(black_box(&compound)))
     });
     group.finish();
 }

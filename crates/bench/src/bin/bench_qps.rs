@@ -3,41 +3,56 @@
 //! Measures hybrid-search QPS and recall@10 through the
 //! [`QueryEngine`](acorn_core::engine::QueryEngine) batch layer on a
 //! TripClick-like dataset with date-range predicates at three selectivity
-//! bands, at 1, 2, and 4 worker threads, over **both graph layouts**: the
-//! nested build-time `LayeredGraph` and the frozen CSR form produced by
-//! `AcornIndex::compact()`. The lowest band sits below `s_min = 1/γ`, so it
-//! exercises the pre-filter fallback path; the others exercise
-//! predicate-subgraph traversal. Results are asserted identical across
-//! layouts before QPS is reported.
+//! bands, at 1, 2, and 4 worker threads, across two axes:
+//!
+//! * **graph layout** — the nested build-time `LayeredGraph` vs the frozen
+//!   CSR form produced by `AcornIndex::compact()` (both on the adaptive
+//!   predicate engine);
+//! * **predicate strategy** — the interpreted per-check AST walk
+//!   ([`PredicateStrategy::Interpreted`]) vs the compiled + memoized /
+//!   block-materialized engine ([`PredicateStrategy::Adaptive`]), both on
+//!   the CSR index.
+//!
+//! The lowest band sits near `s_min = 1/γ`, exercising the pre-filter
+//! fallback; the others exercise predicate-subgraph traversal. Results are
+//! asserted identical across layouts **and strategies** before QPS is
+//! reported.
 //!
 //! Emits `BENCH_hybrid.json` at the repository root (machine-readable
-//! perf-trajectory datapoint; `qps` is the CSR serving number, `qps_nested`
-//! the baseline) and an aligned table on stdout. Scaled by the usual
-//! `ACORN_BENCH_N` / `ACORN_BENCH_NQ` / `ACORN_BENCH_REPEATS` environment
-//! variables. Setting `ACORN_BENCH_MIN_CSR_RATIO` (e.g. `0.9` in CI) makes
-//! the binary exit non-zero if the average CSR/nested QPS ratio falls below
-//! it.
+//! perf-trajectory datapoint; `qps` is the CSR+adaptive serving number) and
+//! an aligned table on stdout. Scaled by the usual `ACORN_BENCH_N` /
+//! `ACORN_BENCH_NQ` / `ACORN_BENCH_REPEATS` environment variables. Two CI
+//! guards make the binary exit non-zero: `ACORN_BENCH_MIN_CSR_RATIO` (e.g.
+//! `0.9`) if average CSR/nested QPS falls below it, and
+//! `ACORN_BENCH_MAX_NPRED_RATIO` (e.g. `0.5`) if the adaptive engine's
+//! per-query evaluated-`npred` exceeds that fraction of the interpreted
+//! count.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use acorn_bench::{bench_n, bench_nq, bench_repeats};
 use acorn_core::engine::QueryEngine;
-use acorn_core::{AcornIndex, AcornParams, AcornVariant};
+use acorn_core::{AcornIndex, AcornParams, AcornVariant, PredicateStrategy};
 use acorn_data::workloads::date_range_workload;
 use acorn_data::{datasets::tripclick_like, ground_truth};
 use acorn_eval::{workload_recall, Table};
 use acorn_hnsw::Metric;
 use acorn_predicate::Predicate;
 
-/// One measured (band × thread-count) cell, covering both layouts.
+/// One measured (band × thread-count) cell, covering both layouts and both
+/// predicate strategies.
 struct Cell {
     threads: usize,
     qps_nested: f64,
     qps_csr: f64,
+    qps_interp: f64,
     recall: f64,
     avg_ndis: f64,
     avg_npred: f64,
+    avg_npred_evaluated: f64,
+    avg_npred_cached: f64,
+    avg_npred_evaluated_interp: f64,
 }
 
 fn main() {
@@ -78,17 +93,20 @@ fn main() {
     );
 
     let mut table = Table::new(
-        "QueryEngine hybrid batch QPS (k = 10), nested vs CSR layout",
+        "QueryEngine hybrid batch QPS (k = 10): interpreted vs compiled+memoized predicates",
         &[
             "band",
             "avg_sel",
             "threads",
-            "QPS nested",
-            "QPS csr",
+            "QPS interp",
+            "QPS memo",
+            "memo/interp",
             "csr/nested",
             "recall@10",
-            "avg_ndis",
-            "avg_npred",
+            "npred_eval interp",
+            "npred_eval memo",
+            "npred_cached",
+            "hit%",
         ],
     );
     let mut bands_json = Vec::new();
@@ -100,51 +118,66 @@ fn main() {
             w.queries.iter().map(|q| (q.vector.as_slice(), &q.predicate)).collect();
         let avg_sel = w.avg_selectivity();
 
-        // One single-pass warm-up per band and index: engines share each
-        // index's scratch pool, so this fills it for every thread count
-        // below and faults pages in; the measured passes reflect
+        // One single-pass warm-up per band, index, and strategy: engines
+        // share each index's scratch pool, so this fills it for every thread
+        // count below and faults pages in; the measured passes reflect
         // steady-state serving.
         let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
         for idx in [&nested_idx, &csr_idx] {
-            let _ = QueryEngine::new(idx)
-                .with_threads(max_threads)
-                .hybrid_search_batch(&batch, &ds.attrs, k, efs);
+            for strategy in [PredicateStrategy::Adaptive, PredicateStrategy::Interpreted] {
+                let _ = QueryEngine::new(idx)
+                    .with_threads(max_threads)
+                    .hybrid_search_batch_with(&batch, &ds.attrs, k, efs, strategy);
+            }
         }
 
         let mut cells = Vec::new();
         for &threads in &thread_counts {
-            let nested_out = QueryEngine::new(&nested_idx)
-                .with_threads(threads)
-                .with_repeats(repeats)
-                .hybrid_search_batch(&batch, &ds.attrs, k, efs);
-            let csr_out = QueryEngine::new(&csr_idx)
-                .with_threads(threads)
-                .with_repeats(repeats)
-                .hybrid_search_batch(&batch, &ds.attrs, k, efs);
-            let ids: Vec<Vec<u32>> =
-                csr_out.results.iter().map(|r| r.iter().map(|x| x.id).collect()).collect();
-            let nested_ids: Vec<Vec<u32>> =
-                nested_out.results.iter().map(|r| r.iter().map(|x| x.id).collect()).collect();
-            assert_eq!(ids, nested_ids, "CSR and nested layouts must answer identically");
+            let run = |idx: &AcornIndex, strategy| {
+                QueryEngine::new(idx)
+                    .with_threads(threads)
+                    .with_repeats(repeats)
+                    .hybrid_search_batch_with(&batch, &ds.attrs, k, efs, strategy)
+            };
+            let nested_out = run(&nested_idx, PredicateStrategy::Adaptive);
+            let csr_out = run(&csr_idx, PredicateStrategy::Adaptive);
+            let interp_out = run(&csr_idx, PredicateStrategy::Interpreted);
+            let ids = |out: &acorn_core::engine::BatchOutput| -> Vec<Vec<u32>> {
+                out.results.iter().map(|r| r.iter().map(|x| x.id).collect()).collect()
+            };
+            let csr_ids = ids(&csr_out);
+            assert_eq!(csr_ids, ids(&nested_out), "CSR and nested layouts must answer identically");
+            assert_eq!(
+                csr_ids,
+                ids(&interp_out),
+                "compiled+memoized and interpreted predicates must answer identically"
+            );
             let denom = nq.max(1) as f64;
             let cell = Cell {
                 threads,
                 qps_nested: nested_out.qps,
                 qps_csr: csr_out.qps,
-                recall: workload_recall(&ids, &truth, k),
+                qps_interp: interp_out.qps,
+                recall: workload_recall(&csr_ids, &truth, k),
                 avg_ndis: csr_out.stats.ndis as f64 / denom,
                 avg_npred: csr_out.stats.npred as f64 / denom,
+                avg_npred_evaluated: csr_out.stats.npred_evaluated() as f64 / denom,
+                avg_npred_cached: csr_out.stats.npred_cached as f64 / denom,
+                avg_npred_evaluated_interp: interp_out.stats.npred_evaluated() as f64 / denom,
             };
             table.row(vec![
                 format!("{target:.2}"),
                 format!("{avg_sel:.3}"),
                 cell.threads.to_string(),
-                format!("{:.0}", cell.qps_nested),
+                format!("{:.0}", cell.qps_interp),
                 format!("{:.0}", cell.qps_csr),
+                format!("{:.2}", cell.qps_csr / cell.qps_interp),
                 format!("{:.2}", cell.qps_csr / cell.qps_nested),
                 format!("{:.4}", cell.recall),
-                format!("{:.1}", cell.avg_ndis),
-                format!("{:.1}", cell.avg_npred),
+                format!("{:.1}", cell.avg_npred_evaluated_interp),
+                format!("{:.1}", cell.avg_npred_evaluated),
+                format!("{:.1}", cell.avg_npred_cached),
+                format!("{:.0}", 100.0 * cell.avg_npred_cached / cell.avg_npred.max(1.0)),
             ]);
             cells.push(cell);
         }
@@ -153,10 +186,13 @@ fn main() {
 
     println!("\n{}", table.render());
 
-    // Speedup of the best multi-thread configuration over single-thread on
-    // the serving (CSR) layout, averaged across bands.
+    // Cross-band aggregates: thread-scaling speedup and the two A/B ratios
+    // (CSR/nested layout QPS, memoized/interpreted strategy QPS), plus the
+    // evaluated-npred reduction the memoized engine delivers.
     let mut speedups = Vec::new();
     let mut csr_ratios = Vec::new();
+    let mut memo_ratios = Vec::new();
+    let mut npred_ratios = Vec::new();
     for (_, _, cells) in &bands_json {
         let single = cells.iter().find(|c| c.threads == 1).map(|c| c.qps_csr).unwrap_or(0.0);
         let multi =
@@ -168,17 +204,34 @@ fn main() {
             if c.qps_nested > 0.0 {
                 csr_ratios.push(c.qps_csr / c.qps_nested);
             }
+            if c.qps_interp > 0.0 {
+                memo_ratios.push(c.qps_csr / c.qps_interp);
+            }
+        }
+        // Stats are thread-invariant; use the single-thread cell.
+        if let Some(c) = cells.iter().find(|c| c.threads == 1) {
+            if c.avg_npred_evaluated_interp > 0.0 {
+                npred_ratios.push(c.avg_npred_evaluated / c.avg_npred_evaluated_interp);
+            }
         }
     }
     let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
     let avg_speedup = avg(&speedups);
     let csr_over_nested = avg(&csr_ratios);
+    let memo_over_interp = avg(&memo_ratios);
+    let npred_ratio = avg(&npred_ratios);
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     println!("\nbest multi-thread speedup over 1 thread (avg across bands): {avg_speedup:.2}x");
     println!("CSR over nested QPS (avg across bands x threads): {csr_over_nested:.2}x");
+    println!("memoized over interpreted QPS (avg across bands x threads): {memo_over_interp:.2}x");
+    println!(
+        "evaluated npred, memoized / interpreted (avg across bands): {npred_ratio:.3} \
+         ({:.1}x reduction)",
+        if npred_ratio > 0.0 { 1.0 / npred_ratio } else { f64::INFINITY }
+    );
     println!("available cores: {cores}");
 
-    let json = render_json(
+    let json = render_json(&JsonHeader {
         n,
         nq,
         k,
@@ -187,15 +240,17 @@ fn main() {
         cores,
         avg_speedup,
         csr_over_nested,
+        memo_over_interp,
+        npred_ratio,
         nested_bytes,
         csr_bytes,
-        &bands_json,
-    );
+        bands: &bands_json,
+    });
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hybrid.json");
     std::fs::write(&path, json).expect("cannot write BENCH_hybrid.json");
     println!("wrote {}", path.display());
 
-    // CI guard: the compacted read path must not regress below the given
+    // CI guard 1: the compacted read path must not regress below the given
     // fraction of nested throughput (generous slack for runner noise).
     if let Ok(min) = std::env::var("ACORN_BENCH_MIN_CSR_RATIO") {
         let min: f64 = min.parse().expect("ACORN_BENCH_MIN_CSR_RATIO must be a float");
@@ -207,11 +262,23 @@ fn main() {
         }
         println!("CSR ratio guard passed: {csr_over_nested:.3} >= {min:.3}");
     }
+
+    // CI guard 2: memoization must keep actually-evaluated predicate rows at
+    // or below the given fraction of the interpreted engine's count. This is
+    // a deterministic count, not a timing, so no runner-noise slack needed.
+    if let Ok(max) = std::env::var("ACORN_BENCH_MAX_NPRED_RATIO") {
+        let max: f64 = max.parse().expect("ACORN_BENCH_MAX_NPRED_RATIO must be a float");
+        if npred_ratio > max {
+            eprintln!("FAIL: evaluated-npred ratio {npred_ratio:.3} exceeds the allowed {max:.3}");
+            std::process::exit(1);
+        }
+        println!("npred ratio guard passed: {npred_ratio:.3} <= {max:.3}");
+    }
 }
 
-/// Hand-rolled JSON (the workspace deliberately has no serde dependency).
-#[allow(clippy::too_many_arguments)]
-fn render_json(
+/// Everything the JSON renderer needs (bundled to keep clippy's argument
+/// count happy and call sites readable).
+struct JsonHeader<'a> {
     n: usize,
     nq: usize,
     k: usize,
@@ -220,10 +287,15 @@ fn render_json(
     cores: usize,
     avg_speedup: f64,
     csr_over_nested: f64,
+    memo_over_interp: f64,
+    npred_ratio: f64,
     nested_bytes: usize,
     csr_bytes: usize,
-    bands: &[(f64, f64, Vec<Cell>)],
-) -> String {
+    bands: &'a [(f64, f64, Vec<Cell>)],
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde dependency).
+fn render_json(h: &JsonHeader<'_>) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"bench\": \"hybrid_batch_qps\",");
@@ -231,16 +303,20 @@ fn render_json(
     let _ = writeln!(s, "  \"dataset\": \"tripclick_like\",");
     let _ = writeln!(
         s,
-        "  \"n\": {n}, \"nq\": {nq}, \"k\": {k}, \"efs\": {efs}, \"repeats\": {repeats},"
+        "  \"n\": {}, \"nq\": {}, \"k\": {}, \"efs\": {}, \"repeats\": {},",
+        h.n, h.nq, h.k, h.efs, h.repeats
     );
-    let _ = writeln!(s, "  \"available_cores\": {cores},");
+    let _ = writeln!(s, "  \"available_cores\": {},", h.cores);
     let _ = writeln!(s, "  \"graph_layouts\": [\"nested\", \"csr\"],");
-    let _ = writeln!(s, "  \"index_bytes_nested\": {nested_bytes},");
-    let _ = writeln!(s, "  \"index_bytes_csr\": {csr_bytes},");
-    let _ = writeln!(s, "  \"csr_over_nested_qps_avg\": {csr_over_nested:.3},");
-    let _ = writeln!(s, "  \"multi_thread_speedup_avg\": {avg_speedup:.3},");
+    let _ = writeln!(s, "  \"predicate_strategies\": [\"interpreted\", \"adaptive\"],");
+    let _ = writeln!(s, "  \"index_bytes_nested\": {},", h.nested_bytes);
+    let _ = writeln!(s, "  \"index_bytes_csr\": {},", h.csr_bytes);
+    let _ = writeln!(s, "  \"csr_over_nested_qps_avg\": {:.3},", h.csr_over_nested);
+    let _ = writeln!(s, "  \"memo_over_interp_qps_avg\": {:.3},", h.memo_over_interp);
+    let _ = writeln!(s, "  \"npred_evaluated_ratio_avg\": {:.4},", h.npred_ratio);
+    let _ = writeln!(s, "  \"multi_thread_speedup_avg\": {:.3},", h.avg_speedup);
     let _ = writeln!(s, "  \"bands\": [");
-    for (bi, (target, avg_sel, cells)) in bands.iter().enumerate() {
+    for (bi, (target, avg_sel, cells)) in h.bands.iter().enumerate() {
         let _ = writeln!(s, "    {{");
         let _ = writeln!(s, "      \"selectivity_target\": {target:.3},");
         let _ = writeln!(s, "      \"selectivity_avg\": {avg_sel:.4},");
@@ -249,20 +325,27 @@ fn render_json(
             let _ = write!(
                 s,
                 "        {{\"threads\": {}, \"graph_layout\": \"csr\", \"qps\": {:.1}, \
-                 \"qps_nested\": {:.1}, \"csr_over_nested\": {:.3}, \"recall_at_10\": {:.4}, \
-                 \"avg_ndis\": {:.1}, \"avg_npred\": {:.1}}}",
+                 \"qps_nested\": {:.1}, \"qps_interp\": {:.1}, \"csr_over_nested\": {:.3}, \
+                 \"memo_over_interp_qps\": {:.3}, \"recall_at_10\": {:.4}, \"avg_ndis\": {:.1}, \
+                 \"avg_npred\": {:.1}, \"npred_evaluated\": {:.1}, \"npred_cached\": {:.1}, \
+                 \"npred_evaluated_interp\": {:.1}}}",
                 c.threads,
                 c.qps_csr,
                 c.qps_nested,
+                c.qps_interp,
                 c.qps_csr / c.qps_nested,
+                c.qps_csr / c.qps_interp,
                 c.recall,
                 c.avg_ndis,
-                c.avg_npred
+                c.avg_npred,
+                c.avg_npred_evaluated,
+                c.avg_npred_cached,
+                c.avg_npred_evaluated_interp,
             );
             let _ = writeln!(s, "{}", if ci + 1 < cells.len() { "," } else { "" });
         }
         let _ = writeln!(s, "      ]");
-        let _ = writeln!(s, "    }}{}", if bi + 1 < bands.len() { "," } else { "" });
+        let _ = writeln!(s, "    }}{}", if bi + 1 < h.bands.len() { "," } else { "" });
     }
     let _ = writeln!(s, "  ]");
     let _ = writeln!(s, "}}");

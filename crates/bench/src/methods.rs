@@ -64,6 +64,7 @@ fn batch_point(ctx: &BenchCtx, param: usize, out: &BatchOutput) -> SweepPoint {
         qps: out.qps,
         avg_ndis: out.stats.ndis as f64 / denom,
         avg_npred: out.stats.npred as f64 / denom,
+        avg_npred_cached: out.stats.npred_cached as f64 / denom,
     }
 }
 
@@ -270,13 +271,14 @@ pub fn table_rows(table: &mut Table, method: &str, points: &[SweepPoint]) {
             format!("{:.0}", p.qps),
             format!("{:.1}", p.avg_ndis),
             format!("{:.1}", p.avg_npred),
+            format!("{:.2}", p.pred_hit_rate()),
         ]);
     }
 }
 
 /// The standard sweep-table header.
 pub fn sweep_table(title: &str) -> Table {
-    Table::new(title, &["method", "param", "recall@10", "QPS", "avg_ndis", "avg_npred"])
+    Table::new(title, &["method", "param", "recall@10", "QPS", "avg_ndis", "avg_npred", "pred_hit"])
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ use acorn_hnsw::heap::Neighbor;
 use acorn_hnsw::{ScratchPool, SearchScratch, SearchStats};
 use acorn_predicate::{AttrStore, NodeFilter, Predicate};
 
-use crate::index::AcornIndex;
+use crate::index::{AcornIndex, PredicateStrategy};
 
 /// The answer to one batch of queries.
 #[derive(Debug, Clone)]
@@ -147,7 +147,8 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Full hybrid search (§5.2 cost-model routing included) for a batch of
-    /// `(vector, predicate)` queries against one attribute store.
+    /// `(vector, predicate)` queries against one attribute store, using the
+    /// default adaptive compiled-predicate engine.
     pub fn hybrid_search_batch<Q>(
         &self,
         queries: &[(Q, &Predicate)],
@@ -158,9 +159,35 @@ impl<'a> QueryEngine<'a> {
     where
         Q: AsRef<[f32]> + Sync,
     {
+        self.hybrid_search_batch_with(queries, attrs, k, efs, PredicateStrategy::default())
+    }
+
+    /// [`hybrid_search_batch`](Self::hybrid_search_batch) with an explicit
+    /// [`PredicateStrategy`] — the A/B surface `bench_qps` uses to measure
+    /// the compiled+memoized engine against the interpreted baseline
+    /// (results are bit-identical across strategies by construction).
+    pub fn hybrid_search_batch_with<Q>(
+        &self,
+        queries: &[(Q, &Predicate)],
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        strategy: PredicateStrategy,
+    ) -> BatchOutput
+    where
+        Q: AsRef<[f32]> + Sync,
+    {
         self.run_batch(queries.len(), |i, scratch, stats| {
             let (q, predicate) = &queries[i];
-            let (out, st) = self.index.hybrid_search(q.as_ref(), predicate, attrs, k, efs, scratch);
+            let (out, st) = self.index.hybrid_search_with(
+                q.as_ref(),
+                predicate,
+                attrs,
+                k,
+                efs,
+                scratch,
+                strategy,
+            );
             stats.merge(&st);
             out
         })

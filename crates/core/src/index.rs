@@ -8,7 +8,10 @@ use acorn_hnsw::{
     CsrGraph, GraphView, LayeredGraph, LevelSampler, ScratchPool, SearchScratch, SearchStats,
     VectorStore,
 };
-use acorn_predicate::{estimate_selectivity, AttrStore, NodeFilter, Predicate, PredicateFilter};
+use acorn_predicate::{
+    estimate_selectivity, estimate_selectivity_seeding, AttrStore, BitmapFilter, CompiledFilter,
+    CompiledPredicate, CostClass, MemoFilter, NodeFilter, Predicate, PredicateFilter,
+};
 
 use crate::params::{AcornParams, AcornVariant};
 use crate::prune::{self, PruneStrategy};
@@ -16,6 +19,35 @@ use crate::search::{acorn_search_layer, LookupMode};
 
 /// Number of sampled rows used by the hybrid-search selectivity estimate.
 const SELECTIVITY_SAMPLES: usize = 1000;
+
+/// Adaptive-dispatch threshold: graph-path queries whose estimated
+/// selectivity falls below this value are evaluated **block-materialized**
+/// (one 64-row columnar scan into a bitmap, then constant-time bit tests
+/// during traversal) instead of lazily. Rationale: at low selectivity the
+/// traversal spends most of its predicate checks on *failing* rows spread
+/// across many neighborhoods, so the number of distinct rows it would
+/// evaluate lazily approaches `n` anyway — at which point one vectorized
+/// scan (≈ `n / 64` mask-word stores) is strictly cheaper than `n` scalar
+/// evaluations. Above the threshold the traversal touches a small, reused
+/// subset of rows and lazy memoized evaluation wins. Queries with a regex
+/// clause ([`CostClass::Expensive`]) always materialize, whatever their
+/// selectivity, because per-row regex cost dwarfs the scan overhead.
+pub const MATERIALIZE_BELOW_SELECTIVITY: f64 = 0.25;
+
+/// How [`AcornIndex::hybrid_search_with`] evaluates the query predicate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PredicateStrategy {
+    /// Walk the [`Predicate`] AST per check (the pre-compilation baseline;
+    /// kept for A/B benchmarking and as the property-test oracle).
+    Interpreted,
+    /// Compile the predicate once per query, then pick lazy-memoized or
+    /// block-materialized evaluation from the sampled selectivity and the
+    /// compiled cost class (see [`MATERIALIZE_BELOW_SELECTIVITY`]). Results
+    /// are bit-identical to [`Interpreted`](Self::Interpreted); only the
+    /// evaluation cost changes.
+    #[default]
+    Adaptive,
+}
 
 /// An ACORN-γ or ACORN-1 index over a shared vector store.
 #[derive(Debug, Clone)]
@@ -475,11 +507,86 @@ impl AcornIndex {
         top.into_sorted()
     }
 
+    /// [`search_filtered`](Self::search_filtered) with the filter wrapped in
+    /// a per-query [`MemoFilter`] drawn from the scratch's recycled
+    /// [`MemoTable`](acorn_predicate::MemoTable): each row is evaluated
+    /// against `filter` **at most once**, however many overlapping one-/
+    /// two-hop lookups revisit it. Results are bit-identical to the
+    /// unmemoized call; `stats.npred_cached` absorbs the replayed checks.
+    pub fn search_filtered_memoized<F: NodeFilter>(
+        &self,
+        query: &[f32],
+        filter: &F,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let memo = scratch.take_memo(self.graph.len());
+        let memoized = MemoFilter::new(filter, memo);
+        let out = self.search_filtered(query, &memoized, k, efs, scratch, stats);
+        stats.npred_cached += memoized.hits();
+        scratch.put_memo(memoized.into_memo());
+        out
+    }
+
     /// Full ACORN hybrid search with the cost-model routing of §5.2:
     /// estimate the predicate's selectivity; if it falls below
     /// `s_min = 1/γ`, answer exactly by pre-filtering, otherwise traverse
     /// the predicate subgraph.
+    ///
+    /// Predicate evaluation uses the default [`PredicateStrategy::Adaptive`]
+    /// engine (compile → memoize or materialize); see
+    /// [`hybrid_search_with`](Self::hybrid_search_with) to pin a strategy.
     pub fn hybrid_search(
+        &self,
+        query: &[f32],
+        predicate: &Predicate,
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        self.hybrid_search_with(
+            query,
+            predicate,
+            attrs,
+            k,
+            efs,
+            scratch,
+            PredicateStrategy::default(),
+        )
+    }
+
+    /// [`hybrid_search`](Self::hybrid_search) with an explicit predicate
+    /// evaluation strategy. Both strategies sample the **same** rows for the
+    /// selectivity estimate (see [`estimate_selectivity_compiled`]) and
+    /// every filter they build answers `passes(id)` identically, so the
+    /// routing decision and the returned neighbors are bit-identical across
+    /// strategies — only `npred_evaluated` and wall time differ.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hybrid_search_with(
+        &self,
+        query: &[f32],
+        predicate: &Predicate,
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        strategy: PredicateStrategy,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        match strategy {
+            PredicateStrategy::Interpreted => {
+                self.hybrid_search_interpreted(query, predicate, attrs, k, efs, scratch)
+            }
+            PredicateStrategy::Adaptive => {
+                self.hybrid_search_adaptive(query, predicate, attrs, k, efs, scratch)
+            }
+        }
+    }
+
+    /// The pre-compilation baseline: one interpretive AST walk per check.
+    fn hybrid_search_interpreted(
         &self,
         query: &[f32],
         predicate: &Predicate,
@@ -497,6 +604,67 @@ impl AcornIndex {
         } else {
             self.search_filtered(query, &filter, k, efs, scratch, &mut stats)
         };
+        (out, stats)
+    }
+
+    /// The compiled engine: lower the AST to a [`CompiledPredicate`] once,
+    /// then dispatch on sampled selectivity and cost class —
+    ///
+    /// * `est < s_min` → exact pre-filter fallback over a block-materialized
+    ///   bitmap (§5.2 routing, unchanged);
+    /// * regex predicates, or `est <` [`MATERIALIZE_BELOW_SELECTIVITY`] →
+    ///   block-materialize into a bitmap, then traverse with constant-time
+    ///   bit tests (every traversal check lands in `npred_cached`);
+    /// * otherwise → traverse with a lazy
+    ///   [`MemoFilter`]`<`[`CompiledFilter`]`>`, evaluating each distinct
+    ///   row at most once — and the sampling verdicts are pre-seeded into
+    ///   the memo, so rows the estimator already ran are never re-evaluated.
+    fn hybrid_search_adaptive(
+        &self,
+        query: &[f32],
+        predicate: &Predicate,
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let compiled = CompiledPredicate::compile(predicate);
+        // The estimator records every sampled verdict into the per-query
+        // memo; if the lazy branch runs, its traversal starts warm.
+        let mut memo = scratch.take_memo(self.graph.len().max(attrs.len()));
+        let est = estimate_selectivity_seeding(
+            attrs,
+            &compiled,
+            SELECTIVITY_SAMPLES,
+            self.params.seed,
+            &memo,
+        );
+        stats.npred += SELECTIVITY_SAMPLES as u64;
+
+        let materialize =
+            compiled.cost_class() == CostClass::Expensive || est < MATERIALIZE_BELOW_SELECTIVITY;
+        let out = if est < self.params.s_min() {
+            let filter = BitmapFilter::new(compiled.to_bitset(attrs));
+            stats.npred += attrs.len() as u64; // the scan evaluates every row once
+            self.prefilter_scan(query, &filter, k, &mut stats)
+        } else if materialize {
+            let filter = BitmapFilter::new(compiled.to_bitset(attrs));
+            stats.npred += attrs.len() as u64; // the scan evaluates every row once
+            let before = stats.npred;
+            let out = self.search_filtered(query, &filter, k, efs, scratch, &mut stats);
+            // Every traversal check against the bitmap is a cache answer.
+            stats.npred_cached += stats.npred - before;
+            out
+        } else {
+            let inner = CompiledFilter::new(attrs, &compiled);
+            let memoized = MemoFilter::new(&inner, memo);
+            let out = self.search_filtered(query, &memoized, k, efs, scratch, &mut stats);
+            stats.npred_cached += memoized.hits();
+            memo = memoized.into_memo();
+            out
+        };
+        scratch.put_memo(memo);
         (out, stats)
     }
 
@@ -755,6 +923,83 @@ mod tests {
             0,
         );
         assert!((loaded.sampler.ml() - 1.0 / 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_strategy_matches_interpreted_and_cuts_evaluations() {
+        let n = 2000;
+        let vecs = random_store(n, 8, 33);
+        let mut rng = StdRng::seed_from_u64(34);
+        let years: Vec<i64> = (0..n).map(|_| rng.gen_range(1990..2020)).collect();
+        let attrs = AttrStore::builder().add_int("year", years).build();
+        let field = attrs.field("year").unwrap();
+        let idx = AcornIndex::build(vecs, small_params(8, 4), AcornVariant::Gamma);
+        let mut scratch = SearchScratch::new(n);
+
+        for (pred, label) in [
+            (Predicate::Between { field, lo: 1995, hi: 2010 }, "mid-selectivity"),
+            (Predicate::Between { field, lo: 1990, hi: 2020 }, "high-selectivity"),
+            (Predicate::Equals { field, value: 1999 }, "low-selectivity"),
+            (Predicate::in_values(field, vec![1991, 2001, 2011]), "in-list"),
+        ] {
+            let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let (a, sa) = idx.hybrid_search_with(
+                &q,
+                &pred,
+                &attrs,
+                10,
+                48,
+                &mut scratch,
+                PredicateStrategy::Interpreted,
+            );
+            let (b, sb) = idx.hybrid_search_with(
+                &q,
+                &pred,
+                &attrs,
+                10,
+                48,
+                &mut scratch,
+                PredicateStrategy::Adaptive,
+            );
+            let pa: Vec<(u32, f32)> = a.iter().map(|x| (x.id, x.dist)).collect();
+            let pb: Vec<(u32, f32)> = b.iter().map(|x| (x.id, x.dist)).collect();
+            assert_eq!(pa, pb, "{label}: strategies must answer bit-identically");
+            assert_eq!(sa.fallback, sb.fallback, "{label}: routing must agree");
+            assert_eq!(sa.npred_cached, 0, "{label}: interpreted path never caches");
+            if !sb.fallback {
+                assert!(
+                    sb.npred_evaluated() < sa.npred_evaluated(),
+                    "{label}: adaptive must evaluate fewer rows \
+                     ({} vs {})",
+                    sb.npred_evaluated(),
+                    sa.npred_evaluated()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_filtered_search_is_identical_and_caches() {
+        let n = 1500;
+        let vecs = random_store(n, 8, 40);
+        let idx = AcornIndex::build(vecs, small_params(8, 3), AcornVariant::Gamma);
+        let bits = Bitset::from_ids(n, (0..n as u32).filter(|i| i % 3 != 0));
+        let filter = BitmapFilter::new(bits);
+        let mut scratch = SearchScratch::new(n);
+        let q = vec![0.1; 8];
+
+        let mut plain_stats = SearchStats::default();
+        let plain = idx.search_filtered(&q, &filter, 10, 64, &mut scratch, &mut plain_stats);
+        let mut memo_stats = SearchStats::default();
+        let memoized =
+            idx.search_filtered_memoized(&q, &filter, 10, 64, &mut scratch, &mut memo_stats);
+
+        let pa: Vec<(u32, f32)> = plain.iter().map(|x| (x.id, x.dist)).collect();
+        let pb: Vec<(u32, f32)> = memoized.iter().map(|x| (x.id, x.dist)).collect();
+        assert_eq!(pa, pb, "memoization must not change results");
+        assert_eq!(plain_stats.npred, memo_stats.npred, "same checks requested");
+        assert!(memo_stats.npred_cached > 0, "revisits must hit the memo");
+        assert!(memo_stats.npred_evaluated() < plain_stats.npred_evaluated());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod search;
 pub mod serialize;
 
 pub use engine::{BatchOutput, QueryEngine};
-pub use index::AcornIndex;
+pub use index::{AcornIndex, PredicateStrategy, MATERIALIZE_BELOW_SELECTIVITY};
 pub use params::{AcornParams, AcornVariant};
 pub use prune::PruneStrategy;
 

@@ -19,7 +19,14 @@
 //! Degree"); already-visited nodes incur no distance computation, so
 //! truncating on new nodes preserves exactly that invariant while keeping
 //! the search frontier from collapsing onto previously seen nodes.
-//! Predicate evaluations are counted into `SearchStats::npred`.
+//! Predicate checks are counted into `SearchStats::npred`.
+//!
+//! Note that "visited" is a property of the *beam*, not of predicate
+//! evaluation: overlapping one-/two-hop neighborhoods legitimately present
+//! the same unexpanded row to `filter.passes` dozens of times per query.
+//! The lookups stay oblivious to that — deduplicating evaluations is the
+//! filter's job (`MemoFilter` answers revisits from a per-query memo, and
+//! `SearchStats::npred_cached` records how many checks it absorbed).
 
 use acorn_hnsw::{GraphView, SearchStats, VisitedSet};
 use acorn_predicate::NodeFilter;

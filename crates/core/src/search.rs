@@ -6,6 +6,15 @@
 //! nodes that pass the query predicate. The fixed entry point may *fail* the
 //! predicate — stage 1 of the search (§6.3.2) expands it anyway, dropping
 //! through levels until the predicate subgraph is reached.
+//!
+//! The layer search is generic over [`NodeFilter`], so the cost of a
+//! predicate check is whatever the filter makes it: an interpreted AST walk
+//! (`PredicateFilter`), one compiled-program run (`CompiledFilter`), a
+//! memoized check that evaluates each distinct row at most once per query
+//! (`MemoFilter`), or a bit test against a block-materialized bitmap
+//! (`BitmapFilter`). `AcornIndex::hybrid_search` picks between the last
+//! three adaptively; results are identical for any filter that answers
+//! `passes` the same way.
 
 use acorn_hnsw::heap::{Neighbor, TopK};
 use acorn_hnsw::{GraphView, Metric, SearchScratch, SearchStats, VectorStore, VisitedSet};

@@ -1,0 +1,141 @@
+//! Property tests: per-query predicate memoization and the adaptive
+//! compiled-predicate strategy must never change search results — across
+//! every `LookupMode` (Truncate, GammaSearch compressed/uncompressed,
+//! TwoHop), both `AcornVariant`s, and both routing outcomes (graph
+//! traversal and the pre-filter fallback).
+
+use std::sync::Arc;
+
+use acorn_core::search::{acorn_search_layer, LookupMode};
+use acorn_core::{AcornIndex, AcornParams, AcornVariant, PredicateStrategy};
+use acorn_hnsw::heap::Neighbor;
+use acorn_hnsw::{Metric, SearchScratch, SearchStats, VectorStore};
+use acorn_predicate::{AttrStore, BitmapFilter, Bitset, MemoFilter, MemoTable, Predicate, Regex};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CAPTIONS: [&str; 6] = ["red dog", "blue cat", "a photo of x", "fish 9", "red", "dogma"];
+
+fn random_store(n: usize, dim: usize, rng: &mut StdRng) -> Arc<VectorStore> {
+    let mut s = VectorStore::with_capacity(dim, n);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        s.push(&v);
+    }
+    Arc::new(s)
+}
+
+fn random_attrs(n: usize, rng: &mut StdRng) -> AttrStore {
+    AttrStore::builder()
+        .add_int("year", (0..n).map(|_| rng.gen_range(1990i64..2020)).collect())
+        .add_text(
+            "cap",
+            (0..n).map(|_| CAPTIONS[rng.gen_range(0..CAPTIONS.len())].into()).collect(),
+        )
+        .build()
+}
+
+fn random_pred(rng: &mut StdRng) -> Predicate {
+    match rng.gen_range(0..5) {
+        0 => Predicate::Equals { field: 0, value: rng.gen_range(1990..2020) },
+        1 => {
+            let lo = rng.gen_range(1990i64..2015);
+            Predicate::Between { field: 0, lo, hi: lo + rng.gen_range(0i64..20) }
+        }
+        2 => Predicate::in_values(0, (0..3).map(|_| rng.gen_range(1990..2020)).collect()),
+        3 => Predicate::RegexMatch { field: 1, regex: Regex::new("red|fish").unwrap() },
+        _ => Predicate::And(vec![
+            Predicate::Between { field: 0, lo: 1995, hi: 2015 },
+            Predicate::RegexMatch { field: 1, regex: Regex::new("o").unwrap() },
+        ]),
+    }
+}
+
+fn pairs(out: &[Neighbor]) -> Vec<(u32, f32)> {
+    out.iter().map(|n| (n.id, n.dist)).collect()
+}
+
+fn params(m: usize, gamma: usize, seed: u64) -> AcornParams {
+    AcornParams { m, gamma, m_beta: m * 2, ef_construction: 32, seed, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// End-to-end: Interpreted vs Adaptive hybrid search over both variants
+    /// (GammaSearch and TwoHop lookups) must be bit-identical, so recall is
+    /// unchanged by construction.
+    #[test]
+    fn strategies_agree_end_to_end(seed in 0u64..u64::MAX, n in 200usize..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vecs = random_store(n, 8, &mut rng);
+        let attrs = random_attrs(n, &mut rng);
+        for variant in [AcornVariant::Gamma, AcornVariant::One] {
+            let idx = AcornIndex::build(vecs.clone(), params(8, 4, seed), variant);
+            let mut scratch = SearchScratch::new(n);
+            for _ in 0..4 {
+                let pred = random_pred(&mut rng);
+                let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let (a, sa) = idx.hybrid_search_with(
+                    &q, &pred, &attrs, 10, 40, &mut scratch, PredicateStrategy::Interpreted,
+                );
+                let (b, sb) = idx.hybrid_search_with(
+                    &q, &pred, &attrs, 10, 40, &mut scratch, PredicateStrategy::Adaptive,
+                );
+                prop_assert_eq!(pairs(&a), pairs(&b), "variant {:?}", variant);
+                prop_assert_eq!(sa.fallback, sb.fallback, "routing must agree");
+            }
+        }
+    }
+
+    /// Layer-level: wrapping any filter in a MemoFilter must leave the beam
+    /// search's output untouched for every LookupMode.
+    #[test]
+    fn memo_filter_is_transparent_in_every_lookup_mode(
+        seed in 0u64..u64::MAX,
+        n in 150usize..400,
+        keep_mod in 2u32..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vecs = random_store(n, 8, &mut rng);
+        let idx = AcornIndex::build(vecs.clone(), params(8, 3, seed), AcornVariant::Gamma);
+        let graph = idx.graph();
+        let filter = BitmapFilter::new(Bitset::from_ids(
+            n,
+            (0..n as u32).filter(|i| i % keep_mod != 0),
+        ));
+        let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let entry = graph.entry_point().unwrap();
+        let entries = vec![Neighbor::new(Metric::L2.distance(vecs.get(entry), &q), entry)];
+
+        for mode in [
+            LookupMode::Truncate,
+            LookupMode::GammaSearch { m_beta: 16, compressed_levels: 1 },
+            LookupMode::TwoHop,
+        ] {
+            let mut scratch = SearchScratch::new(n);
+            let mut stats = SearchStats::default();
+            scratch.begin(n);
+            let plain = acorn_search_layer(
+                &vecs, graph, Metric::L2, &q, &filter, &entries, 10, 0, 8, mode,
+                &mut scratch, &mut stats,
+            );
+
+            let mut memo = MemoTable::new();
+            memo.reset_for(n);
+            let memoized_filter = MemoFilter::new(&filter, memo);
+            let mut stats2 = SearchStats::default();
+            scratch.begin(n);
+            let memoized = acorn_search_layer(
+                &vecs, graph, Metric::L2, &q, &memoized_filter, &entries, 10, 0, 8, mode,
+                &mut scratch, &mut stats2,
+            );
+
+            prop_assert_eq!(pairs(&plain), pairs(&memoized), "mode {:?}", mode);
+            prop_assert_eq!(stats.npred, stats2.npred, "same checks must be requested");
+            // The memo can only reduce inner evaluations, never add any.
+            prop_assert!(memoized_filter.hits() <= stats2.npred);
+        }
+    }
+}

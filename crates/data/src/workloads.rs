@@ -17,6 +17,12 @@
 //!
 //! Query vectors are drawn as perturbed dataset points (the paper samples
 //! query vectors from the datasets themselves).
+//!
+//! Every generated predicate is passed through [`Predicate::normalize`], so
+//! queries reach the indices in the canonical form the compiled predicate
+//! engine lowers from (flattened, constant-folded, cheap clauses hoisted
+//! before regex, `In` lists sorted) — exactly what a query planner would
+//! hand a production serving path.
 
 use acorn_predicate::{exact_selectivity, Predicate, Regex};
 use rand::rngs::StdRng;
@@ -97,7 +103,7 @@ pub fn equality_workload(ds: &HybridDataset, nq: usize, seed: u64) -> Workload {
     let queries = (0..nq)
         .map(|_| {
             let (vector, _) = sample_query_vector(ds, &mut rng, 0.05);
-            let predicate = Predicate::Equals { field, value: rng.gen_range(1..=12) };
+            let predicate = Predicate::Equals { field, value: rng.gen_range(1..=12) }.normalize();
             let selectivity = exact_selectivity(&ds.attrs, &predicate);
             HybridQuery { vector, predicate, selectivity }
         })
@@ -138,7 +144,7 @@ pub fn keyword_workload(
                 };
                 mask |= 1u64 << kw;
             }
-            let predicate = Predicate::ContainsAny { field, mask };
+            let predicate = Predicate::ContainsAny { field, mask }.normalize();
             let selectivity = exact_selectivity(&ds.attrs, &predicate);
             HybridQuery { vector, predicate, selectivity }
         })
@@ -165,7 +171,7 @@ pub fn area_workload(ds: &HybridDataset, nq: usize, seed: u64) -> Workload {
                 };
                 mask |= 1u64 << kw;
             }
-            let predicate = Predicate::ContainsAny { field, mask };
+            let predicate = Predicate::ContainsAny { field, mask }.normalize();
             let selectivity = exact_selectivity(&ds.attrs, &predicate);
             HybridQuery { vector, predicate, selectivity }
         })
@@ -198,7 +204,7 @@ pub fn date_range_workload(
             let start = rng.gen_range(0..=(n - window));
             let lo = years[start];
             let hi = years[start + window - 1];
-            let predicate = Predicate::Between { field, lo, hi };
+            let predicate = Predicate::Between { field, lo, hi }.normalize();
             let selectivity = exact_selectivity(&ds.attrs, &predicate);
             HybridQuery { vector, predicate, selectivity }
         })
@@ -229,7 +235,8 @@ pub fn regex_workload(ds: &HybridDataset, nq: usize, seed: u64) -> Workload {
         let predicate = Predicate::RegexMatch {
             field,
             regex: Regex::new(&pattern).expect("generated pattern must compile"),
-        };
+        }
+        .normalize();
         let selectivity = exact_selectivity(&ds.attrs, &predicate);
         if selectivity == 0.0 {
             continue;

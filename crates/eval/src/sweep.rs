@@ -22,8 +22,24 @@ pub struct SweepPoint {
     pub qps: f64,
     /// Mean distance computations per query.
     pub avg_ndis: f64,
-    /// Mean predicate evaluations per query.
+    /// Mean predicate checks per query (`SearchStats::npred`).
     pub avg_npred: f64,
+    /// Mean predicate checks answered from a per-query cache
+    /// (`SearchStats::npred_cached`); `avg_npred - avg_npred_cached` is the
+    /// mean number of rows actually evaluated.
+    pub avg_npred_cached: f64,
+}
+
+impl SweepPoint {
+    /// Fraction of predicate checks answered from a cache (0 when nothing
+    /// was cached — e.g. interpreted evaluation).
+    pub fn pred_hit_rate(&self) -> f64 {
+        if self.avg_npred > 0.0 {
+            self.avg_npred_cached / self.avg_npred
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Sweep a beam-width parameter over a workload.
@@ -73,6 +89,7 @@ where
                 qps: run.qps,
                 avg_ndis: run.stats.ndis as f64 / denom,
                 avg_npred: run.stats.npred as f64 / denom,
+                avg_npred_cached: run.stats.npred_cached as f64 / denom,
             }
         })
         .collect()
@@ -134,7 +151,14 @@ mod tests {
     }
 
     fn mk(recall: f64, qps: f64) -> SweepPoint {
-        SweepPoint { param: 0, recall, qps, avg_ndis: 100.0 / qps, avg_npred: 0.0 }
+        SweepPoint {
+            param: 0,
+            recall,
+            qps,
+            avg_ndis: 100.0 / qps,
+            avg_npred: 0.0,
+            avg_npred_cached: 0.0,
+        }
     }
 
     #[test]

@@ -195,6 +195,7 @@ where
     stats.ndis /= repeats as u64;
     stats.nhops /= repeats as u64;
     stats.npred /= repeats as u64;
+    stats.npred_cached /= repeats as u64;
     ShardedRun { results, stats, elapsed, executions: (nq * repeats) as u64 }
 }
 

@@ -5,6 +5,8 @@
 //! of the ACORN paper) lives in `acorn-core`; it shares this module's
 //! scratch-space type so thread pools can reuse allocations across queries.
 
+use acorn_predicate::MemoTable;
+
 use crate::graph::GraphView;
 use crate::heap::{MinHeap, Neighbor, TopK};
 use crate::stats::SearchStats;
@@ -31,6 +33,12 @@ pub struct SearchScratch {
     /// Per-hood distance buffer filled by
     /// [`VectorStore::distances_batch`] (reused allocation).
     pub dist_buf: Vec<f32>,
+    /// Per-query predicate memo (tri-state known/pass words), recycled with
+    /// the scratch through the [`ScratchPool`](crate::pool::ScratchPool).
+    /// Not touched by [`reset_for`](Self::reset_for): the predicate-strategy
+    /// layer that uses it checks it out with [`take_memo`](Self::take_memo)
+    /// (which resets it), so unfiltered queries never pay the clear.
+    pub memo: MemoTable,
 }
 
 impl SearchScratch {
@@ -42,7 +50,24 @@ impl SearchScratch {
             expansion: Vec::new(),
             frontier: Vec::new(),
             dist_buf: Vec::new(),
+            memo: MemoTable::new(),
         }
+    }
+
+    /// Take the predicate memo out of the scratch, reset for a query over
+    /// rows `0..n`. Moving it out lets a `MemoFilter` own it while the same
+    /// scratch is mutably borrowed by the search; return it afterwards with
+    /// [`put_memo`](Self::put_memo) so the allocation keeps recycling
+    /// through the pool.
+    pub fn take_memo(&mut self, n: usize) -> MemoTable {
+        let mut memo = std::mem::take(&mut self.memo);
+        memo.reset_for(n);
+        memo
+    }
+
+    /// Return a memo previously taken with [`take_memo`](Self::take_memo).
+    pub fn put_memo(&mut self, memo: MemoTable) {
+        self.memo = memo;
     }
 
     /// Prepare this scratch for a query over a graph of `n` nodes: grow the

@@ -101,6 +101,44 @@ impl AttrStore {
         &self.columns[f]
     }
 
+    /// The whole int column as a slice (block predicate kernels read columns
+    /// 64 rows at a time; going through [`int`](Self::int) per row would put
+    /// the kind `match` back on the hot path).
+    ///
+    /// # Panics
+    /// Panics if the field is not an int column.
+    #[inline]
+    pub fn ints(&self, f: FieldId) -> &[i64] {
+        match &self.columns[f] {
+            Column::Int(v) => v,
+            c => panic!("field {} is {}, not int", self.names[f], c.kind()),
+        }
+    }
+
+    /// The whole keyword-bitmask column as a slice.
+    ///
+    /// # Panics
+    /// Panics if the field is not a keywords column.
+    #[inline]
+    pub fn keyword_masks(&self, f: FieldId) -> &[u64] {
+        match &self.columns[f] {
+            Column::Keywords(v) => v,
+            c => panic!("field {} is {}, not keywords", self.names[f], c.kind()),
+        }
+    }
+
+    /// The whole text column as a slice.
+    ///
+    /// # Panics
+    /// Panics if the field is not a text column.
+    #[inline]
+    pub fn texts(&self, f: FieldId) -> &[String] {
+        match &self.columns[f] {
+            Column::Str(v) => v,
+            c => panic!("field {} is {}, not str", self.names[f], c.kind()),
+        }
+    }
+
     /// Integer value at (`f`, `id`).
     ///
     /// # Panics

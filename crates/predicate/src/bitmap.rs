@@ -36,6 +36,26 @@ impl Bitset {
         b
     }
 
+    /// Build directly from packed words (bit `i` of `words[i / 64]` is row
+    /// `i`). The word-at-a-time path used by compiled predicate kernels,
+    /// which materialize 64 rows per store instead of calling
+    /// [`set`](Self::set) per row. Bits beyond `len` are cleared.
+    ///
+    /// # Panics
+    /// Panics if `words.len() != len.div_ceil(64)`.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count must match the universe");
+        let mut b = Self { words, len };
+        b.trim();
+        b
+    }
+
+    /// The packed backing words (bit `i` of `words()[i / 64]` is row `i`).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Universe size.
     #[inline]
     pub fn len(&self) -> usize {

@@ -17,17 +17,32 @@
 //! include lazy AST evaluation ([`PredicateFilter`]) and a precomputed
 //! [`Bitset`](bitmap::Bitset) ([`BitmapFilter`]), mirroring the two
 //! strategies real systems (Weaviate, Milvus) use.
+//!
+//! The [`compiled`] module lowers the AST into a flat, constant-folded
+//! [`CompiledPredicate`] program whose kernels evaluate 64-row blocks
+//! against the columnar store into `u64` mask words, and [`memo`] provides
+//! the per-query tri-state [`MemoTable`]/[`MemoFilter`] so graph search
+//! evaluates each row at most once per query. Together they form the
+//! compile → memoize → adaptive-dispatch pipeline `AcornIndex::hybrid_search`
+//! serves from.
 
 pub mod attrs;
 pub mod bitmap;
+pub mod compiled;
 pub mod filter;
+pub mod memo;
 pub mod predicate;
 pub mod regex;
 pub mod selectivity;
 
 pub use attrs::{AttrStore, AttrStoreBuilder, Column, FieldId};
 pub use bitmap::Bitset;
+pub use compiled::{CompiledFilter, CompiledPredicate, CostClass};
 pub use filter::{AllPass, BitmapFilter, CountingFilter, NodeFilter, PredicateFilter};
+pub use memo::{MemoFilter, MemoTable};
 pub use predicate::Predicate;
 pub use regex::Regex;
-pub use selectivity::{estimate_selectivity, exact_selectivity};
+pub use selectivity::{
+    estimate_selectivity, estimate_selectivity_compiled, estimate_selectivity_seeding,
+    exact_selectivity,
+};

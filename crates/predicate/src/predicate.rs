@@ -27,7 +27,10 @@ pub enum Predicate {
     In {
         /// Target int column.
         field: FieldId,
-        /// Accepted values.
+        /// Accepted values, **sorted ascending and deduplicated** — the
+        /// evaluator binary-searches this list. Construct through
+        /// [`Predicate::in_values`] (or run [`Predicate::normalize`]) to
+        /// maintain the invariant.
         values: Vec<i64>,
     },
     /// `lo <= field <= hi` (inclusive) on an int column.
@@ -69,13 +72,45 @@ pub enum Predicate {
     Not(Box<Predicate>),
 }
 
+/// Relative per-row evaluation cost weights, shared by
+/// [`Predicate::normalize`]'s clause reordering and the compiled engine's
+/// cost classes. Regex dominates everything else by orders of magnitude, so
+/// its weight keeps any regex clause sorted after every structured clause.
+pub(crate) mod cost {
+    /// Constant-time column compare (`Equals`, `Between`, `Contains*`).
+    pub const LEAF: u64 = 1;
+    /// Binary search over a sorted value list.
+    pub const IN: u64 = 2;
+    /// NFA simulation over a text row.
+    pub const REGEX: u64 = 1000;
+}
+
 impl Predicate {
+    /// `field ∈ values` with the [`In`](Predicate::In) sorted/deduplicated
+    /// invariant established at construction, so membership checks
+    /// binary-search instead of scanning `O(|values|)` per row.
+    pub fn in_values(field: FieldId, mut values: Vec<i64>) -> Predicate {
+        values.sort_unstable();
+        values.dedup();
+        Predicate::In { field, values }
+    }
+
     /// Evaluate against row `id` of `attrs`.
     pub fn eval(&self, attrs: &AttrStore, id: u32) -> bool {
         match self {
             Predicate::True => true,
             Predicate::Equals { field, value } => attrs.int(*field, id) == *value,
-            Predicate::In { field, values } => values.contains(&attrs.int(*field, id)),
+            Predicate::In { field, values } => {
+                // The sorted invariant is the constructor's contract (see
+                // the variant docs); debug builds verify it so a
+                // hand-assembled unsorted list fails fast instead of
+                // silently mis-evaluating.
+                debug_assert!(
+                    values.windows(2).all(|w| w[0] <= w[1]),
+                    "In values must be sorted (use Predicate::in_values or normalize())"
+                );
+                values.binary_search(&attrs.int(*field, id)).is_ok()
+            }
             Predicate::Between { field, lo, hi } => {
                 let v = attrs.int(*field, id);
                 *lo <= v && v <= *hi
@@ -89,16 +124,115 @@ impl Predicate {
         }
     }
 
-    /// Materialize the predicate into a bitset over all rows
-    /// (the pre-filtering strategy; `O(n)` predicate evaluations).
+    /// Materialize the predicate into a bitset over all rows (the
+    /// pre-filtering strategy). Routed through the compiled engine's 64-row
+    /// block kernels ([`CompiledPredicate`](crate::compiled::CompiledPredicate)),
+    /// so this is a word-at-a-time columnar scan rather than `n` AST walks;
+    /// results are bit-identical to evaluating [`eval`](Self::eval) per row.
     pub fn to_bitset(&self, attrs: &AttrStore) -> Bitset {
-        let mut b = Bitset::new(attrs.len());
-        for id in 0..attrs.len() as u32 {
-            if self.eval(attrs, id) {
-                b.set(id);
+        crate::compiled::CompiledPredicate::compile(self).to_bitset(attrs)
+    }
+
+    /// The canonical constant-false predicate (`!true`); the AST has no
+    /// dedicated `False` variant because no workload generates one directly.
+    pub fn const_false() -> Predicate {
+        Predicate::Not(Box::new(Predicate::True))
+    }
+
+    /// True if this node is the canonical constant-false form.
+    fn is_const_false(&self) -> bool {
+        matches!(self, Predicate::Not(p) if matches!(**p, Predicate::True))
+    }
+
+    /// Relative evaluation cost of this subtree (drives cheapest-first
+    /// clause ordering in [`normalize`](Self::normalize) and the compiled
+    /// engine).
+    pub(crate) fn cost_weight(&self) -> u64 {
+        match self {
+            Predicate::True => 0,
+            Predicate::Equals { .. }
+            | Predicate::Between { .. }
+            | Predicate::ContainsAny { .. }
+            | Predicate::ContainsAll { .. } => cost::LEAF,
+            Predicate::In { .. } => cost::IN,
+            Predicate::RegexMatch { .. } => cost::REGEX,
+            Predicate::Not(p) => cost::LEAF + p.cost_weight(),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                cost::LEAF + ps.iter().map(Predicate::cost_weight).sum::<u64>()
             }
         }
-        b
+    }
+
+    /// Rewrite into the canonical form the compiled engine lowers from:
+    ///
+    /// * nested `And`/`Or` chains are flattened into one n-ary node;
+    /// * `True`, double negation, and empty combinators are constant-folded
+    ///   (`And([])` → `True`, `Or([])` → `!true`, `In([])` → `!true`, a
+    ///   false conjunct kills its `And`, a true disjunct wins its `Or`);
+    /// * sibling clauses are stably reordered cheapest-first, hoisting
+    ///   constant-time compares in front of `RegexMatch` so short-circuit
+    ///   evaluation skips the expensive clause on most rows;
+    /// * `In` value lists are sorted and deduplicated.
+    ///
+    /// Semantics are preserved exactly: for every row, the normalized
+    /// predicate evaluates to the same boolean as the original (property
+    /// tested). Workload generators normalize every query predicate at
+    /// construction.
+    pub fn normalize(self) -> Predicate {
+        match self {
+            Predicate::In { field, values } => {
+                if values.is_empty() {
+                    Predicate::const_false()
+                } else {
+                    Predicate::in_values(field, values)
+                }
+            }
+            Predicate::Not(p) => {
+                let p = p.normalize();
+                match p {
+                    // !!p = p (normalize(p) already normalized its insides).
+                    Predicate::Not(inner) => *inner,
+                    p => Predicate::Not(Box::new(p)),
+                }
+            }
+            Predicate::And(ps) => {
+                let mut out = Vec::with_capacity(ps.len());
+                for p in ps {
+                    let p = p.normalize();
+                    match p {
+                        Predicate::True => {}
+                        p if p.is_const_false() => return Predicate::const_false(),
+                        Predicate::And(children) => out.extend(children),
+                        p => out.push(p),
+                    }
+                }
+                out.sort_by_key(Predicate::cost_weight);
+                match out.len() {
+                    0 => Predicate::True,
+                    1 => out.pop().expect("len checked"),
+                    _ => Predicate::And(out),
+                }
+            }
+            Predicate::Or(ps) => {
+                let mut out = Vec::with_capacity(ps.len());
+                for p in ps {
+                    let p = p.normalize();
+                    match p {
+                        Predicate::True => return Predicate::True,
+                        p if p.is_const_false() => {}
+                        Predicate::Or(children) => out.extend(children),
+                        p => out.push(p),
+                    }
+                }
+                out.sort_by_key(Predicate::cost_weight);
+                match out.len() {
+                    0 => Predicate::const_false(),
+                    1 => out.pop().expect("len checked"),
+                    _ => Predicate::Or(out),
+                }
+            }
+            leaf => leaf,
+        }
     }
 
     /// A short human-readable rendering (used in experiment logs).

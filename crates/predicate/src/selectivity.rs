@@ -12,10 +12,31 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::attrs::AttrStore;
+use crate::compiled::CompiledPredicate;
 use crate::predicate::Predicate;
 
+/// The one sampling loop behind both estimators: the row sequence depends
+/// only on `(n, sample_size, seed)`, so interpreted and compiled estimation
+/// see **identical samples** and — since compiled evaluation is bit-identical
+/// to interpreted — return identical estimates. ACORN's fallback routing
+/// (`s < s_min`, §5.2) therefore never changes with the evaluation engine.
+fn sampled(n: usize, sample_size: usize, seed: u64, mut pass: impl FnMut(u32) -> bool) -> f64 {
+    if n == 0 || sample_size == 0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    for _ in 0..sample_size {
+        let id = rng.gen_range(0..n) as u32;
+        if pass(id) {
+            hits += 1;
+        }
+    }
+    hits as f64 / sample_size as f64
+}
+
 /// Estimate the fraction of rows passing `predicate` from a uniform sample
-/// of `sample_size` rows (with replacement).
+/// of `sample_size` rows (with replacement), walking the AST per sample.
 ///
 /// Returns 0.0 for an empty store. The standard error is
 /// `sqrt(s(1-s)/sample_size)`; the default harness uses 1,000 samples,
@@ -26,19 +47,44 @@ pub fn estimate_selectivity(
     sample_size: usize,
     seed: u64,
 ) -> f64 {
-    let n = attrs.len();
-    if n == 0 || sample_size == 0 {
-        return 0.0;
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut hits = 0usize;
-    for _ in 0..sample_size {
-        let id = rng.gen_range(0..n) as u32;
-        if predicate.eval(attrs, id) {
-            hits += 1;
-        }
-    }
-    hits as f64 / sample_size as f64
+    sampled(attrs.len(), sample_size, seed, |id| predicate.eval(attrs, id))
+}
+
+/// [`estimate_selectivity`] through an already-compiled predicate: same
+/// sample sequence and (provably) same estimate, but each sample runs the
+/// flat program instead of an interpretive AST walk — this is the fast
+/// estimator the adaptive hybrid-search dispatch uses, and reusing the
+/// query's compiled program means estimation adds no compilation cost.
+pub fn estimate_selectivity_compiled(
+    attrs: &AttrStore,
+    compiled: &CompiledPredicate,
+    sample_size: usize,
+    seed: u64,
+) -> f64 {
+    sampled(attrs.len(), sample_size, seed, |id| compiled.eval(attrs, id))
+}
+
+/// [`estimate_selectivity_compiled`] that additionally records every sampled
+/// row's verdict into `memo` (which must cover `attrs.len()` rows and be
+/// freshly reset). The adaptive hybrid path seeds its per-query memo this
+/// way, so a lazily-evaluated traversal never re-evaluates a row the
+/// estimator already ran; duplicate draws within the sample are answered
+/// from the memo too. The sample sequence — and therefore the estimate — is
+/// identical to the non-seeding variants.
+pub fn estimate_selectivity_seeding(
+    attrs: &AttrStore,
+    compiled: &CompiledPredicate,
+    sample_size: usize,
+    seed: u64,
+    memo: &crate::memo::MemoTable,
+) -> f64 {
+    sampled(attrs.len(), sample_size, seed, |id| {
+        memo.lookup(id).unwrap_or_else(|| {
+            let verdict = compiled.eval(attrs, id);
+            memo.record(id, verdict);
+            verdict
+        })
+    })
 }
 
 /// Exact selectivity by full scan (used for analysis and tests).
@@ -99,5 +145,23 @@ mod tests {
         let a = estimate_selectivity(&s, &p, 200, 7);
         let b = estimate_selectivity(&s, &p, 200, 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compiled_estimate_equals_interpreted() {
+        let s = store(5000);
+        let f = s.field("x").unwrap();
+        for (p, seed) in [
+            (Predicate::Equals { field: f, value: 0 }, 3u64),
+            (Predicate::Between { field: f, lo: 2, hi: 6 }, 11),
+            (Predicate::in_values(f, vec![1, 4, 9]), 29),
+        ] {
+            let c = CompiledPredicate::compile(&p);
+            assert_eq!(
+                estimate_selectivity(&s, &p, 500, seed),
+                estimate_selectivity_compiled(&s, &c, 500, seed),
+                "routing parity broken for seed {seed}"
+            );
+        }
     }
 }

@@ -1,0 +1,129 @@
+//! Property tests: the compiled predicate engine must be bit-identical to
+//! interpreted AST evaluation over random predicates × random stores.
+//!
+//! Random ASTs are built with a seeded recursive generator (the vendored
+//! proptest shim has no `prop_recursive`), covering all three column kinds,
+//! empty `In` lists, unsorted `In` lists (canonicalized through
+//! `in_values`), nested `Not`, empty/wide `And`/`Or`, regex clauses, and
+//! block-boundary row counts (63/64/65).
+
+use acorn_predicate::{
+    estimate_selectivity, estimate_selectivity_compiled, AttrStore, Bitset, CompiledPredicate,
+    Predicate, Regex,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WORDS: [&str; 8] = ["red", "dog", "cat", "photo", "a9", "blue fish", "", "riverbed"];
+const PATTERNS: [&str; 6] = ["^red", "dog", "(cat|fish)", "[0-9]", "photo .*d", "e$"];
+
+fn random_store(n: usize, rng: &mut StdRng) -> AttrStore {
+    AttrStore::builder()
+        .add_int("x", (0..n).map(|_| rng.gen_range(-8i64..8)).collect())
+        .add_keywords("kw", (0..n).map(|_| rng.gen_range(0u64..16)).collect())
+        .add_text("cap", (0..n).map(|_| WORDS[rng.gen_range(0..WORDS.len())].to_string()).collect())
+        .build()
+}
+
+fn random_pred(depth: usize, rng: &mut StdRng) -> Predicate {
+    // Field ids match `random_store`'s build order: 0 = int, 1 = kw, 2 = cap.
+    let leaf = |rng: &mut StdRng| match rng.gen_range(0..7) {
+        0 => Predicate::True,
+        1 => Predicate::Equals { field: 0, value: rng.gen_range(-8..8) },
+        2 => {
+            // 0–4 unsorted, possibly duplicated values (canonicalized by
+            // in_values); sometimes a wide span to exercise InSorted.
+            let len = rng.gen_range(0..5usize);
+            let mut values: Vec<i64> = (0..len).map(|_| rng.gen_range(-8..8)).collect();
+            if rng.gen_bool(0.3) {
+                values.push(rng.gen_range(-1_000_000i64..1_000_000));
+            }
+            Predicate::in_values(0, values)
+        }
+        3 => {
+            let (a, b) = (rng.gen_range(-9i64..9), rng.gen_range(-9i64..9));
+            // lo > hi sometimes: an empty range must also agree.
+            Predicate::Between { field: 0, lo: a, hi: b }
+        }
+        4 => Predicate::ContainsAny { field: 1, mask: rng.gen_range(0..16) },
+        5 => Predicate::ContainsAll { field: 1, mask: rng.gen_range(0..16) },
+        _ => Predicate::RegexMatch {
+            field: 2,
+            regex: Regex::new(PATTERNS[rng.gen_range(0..PATTERNS.len())]).unwrap(),
+        },
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..6) {
+        0..=2 => leaf(rng),
+        3 => Predicate::Not(Box::new(random_pred(depth - 1, rng))),
+        4 => Predicate::And(
+            (0..rng.gen_range(0..4usize)).map(|_| random_pred(depth - 1, rng)).collect(),
+        ),
+        _ => Predicate::Or(
+            (0..rng.gen_range(0..4usize)).map(|_| random_pred(depth - 1, rng)).collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn compiled_equals_interpreted_everywhere(
+        seed in 0u64..u64::MAX,
+        n in prop::sample::select(vec![0usize, 1, 2, 63, 64, 65, 127, 128, 129, 200]),
+        depth in 0usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let store = random_store(n, &mut rng);
+        let pred = random_pred(depth, &mut rng);
+        let compiled = CompiledPredicate::compile(&pred);
+        let normalized = pred.clone().normalize();
+
+        // Scalar: compiled and normalized agree with the interpreted oracle
+        // on every row.
+        for id in 0..n as u32 {
+            let want = pred.eval(&store, id);
+            prop_assert_eq!(compiled.eval(&store, id), want, "compiled row {}", id);
+            prop_assert_eq!(normalized.eval(&store, id), want, "normalized row {}", id);
+        }
+
+        // Block materialization: identical to the per-row oracle bitset,
+        // including tail-block masking.
+        let oracle = Bitset::from_ids(n, (0..n as u32).filter(|&i| pred.eval(&store, i)));
+        prop_assert_eq!(&compiled.to_bitset(&store), &oracle);
+        prop_assert_eq!(&pred.to_bitset(&store), &oracle);
+        if n % 64 != 0 && !oracle.words().is_empty() {
+            let last = compiled.to_bitset(&store);
+            let tail = last.words()[oracle.words().len() - 1];
+            prop_assert_eq!(tail >> (n % 64), 0, "bits beyond n must be zero");
+        }
+
+        // Routing parity: the compiled sampled estimator sees the same rows
+        // and must return the exact same estimate.
+        let est_i = estimate_selectivity(&store, &pred, 100, seed);
+        let est_c = estimate_selectivity_compiled(&store, &compiled, 100, seed);
+        prop_assert_eq!(est_i, est_c);
+    }
+
+    #[test]
+    fn normalize_is_idempotent(seed in 0u64..u64::MAX, depth in 0usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let store = random_store(80, &mut rng);
+        let pred = random_pred(depth, &mut rng);
+        let once = pred.clone().normalize();
+        let twice = once.clone().normalize();
+        for id in 0..80u32 {
+            prop_assert_eq!(once.eval(&store, id), twice.eval(&store, id), "row {}", id);
+        }
+        // A normalized tree lowers to the same program size as its own
+        // normalization — i.e. normalize left nothing foldable behind.
+        prop_assert_eq!(
+            CompiledPredicate::compile(&once).num_ops(),
+            CompiledPredicate::compile(&twice).num_ops()
+        );
+    }
+}

@@ -64,13 +64,15 @@ pub use acorn_predicate as predicate;
 /// The most commonly used types, importable in one line.
 pub mod prelude {
     pub use acorn_core::{
-        AcornIndex, AcornParams, AcornVariant, BatchOutput, PruneStrategy, QueryEngine,
+        AcornIndex, AcornParams, AcornVariant, BatchOutput, PredicateStrategy, PruneStrategy,
+        QueryEngine,
     };
     pub use acorn_hnsw::{
         CsrGraph, GraphView, HnswIndex, HnswParams, Metric, Neighbor, ScratchPool, SearchScratch,
         SearchStats, VectorStore,
     };
     pub use acorn_predicate::{
-        AllPass, AttrStore, BitmapFilter, Bitset, NodeFilter, Predicate, PredicateFilter, Regex,
+        AllPass, AttrStore, BitmapFilter, Bitset, CompiledFilter, CompiledPredicate, CostClass,
+        MemoFilter, MemoTable, NodeFilter, Predicate, PredicateFilter, Regex,
     };
 }
