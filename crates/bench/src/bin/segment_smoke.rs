@@ -1,0 +1,213 @@
+//! `segment_smoke` — the segment-lifecycle CI gate.
+//!
+//! Drives the full updatable-index lifecycle — insert → delete → freeze →
+//! merge → search → serialize → resume — and asserts the contracts CI
+//! cares about:
+//!
+//! * results are **deterministic** (repeated batches answer identically);
+//! * tombstoned rows never surface from any search path;
+//! * tombstone-heavy merge compaction **shrinks** `memory_bytes` (with an
+//!   optional hard ratio gate via `ACORN_SEGMENT_MAX_MERGED_BYTES_RATIO`);
+//! * post-merge answers are **bit-identical** to a from-scratch
+//!   `AcornIndex` built over the surviving rows, for pure search and for
+//!   hybrid search under both predicate strategies;
+//! * a serialize → load round trip answers identically and keeps accepting
+//!   writes.
+//!
+//! Scaled by `ACORN_BENCH_N` / `ACORN_BENCH_NQ`. Exits non-zero on any
+//! violated contract, which is what makes it a CI job rather than a demo.
+
+use std::sync::Arc;
+
+use acorn_bench::{bench_n, bench_nq};
+use acorn_core::{
+    AcornIndex, AcornParams, AcornVariant, GlobalNeighbor, PredicateStrategy, SegmentedAcornIndex,
+    SegmentedQueryEngine,
+};
+use acorn_eval::workload_recall;
+use acorn_hnsw::{Metric, SearchScratch, VectorStore};
+use acorn_predicate::{AttrStore, Predicate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 16;
+
+fn pairs(out: &[GlobalNeighbor]) -> Vec<(u64, f32)> {
+    out.iter().map(|n| (n.id, n.dist)).collect()
+}
+
+fn main() {
+    let n = bench_n(4000);
+    let nq = bench_nq(24);
+    let (k, efs) = (10, 64);
+    let mut rng = StdRng::seed_from_u64(42);
+    let vectors: Vec<Vec<f32>> =
+        (0..n).map(|_| (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let labels: Vec<i64> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+    let queries: Vec<Vec<f32>> =
+        (0..nq).map(|_| (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let params = AcornParams {
+        m: 16,
+        gamma: 8,
+        m_beta: 32,
+        ef_construction: 32,
+        metric: Metric::L2,
+        seed: 7,
+        ..Default::default()
+    };
+
+    // insert → freeze, twice: two frozen generations, empty active segment.
+    let t0 = std::time::Instant::now();
+    let mut idx = SegmentedAcornIndex::new(DIM, params.clone(), AcornVariant::Gamma);
+    for v in &vectors[..n / 2] {
+        idx.insert(v);
+    }
+    idx.freeze();
+    for v in &vectors[n / 2..] {
+        idx.insert(v);
+    }
+    idx.freeze();
+    println!("built {} rows in {} segments in {:.1?}", idx.len(), idx.num_segments(), t0.elapsed());
+    assert_eq!(idx.num_segments(), 2);
+
+    // delete: tombstone 40% of the rows, spread across both segments.
+    let t0 = std::time::Instant::now();
+    let mut deleted = 0usize;
+    for gid in 0..n as u64 {
+        if gid % 5 < 2 {
+            assert!(idx.delete(gid), "first delete of {gid} must succeed");
+            assert!(!idx.delete(gid), "double delete of {gid} must be a no-op");
+            deleted += 1;
+        }
+    }
+    println!("tombstoned {deleted} rows in {:.1?}", t0.elapsed());
+    assert_eq!(idx.len(), n - deleted);
+
+    // search: deterministic, and no tombstoned row ever surfaces.
+    let engine = SegmentedQueryEngine::new(&idx).with_threads(2);
+    let run_a = engine.search_batch(&queries, k, efs);
+    let run_b = engine.search_batch(&queries, k, efs);
+    for (a, b) in run_a.results.iter().zip(&run_b.results) {
+        assert_eq!(pairs(a), pairs(b), "repeated batches must answer identically");
+        for nb in a {
+            assert!(nb.id % 5 >= 2, "tombstoned gid {} surfaced from search", nb.id);
+        }
+    }
+    println!("pre-merge batch search deterministic at {:.0} QPS", run_a.qps);
+
+    // merge: both segments are tombstone-heavy (40% > policy's 20%).
+    let bytes_before = idx.memory_bytes();
+    let t0 = std::time::Instant::now();
+    let outcome = idx.merge();
+    assert_eq!(outcome.segments_merged, 2, "both segments must be merge candidates");
+    assert_eq!(outcome.rows_dropped, deleted);
+    assert_eq!(outcome.rows_kept, n - deleted);
+    assert_eq!(outcome.bytes_before, bytes_before);
+    assert!(
+        outcome.bytes_after < outcome.bytes_before,
+        "tombstone-heavy compaction must shrink memory: {} -> {}",
+        outcome.bytes_before,
+        outcome.bytes_after
+    );
+    let shrink = outcome.bytes_after as f64 / outcome.bytes_before as f64;
+    println!(
+        "merged {} segments in {:.1?}: dropped {} rows, {} -> {} bytes ({:.3}x)",
+        outcome.segments_merged,
+        t0.elapsed(),
+        outcome.rows_dropped,
+        outcome.bytes_before,
+        outcome.bytes_after,
+        shrink
+    );
+    if let Ok(max) = std::env::var("ACORN_SEGMENT_MAX_MERGED_BYTES_RATIO") {
+        let max: f64 = max.parse().expect("ACORN_SEGMENT_MAX_MERGED_BYTES_RATIO must be a float");
+        if shrink > max {
+            eprintln!(
+                "FAIL: merged/pre-merge bytes ratio {shrink:.3} exceeds the allowed {max:.3}"
+            );
+            std::process::exit(1);
+        }
+        println!("merge shrink gate passed: {shrink:.3} <= {max:.3}");
+    }
+
+    // Post-merge determinism: bit-identical to a from-scratch index over
+    // the surviving rows, pure and hybrid (both predicate strategies).
+    let survivors = idx.live_ids();
+    let mut store = VectorStore::with_capacity(DIM, survivors.len());
+    for &gid in &survivors {
+        store.push(&vectors[gid as usize]);
+    }
+    let rebuilt = AcornIndex::build(Arc::new(store), params, AcornVariant::Gamma);
+    let attrs_global = AttrStore::builder().add_int("label", labels.clone()).build();
+    let attrs_local = AttrStore::builder()
+        .add_int("label", survivors.iter().map(|&g| labels[g as usize]).collect())
+        .build();
+    let field = attrs_global.field("label").unwrap();
+    let mut scratch = SearchScratch::new(idx.max_segment_rows());
+    let mut rscratch = SearchScratch::new(survivors.len());
+    for (qi, q) in queries.iter().enumerate() {
+        let seg_out = idx.search(q, k, efs);
+        let reb_out: Vec<(u64, f32)> = rebuilt
+            .search(q, k, efs)
+            .iter()
+            .map(|nb| (survivors[nb.id as usize], nb.dist))
+            .collect();
+        assert_eq!(pairs(&seg_out), reb_out, "query {qi}: post-merge pure search must match");
+
+        let pred = Predicate::Equals { field, value: (qi % 4) as i64 };
+        let mut last: Option<Vec<(u64, f32)>> = None;
+        for strategy in [PredicateStrategy::Interpreted, PredicateStrategy::Adaptive] {
+            let (seg_h, _) =
+                idx.hybrid_search_with(q, &pred, &attrs_global, k, efs, &mut scratch, strategy);
+            let (reb_h, _) =
+                rebuilt.hybrid_search_with(q, &pred, &attrs_local, k, efs, &mut rscratch, strategy);
+            let got = pairs(&seg_h);
+            let want: Vec<(u64, f32)> =
+                reb_h.iter().map(|nb| (survivors[nb.id as usize], nb.dist)).collect();
+            assert_eq!(got, want, "query {qi}: post-merge hybrid/{strategy:?} must match");
+            if let Some(prev) = &last {
+                assert_eq!(prev, &got, "query {qi}: strategies must agree");
+            }
+            last = Some(got);
+        }
+    }
+    println!("post-merge answers bit-identical to a from-scratch rebuild ({} queries)", nq);
+
+    // Recall sanity against exact brute force over the surviving rows.
+    let got: Vec<Vec<u64>> =
+        queries.iter().map(|q| idx.search(q, k, efs).iter().map(|nb| nb.id).collect()).collect();
+    let truth: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| {
+            let mut all: Vec<(f32, u64)> = survivors
+                .iter()
+                .map(|&g| (Metric::L2.distance(&vectors[g as usize], q), g))
+                .collect();
+            all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            all.iter().take(k).map(|&(_, g)| g).collect()
+        })
+        .collect();
+    let recall = workload_recall(&got, &truth, k);
+    println!("post-merge recall@{k} = {recall:.4}");
+    assert!(recall >= 0.9, "post-merge recall collapsed: {recall}");
+
+    // Serialize round trip: identical answers, and writes keep working.
+    let mut buf = Vec::new();
+    idx.save(&mut buf).unwrap();
+    let mut loaded = SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap();
+    println!("serialized {} bytes (format v4), reloaded", buf.len());
+    for q in &queries {
+        assert_eq!(
+            pairs(&idx.search(q, k, efs)),
+            pairs(&loaded.search(q, k, efs)),
+            "loaded index must answer identically"
+        );
+    }
+    let gid = loaded.insert(&vectors[0]);
+    assert_eq!(gid, n as u64, "loaded index must resume the global id sequence");
+    assert!(loaded.contains(gid));
+    assert_eq!(loaded.search(&vectors[0], 1, efs)[0].id, gid);
+    println!("loaded index resumed accepting writes (gid {gid})");
+
+    println!("segment-lifecycle smoke passed");
+}

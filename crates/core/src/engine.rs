@@ -27,13 +27,16 @@ use acorn_hnsw::{ScratchPool, SearchScratch, SearchStats};
 use acorn_predicate::{AttrStore, NodeFilter, Predicate};
 
 use crate::index::{AcornIndex, PredicateStrategy};
+use crate::segment::{GlobalNeighbor, SegmentedAcornIndex};
 
-/// The answer to one batch of queries.
+/// The answer to one batch of queries. `N` is the per-result neighbor type:
+/// [`Neighbor`] (local row ids) from [`QueryEngine`], [`GlobalNeighbor`]
+/// (stable global ids) from [`SegmentedQueryEngine`].
 #[derive(Debug, Clone)]
-pub struct BatchOutput {
+pub struct BatchOutput<N = Neighbor> {
     /// Per-query results, indexed like the input query slice (deterministic
     /// regardless of thread count).
-    pub results: Vec<Vec<Neighbor>>,
+    pub results: Vec<Vec<N>>,
     /// Search statistics aggregated across all queries (averaged back to
     /// one-execution scale when `repeats > 1`).
     pub stats: SearchStats,
@@ -174,6 +177,145 @@ impl<'a> QueryEngine<'a> {
         efs: usize,
         strategy: PredicateStrategy,
     ) -> BatchOutput
+    where
+        Q: AsRef<[f32]> + Sync,
+    {
+        self.run_batch(queries.len(), |i, scratch, stats| {
+            let (q, predicate) = &queries[i];
+            let (out, st) = self.index.hybrid_search_with(
+                q.as_ref(),
+                predicate,
+                attrs,
+                k,
+                efs,
+                scratch,
+                strategy,
+            );
+            stats.merge(&st);
+            out
+        })
+    }
+}
+
+/// The batch-serving layer over a [`SegmentedAcornIndex`]: the same
+/// shard/repeat/measure semantics as [`QueryEngine`] (one
+/// [`run_sharded`](acorn_hnsw::pool::run_sharded) driver behind both), with
+/// each worker's pooled scratch serving **every segment** of its queries in
+/// turn — the per-query fan-out across segments, the k-way merge of
+/// per-segment result heaps, and the global-id remapping all happen inside
+/// the index's `*_with` entry points. Results come back as
+/// [`GlobalNeighbor`]s in deterministic input order with aggregated
+/// [`SearchStats`].
+#[derive(Debug)]
+pub struct SegmentedQueryEngine<'a> {
+    index: &'a SegmentedAcornIndex,
+    threads: usize,
+    repeats: usize,
+}
+
+impl<'a> SegmentedQueryEngine<'a> {
+    /// An engine over `index` using all available cores and one execution
+    /// per query.
+    pub fn new(index: &'a SegmentedAcornIndex) -> Self {
+        Self { index, threads: 0, repeats: 1 }
+    }
+
+    /// Set the worker-thread count (`0` = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Execute every query `repeats` times per batch (QPS counts every
+    /// execution; results come from the final pass).
+    pub fn with_repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats.max(1);
+        self
+    }
+
+    /// The segmented index this engine serves.
+    pub fn index(&self) -> &SegmentedAcornIndex {
+        self.index
+    }
+
+    /// The scratch pool this engine draws from (the index's own).
+    pub fn pool(&self) -> &ScratchPool {
+        self.index.scratch_pool()
+    }
+
+    fn run_batch<F>(&self, nq: usize, f: F) -> BatchOutput<GlobalNeighbor>
+    where
+        F: Fn(usize, &mut SearchScratch, &mut SearchStats) -> Vec<GlobalNeighbor> + Sync,
+    {
+        let run = acorn_hnsw::pool::run_sharded(
+            self.index.scratch_pool(),
+            nq,
+            self.threads,
+            self.repeats,
+            self.index.max_segment_rows(),
+            f,
+        );
+        let qps = run.throughput();
+        BatchOutput { results: run.results, stats: run.stats, elapsed: run.elapsed, qps }
+    }
+
+    /// Pure ANN search for a batch of queries across all segments.
+    pub fn search_batch<Q>(
+        &self,
+        queries: &[Q],
+        k: usize,
+        efs: usize,
+    ) -> BatchOutput<GlobalNeighbor>
+    where
+        Q: AsRef<[f32]> + Sync,
+    {
+        self.run_batch(queries.len(), |i, scratch, stats| {
+            self.index.search_with(queries[i].as_ref(), k, efs, scratch, stats)
+        })
+    }
+
+    /// Filtered search for a batch sharing one global-id predicate.
+    pub fn search_filtered_batch<Q, F>(
+        &self,
+        queries: &[Q],
+        filter: &F,
+        k: usize,
+        efs: usize,
+    ) -> BatchOutput<GlobalNeighbor>
+    where
+        Q: AsRef<[f32]> + Sync,
+        F: Fn(u64) -> bool + Sync,
+    {
+        self.run_batch(queries.len(), |i, scratch, stats| {
+            self.index.search_filtered(queries[i].as_ref(), filter, k, efs, scratch, stats)
+        })
+    }
+
+    /// Full hybrid search (per-segment §5.2 routing included) for a batch
+    /// of `(vector, predicate)` queries against one global attribute store.
+    pub fn hybrid_search_batch<Q>(
+        &self,
+        queries: &[(Q, &Predicate)],
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+    ) -> BatchOutput<GlobalNeighbor>
+    where
+        Q: AsRef<[f32]> + Sync,
+    {
+        self.hybrid_search_batch_with(queries, attrs, k, efs, PredicateStrategy::default())
+    }
+
+    /// [`hybrid_search_batch`](Self::hybrid_search_batch) with an explicit
+    /// [`PredicateStrategy`] (results are bit-identical across strategies).
+    pub fn hybrid_search_batch_with<Q>(
+        &self,
+        queries: &[(Q, &Predicate)],
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        strategy: PredicateStrategy,
+    ) -> BatchOutput<GlobalNeighbor>
     where
         Q: AsRef<[f32]> + Sync,
     {
@@ -343,6 +485,88 @@ mod tests {
         let out = engine.search_batch(&Vec::<Vec<f32>>::new(), 5, 16);
         assert!(out.results.is_empty());
         assert_eq!(out.stats, SearchStats::default());
+    }
+
+    fn small_segmented(n: usize, seed: u64) -> crate::SegmentedAcornIndex {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = AcornParams {
+            m: 8,
+            gamma: 4,
+            m_beta: 16,
+            ef_construction: 32,
+            metric: Metric::L2,
+            seed,
+            ..Default::default()
+        };
+        let mut idx = crate::SegmentedAcornIndex::new(8, params, AcornVariant::Gamma);
+        for i in 0..n {
+            let v: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            idx.insert(&v);
+            if i == n / 2 {
+                idx.freeze();
+            }
+        }
+        // Tombstone a spread of rows across both segments.
+        for gid in (0..n as u64).step_by(9) {
+            idx.delete(gid);
+        }
+        idx
+    }
+
+    #[test]
+    fn segmented_batch_matches_sequential_across_thread_counts() {
+        let idx = small_segmented(700, 21);
+        let qs = queries(17, 8, 22);
+
+        let mut scratch = SearchScratch::new(idx.max_segment_rows());
+        let mut stats = SearchStats::default();
+        let sequential: Vec<Vec<(u64, f32)>> = qs
+            .iter()
+            .map(|q| {
+                idx.search_with(q, 10, 48, &mut scratch, &mut stats)
+                    .iter()
+                    .map(|n| (n.id, n.dist))
+                    .collect()
+            })
+            .collect();
+
+        for threads in [1, 2, 4] {
+            let engine = SegmentedQueryEngine::new(&idx).with_threads(threads);
+            let out = engine.search_batch(&qs, 10, 48);
+            let got: Vec<Vec<(u64, f32)>> =
+                out.results.iter().map(|r| r.iter().map(|n| (n.id, n.dist)).collect()).collect();
+            assert_eq!(got, sequential, "threads = {threads}");
+            for r in &out.results {
+                for n in r {
+                    assert!(n.id % 9 != 0, "tombstoned gid {} surfaced from a batch", n.id);
+                }
+            }
+            assert!(out.stats.ndis > 0);
+        }
+    }
+
+    #[test]
+    fn segmented_hybrid_batch_agrees_across_strategies() {
+        let idx = small_segmented(600, 23);
+        let mut rng = StdRng::seed_from_u64(24);
+        let labels: Vec<i64> = (0..idx.next_global_id()).map(|_| rng.gen_range(0..4)).collect();
+        let attrs = AttrStore::builder().add_int("label", labels).build();
+        let field = attrs.field("label").unwrap();
+        let qs = queries(9, 8, 25);
+        let preds: Vec<Predicate> =
+            (0..qs.len()).map(|i| Predicate::Equals { field, value: (i % 4) as i64 }).collect();
+        let batch: Vec<(&[f32], &Predicate)> =
+            qs.iter().zip(&preds).map(|(q, p)| (q.as_slice(), p)).collect();
+
+        let engine = SegmentedQueryEngine::new(&idx).with_threads(2);
+        let a = engine.hybrid_search_batch_with(&batch, &attrs, 5, 32, PredicateStrategy::Adaptive);
+        let b =
+            engine.hybrid_search_batch_with(&batch, &attrs, 5, 32, PredicateStrategy::Interpreted);
+        let pairs = |out: &BatchOutput<crate::GlobalNeighbor>| -> Vec<Vec<(u64, f32)>> {
+            out.results.iter().map(|r| r.iter().map(|n| (n.id, n.dist)).collect()).collect()
+        };
+        assert_eq!(pairs(&a), pairs(&b), "strategies must answer identically through the engine");
+        assert!(a.stats.npred > 0);
     }
 
     #[test]

@@ -18,7 +18,9 @@ use crate::prune::{self, PruneStrategy};
 use crate::search::{acorn_search_layer, LookupMode};
 
 /// Number of sampled rows used by the hybrid-search selectivity estimate.
-const SELECTIVITY_SAMPLES: usize = 1000;
+/// Shared with the segmented index so per-segment routing samples exactly
+/// like a monolithic index would.
+pub(crate) const SELECTIVITY_SAMPLES: usize = 1000;
 
 /// Adaptive-dispatch threshold: graph-path queries whose estimated
 /// selectivity falls below this value are evaluated **block-materialized**
@@ -234,6 +236,14 @@ impl AcornIndex {
         self.graph.memory_bytes()
     }
 
+    /// Memory footprint of the layout the read path is actually serving
+    /// from: the frozen CSR snapshot when [`compact`](Self::compact)ed, the
+    /// nested build-time graph otherwise. The segmented index sums this per
+    /// segment, so merge compaction's reclaimed bytes are visible.
+    pub fn serving_memory_bytes(&self) -> usize {
+        self.csr.as_ref().map_or_else(|| self.graph.memory_bytes(), CsrGraph::memory_bytes)
+    }
+
     /// The search-time lookup mode for this index.
     fn lookup_mode(&self) -> LookupMode {
         match self.variant {
@@ -243,6 +253,27 @@ impl AcornIndex {
             },
             AcornVariant::One => LookupMode::TwoHop,
         }
+    }
+
+    /// Append `v` to the owned vector store and index it, returning the new
+    /// row id. This is the write path of a *growing* index (the segmented
+    /// index's active segment): unlike [`insert`](Self::insert), the vector
+    /// does not need to pre-exist in the store.
+    ///
+    /// # Panics
+    /// Panics if `v` has the wrong dimension, or if the vector store has
+    /// outstanding `Arc` clones (the caller must be the store's only owner;
+    /// indices built over a shared store are insert-by-id only).
+    pub fn insert_vector(&mut self, v: &[f32]) -> u32 {
+        let id = {
+            let store = Arc::get_mut(&mut self.vecs).expect(
+                "insert_vector requires exclusive ownership of the vector store \
+                 (drop other Arc clones, or use insert(id) over a pre-filled store)",
+            );
+            store.push(v)
+        };
+        self.insert(id);
+        id
     }
 
     /// Insert vector `id` (ids must be inserted sequentially).
@@ -1015,6 +1046,35 @@ mod tests {
             a.iter().map(|n| n.id).collect::<Vec<_>>(),
             b.iter().map(|n| n.id).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn insert_vector_grows_store_and_matches_prefilled_build() {
+        let n = 300;
+        let prefilled = random_store(n, 8, 17);
+        let built = AcornIndex::build(prefilled.clone(), small_params(8, 2), AcornVariant::Gamma);
+
+        // Grow an index row by row from an empty, exclusively-owned store.
+        let mut grown =
+            AcornIndex::new(Arc::new(VectorStore::new(8)), small_params(8, 2), AcornVariant::Gamma);
+        for id in 0..n as u32 {
+            assert_eq!(grown.insert_vector(prefilled.get(id)), id);
+        }
+        assert_eq!(grown.len(), n);
+        let q = vec![0.2; 8];
+        let a: Vec<(u32, f32)> = built.search(&q, 10, 64).iter().map(|x| (x.id, x.dist)).collect();
+        let b: Vec<(u32, f32)> = grown.search(&q, 10, 64).iter().map(|x| (x.id, x.dist)).collect();
+        assert_eq!(a, b, "grown and prefilled construction must agree");
+    }
+
+    #[test]
+    fn serving_memory_bytes_tracks_the_served_layout() {
+        let vecs = random_store(400, 8, 18);
+        let mut idx = AcornIndex::build(vecs, small_params(8, 2), AcornVariant::Gamma);
+        assert_eq!(idx.serving_memory_bytes(), idx.memory_bytes(), "nested until compacted");
+        let csr_bytes = idx.compact().memory_bytes();
+        assert_eq!(idx.serving_memory_bytes(), csr_bytes);
+        assert!(csr_bytes < idx.memory_bytes(), "CSR must be the smaller layout");
     }
 
     #[test]

@@ -33,6 +33,13 @@
 //! Table 6 / Figure 13, plus the batch-serving layer ([`QueryEngine`]):
 //! concurrent, scratch-pooled execution of pure/filtered/hybrid query
 //! batches with deterministic output ordering and aggregated search stats.
+//!
+//! For live-traffic workloads, [`SegmentedAcornIndex`] layers a
+//! Lucene-style storage engine on top: one mutable active segment absorbing
+//! inserts, frozen CSR-served segments, tombstoned deletes, and merge
+//! compaction that drops dead rows — with a property-tested guarantee that
+//! a fully-compacted index answers bit-identically to a from-scratch
+//! rebuild over the surviving rows (see [`segment`]).
 
 pub mod engine;
 pub mod index;
@@ -40,11 +47,13 @@ pub mod lookup;
 pub mod params;
 pub mod prune;
 pub mod search;
+pub mod segment;
 pub mod serialize;
 
-pub use engine::{BatchOutput, QueryEngine};
+pub use engine::{BatchOutput, QueryEngine, SegmentedQueryEngine};
 pub use index::{AcornIndex, PredicateStrategy, MATERIALIZE_BELOW_SELECTIVITY};
 pub use params::{AcornParams, AcornVariant};
 pub use prune::PruneStrategy;
+pub use segment::{GlobalNeighbor, MergeOutcome, MergePolicy, Segment, SegmentedAcornIndex};
 
 pub use acorn_hnsw::{CsrGraph, GraphView, Neighbor, ScratchPool, SearchScratch, SearchStats};

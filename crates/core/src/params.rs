@@ -18,7 +18,7 @@ pub enum AcornVariant {
 ///
 /// Defaults mirror the paper's evaluation setup (§7.2): `M = 32`,
 /// `efc = 40`, with `γ` and `M_β` chosen per dataset.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcornParams {
     /// Degree bound `M` for traversed nodes during search; also fixes the
     /// level normalization constant `mL = 1/ln(M)`.

@@ -1,0 +1,1174 @@
+//! The segmented, updatable ACORN index: tombstoned deletes and merge
+//! compaction over a log of immutable segments.
+//!
+//! ACORN's evaluation assumes a statically built index; a serving system
+//! needs inserts, deletes, and maintenance without a full rebuild. This
+//! module implements the production pattern proven by Lucene-style engines
+//! (segment-per-generation storage; "Vector Search with OpenAI Embeddings:
+//! Lucene Is All You Need"):
+//!
+//! * **one active segment** — a nested [`LayeredGraph`]-backed
+//!   [`AcornIndex`] absorbing inserts through
+//!   [`AcornIndex::insert_vector`];
+//! * **frozen segments** — read-optimized snapshots served from the
+//!   [`CsrGraph`](acorn_hnsw::CsrGraph) layout ([`freeze`] compacts the
+//!   active segment and opens a fresh one);
+//! * **tombstoned deletes** — [`delete`] sets a bit in the owning segment's
+//!   [`Bitset`]; the tombstone composes with every query's
+//!   [`NodeFilter`], so a deleted row never surfaces from `search`,
+//!   `search_filtered`, or `hybrid_search` while its graph node keeps
+//!   serving as a traversal waypoint (recall degrades gracefully until the
+//!   next merge, exactly like Lucene's deleted docs);
+//! * **merge compaction** — [`merge`] rebuilds small or tombstone-heavy
+//!   frozen segments into one fresh graph over the surviving rows, dropping
+//!   dead rows and reclaiming their vector, adjacency, and tombstone
+//!   memory.
+//!
+//! Rows are addressed by **stable global ids** (`u64`, assigned by
+//! [`insert`], never reused); each segment keeps a sorted local → global id
+//! map, and every query k-way merges per-segment top-`k` lists into one
+//! global answer ([`merge_k_sorted`]).
+//!
+//! **Determinism contract** (property-tested): after [`compact_all`]
+//! collapses everything into one segment, every query — pure, filtered, and
+//! hybrid under either [`PredicateStrategy`] — answers **bit-identically**
+//! to a from-scratch [`AcornIndex`] built over the surviving rows in global
+//! id order. This holds because merge rebuilds with the same parameters,
+//! seed, and insertion order, and because per-segment selectivity routing
+//! samples through [`estimate_selectivity_mapped`], which draws the same
+//! sample positions over a segment's rows as a monolithic index draws over
+//! its own.
+//!
+//! [`freeze`]: SegmentedAcornIndex::freeze
+//! [`delete`]: SegmentedAcornIndex::delete
+//! [`insert`]: SegmentedAcornIndex::insert
+//! [`merge`]: SegmentedAcornIndex::merge
+//! [`compact_all`]: SegmentedAcornIndex::compact_all
+//! [`LayeredGraph`]: acorn_hnsw::LayeredGraph
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use acorn_hnsw::heap::{merge_k_sorted, Neighbor};
+use acorn_hnsw::{ScratchPool, SearchScratch, SearchStats, VectorStore};
+use acorn_predicate::{
+    estimate_selectivity_mapped, estimate_selectivity_seeding_mapped, AllPass, AttrStore, Bitset,
+    CompiledPredicate, CostClass, MemoFilter, NodeFilter, Predicate,
+};
+
+use crate::index::{AcornIndex, PredicateStrategy, MATERIALIZE_BELOW_SELECTIVITY};
+use crate::params::{AcornParams, AcornVariant};
+
+/// A search result addressed by **global** row id (stable across freezes
+/// and merges), the segmented analogue of [`Neighbor`].
+///
+/// Ordering is by distance (`total_cmp`), tie-broken by id — the same
+/// contract as [`Neighbor`], so per-segment lists merge deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalNeighbor {
+    /// Distance to the query (smaller = closer).
+    pub dist: f32,
+    /// Stable global row id assigned at insert time.
+    pub id: u64,
+}
+
+impl GlobalNeighbor {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(dist: f32, id: u64) -> Self {
+        Self { dist, id }
+    }
+}
+
+impl Eq for GlobalNeighbor {}
+
+impl Ord for GlobalNeighbor {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist.total_cmp(&other.dist).then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for GlobalNeighbor {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// When [`SegmentedAcornIndex::merge`] considers a frozen segment a
+/// compaction candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergePolicy {
+    /// Frozen segments with fewer total rows than this are merge candidates
+    /// (many small segments fan every query out needlessly).
+    pub min_rows: usize,
+    /// Frozen segments whose tombstoned fraction exceeds this are merge
+    /// candidates (dead rows waste memory and traversal work).
+    pub max_tombstone_fraction: f64,
+    /// Auto-[`freeze`](SegmentedAcornIndex::freeze) the active segment once
+    /// it reaches this many rows (`0` = freeze only on explicit calls).
+    pub active_max_rows: usize,
+}
+
+impl Default for MergePolicy {
+    fn default() -> Self {
+        Self { min_rows: 2048, max_tombstone_fraction: 0.2, active_max_rows: 0 }
+    }
+}
+
+/// What a [`merge`](SegmentedAcornIndex::merge) /
+/// [`compact_all`](SegmentedAcornIndex::compact_all) call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MergeOutcome {
+    /// Number of frozen segments compacted away (0 = the call was a no-op).
+    pub segments_merged: usize,
+    /// Tombstoned rows dropped — their vectors, edges, and tombstone bits
+    /// are gone.
+    pub rows_dropped: usize,
+    /// Surviving rows carried into the merged segment.
+    pub rows_kept: usize,
+    /// [`SegmentedAcornIndex::memory_bytes`] before the merge.
+    pub bytes_before: usize,
+    /// [`SegmentedAcornIndex::memory_bytes`] after the merge.
+    pub bytes_after: usize,
+}
+
+/// One generation of rows: an [`AcornIndex`] over the segment's own vector
+/// store, the sorted local → global id map, and the tombstone set.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    pub(crate) index: AcornIndex,
+    /// `global_ids[local]` = stable global id of segment row `local`;
+    /// strictly ascending, so local ordering and global ordering agree
+    /// (which keeps distance-tie-breaking identical after a merge).
+    pub(crate) global_ids: Vec<u64>,
+    /// Set bit = deleted row. Universe tracks the row count.
+    pub(crate) tombstones: Bitset,
+    /// Cached count of set tombstone bits.
+    pub(crate) deleted: usize,
+}
+
+impl Segment {
+    fn new_active(dim: usize, params: AcornParams, variant: AcornVariant) -> Self {
+        Self {
+            index: AcornIndex::new(Arc::new(VectorStore::new(dim)), params, variant),
+            global_ids: Vec::new(),
+            tombstones: Bitset::new(0),
+            deleted: 0,
+        }
+    }
+
+    pub(crate) fn from_parts(index: AcornIndex, global_ids: Vec<u64>, tombstones: Bitset) -> Self {
+        let deleted = tombstones.count();
+        Self { index, global_ids, tombstones, deleted }
+    }
+
+    /// Total rows (live + tombstoned).
+    pub fn rows(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// Rows not tombstoned.
+    pub fn live_rows(&self) -> usize {
+        self.rows() - self.deleted
+    }
+
+    /// Tombstoned rows.
+    pub fn deleted_rows(&self) -> usize {
+        self.deleted
+    }
+
+    /// `deleted / rows` (0.0 for an empty segment).
+    pub fn tombstone_fraction(&self) -> f64 {
+        if self.global_ids.is_empty() {
+            0.0
+        } else {
+            self.deleted as f64 / self.global_ids.len() as f64
+        }
+    }
+
+    /// True when the segment holds no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.global_ids.is_empty()
+    }
+
+    /// The per-segment ACORN index (frozen segments serve from CSR).
+    pub fn index(&self) -> &AcornIndex {
+        &self.index
+    }
+
+    /// The sorted local → global id map.
+    pub fn global_ids(&self) -> &[u64] {
+        &self.global_ids
+    }
+
+    /// The tombstone set (set bit = deleted local row).
+    pub fn tombstones(&self) -> &Bitset {
+        &self.tombstones
+    }
+
+    /// Local row id of `gid`, if this segment owns it (tombstoned or not).
+    pub fn local_of(&self, gid: u64) -> Option<u32> {
+        self.global_ids.binary_search(&gid).ok().map(|i| i as u32)
+    }
+
+    /// Bytes held by this segment: the served graph layout, the vector
+    /// data, the id map, and the tombstone words.
+    pub fn memory_bytes(&self) -> usize {
+        self.index.serving_memory_bytes()
+            + self.index.vectors().memory_bytes()
+            + self.global_ids.len() * std::mem::size_of::<u64>()
+            + self.tombstones.memory_bytes()
+    }
+
+    /// Remap a per-segment result list to global ids. Input is ascending by
+    /// `(dist, local)`; because `global_ids` is strictly ascending, output
+    /// is ascending by `(dist, global)` — ready for the k-way merge.
+    fn to_global(&self, out: Vec<Neighbor>) -> Vec<GlobalNeighbor> {
+        out.into_iter()
+            .map(|n| GlobalNeighbor::new(n.dist, self.global_ids[n.id as usize]))
+            .collect()
+    }
+}
+
+/// Composes a segment's tombstones with any row filter: a tombstoned row
+/// never passes, whatever the inner filter says. With an empty tombstone
+/// set this is transparent (same verdicts, same enumeration order), which
+/// is what keeps a fully-merged segment bit-identical to a monolithic
+/// index.
+struct LiveFilter<'a, F: NodeFilter> {
+    inner: &'a F,
+    tombstones: &'a Bitset,
+}
+
+impl<F: NodeFilter> NodeFilter for LiveFilter<'_, F> {
+    #[inline]
+    fn passes(&self, id: u32) -> bool {
+        !self.tombstones.get(id) && self.inner.passes(id)
+    }
+
+    fn for_each_passing(&self, n: usize, f: &mut dyn FnMut(u32)) -> u64 {
+        let tombstones = self.tombstones;
+        self.inner.for_each_passing(n, &mut |id| {
+            if !tombstones.get(id) {
+                f(id);
+            }
+        })
+    }
+}
+
+/// Interpreted predicate evaluation at a row's global id (the attribute
+/// store is indexed by global id; the graph traversal speaks local ids).
+struct RemappedPredicateFilter<'a> {
+    attrs: &'a AttrStore,
+    predicate: &'a Predicate,
+    global_ids: &'a [u64],
+}
+
+impl NodeFilter for RemappedPredicateFilter<'_> {
+    #[inline]
+    fn passes(&self, id: u32) -> bool {
+        self.predicate.eval(self.attrs, self.global_ids[id as usize] as u32)
+    }
+}
+
+/// Compiled predicate evaluation at a row's global id.
+struct RemappedCompiledFilter<'a> {
+    attrs: &'a AttrStore,
+    compiled: &'a CompiledPredicate,
+    global_ids: &'a [u64],
+}
+
+impl NodeFilter for RemappedCompiledFilter<'_> {
+    #[inline]
+    fn passes(&self, id: u32) -> bool {
+        self.compiled.eval(self.attrs, self.global_ids[id as usize] as u32)
+    }
+}
+
+/// Bit test against a globally-materialized predicate bitmap, remapped
+/// through the segment's id map.
+struct GlobalBitsFilter<'a> {
+    bits: &'a Bitset,
+    global_ids: &'a [u64],
+}
+
+impl NodeFilter for GlobalBitsFilter<'_> {
+    #[inline]
+    fn passes(&self, id: u32) -> bool {
+        self.bits.get(self.global_ids[id as usize] as u32)
+    }
+}
+
+/// A caller-supplied `Fn(u64) -> bool` over global ids, adapted to the
+/// local-id [`NodeFilter`] contract.
+struct GlobalFnFilter<'a, F: Fn(u64) -> bool> {
+    f: &'a F,
+    global_ids: &'a [u64],
+}
+
+impl<F: Fn(u64) -> bool> NodeFilter for GlobalFnFilter<'_, F> {
+    #[inline]
+    fn passes(&self, id: u32) -> bool {
+        (self.f)(self.global_ids[id as usize])
+    }
+}
+
+/// A segmented, updatable ACORN index: one mutable active segment plus any
+/// number of frozen, CSR-served segments, with tombstone deletes and merge
+/// compaction. See the [module docs](self) for the architecture and the
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct SegmentedAcornIndex {
+    params: AcornParams,
+    variant: AcornVariant,
+    dim: usize,
+    frozen: Vec<Segment>,
+    active: Segment,
+    next_global: u64,
+    policy: MergePolicy,
+    /// Scratch pool shared by [`search`](Self::search) and the segmented
+    /// batch engine; one checked-out scratch serves all segments of a query
+    /// sequentially (`begin(n)` re-arms it per segment).
+    pool: ScratchPool,
+}
+
+impl SegmentedAcornIndex {
+    /// An empty segmented index for vectors of dimension `dim`.
+    ///
+    /// `params`/`variant` apply to every segment ever built (the active
+    /// segment now, every merge product later), so all segments share one
+    /// level-sampling seed and pruning configuration.
+    pub fn new(dim: usize, params: AcornParams, variant: AcornVariant) -> Self {
+        Self {
+            active: Segment::new_active(dim, params.clone(), variant),
+            params,
+            variant,
+            dim,
+            frozen: Vec::new(),
+            next_global: 0,
+            policy: MergePolicy::default(),
+            pool: ScratchPool::new(),
+        }
+    }
+
+    /// Reassemble a segmented index from deserialized parts (used by
+    /// `SegmentedAcornIndex::load`; not part of the construction API).
+    pub(crate) fn from_loaded_parts(
+        params: AcornParams,
+        variant: AcornVariant,
+        dim: usize,
+        frozen: Vec<Segment>,
+        active: Segment,
+        next_global: u64,
+        policy: MergePolicy,
+    ) -> Self {
+        Self { params, variant, dim, frozen, active, next_global, policy, pool: ScratchPool::new() }
+    }
+
+    /// Replace the merge policy (builder style).
+    pub fn with_policy(mut self, policy: MergePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The merge policy in force.
+    pub fn policy(&self) -> &MergePolicy {
+        &self.policy
+    }
+
+    /// Construction parameters shared by every segment.
+    pub fn params(&self) -> &AcornParams {
+        &self.params
+    }
+
+    /// Which ACORN variant the segments implement.
+    pub fn variant(&self) -> AcornVariant {
+        self.variant
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Live (non-tombstoned) rows across all segments.
+    pub fn len(&self) -> usize {
+        self.segments().map(Segment::live_rows).sum()
+    }
+
+    /// True when no live rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total rows still stored, tombstoned included.
+    pub fn total_rows(&self) -> usize {
+        self.segments().map(Segment::rows).sum()
+    }
+
+    /// Tombstoned rows awaiting compaction.
+    pub fn deleted_rows(&self) -> usize {
+        self.segments().map(Segment::deleted_rows).sum()
+    }
+
+    /// The next global id [`insert`](Self::insert) will assign (also the
+    /// exclusive upper bound of every id ever assigned).
+    pub fn next_global_id(&self) -> u64 {
+        self.next_global
+    }
+
+    /// Frozen (read-optimized) segments, ascending by first global id.
+    pub fn frozen_segments(&self) -> &[Segment] {
+        &self.frozen
+    }
+
+    /// The mutable active segment (may be empty).
+    pub fn active_segment(&self) -> &Segment {
+        &self.active
+    }
+
+    /// Number of non-empty segments queries fan out over.
+    pub fn num_segments(&self) -> usize {
+        self.frozen.len() + usize::from(!self.active.is_empty())
+    }
+
+    /// All non-empty segments in query order (frozen first, then active).
+    fn segments(&self) -> impl Iterator<Item = &Segment> {
+        self.frozen.iter().chain(std::iter::once(&self.active)).filter(|s| !s.is_empty())
+    }
+
+    /// Sorted global ids of all live rows (diagnostics and tests).
+    pub fn live_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .segments()
+            .flat_map(|s| s.tombstones.iter_zeros().map(|l| s.global_ids[l as usize]))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// True when `gid` is indexed and not tombstoned.
+    pub fn contains(&self, gid: u64) -> bool {
+        self.segments().any(|s| s.local_of(gid).is_some_and(|local| !s.tombstones.get(local)))
+    }
+
+    /// Bytes held across all segments: served graph layouts, vector data,
+    /// id maps, and tombstone words. Merge compaction shrinks this by
+    /// dropping dead rows.
+    pub fn memory_bytes(&self) -> usize {
+        self.segments().map(Segment::memory_bytes).sum()
+    }
+
+    /// Row count of the largest segment — the scratch capacity a worker
+    /// needs to serve any single query.
+    pub fn max_segment_rows(&self) -> usize {
+        self.segments().map(Segment::rows).max().unwrap_or(0)
+    }
+
+    /// The shared scratch pool (the segmented batch engine draws from it).
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        &self.pool
+    }
+
+    /// Insert a vector, returning its stable global id. The row lands in
+    /// the active segment; if the merge policy's `active_max_rows` is set
+    /// and reached, the active segment is auto-frozen afterwards.
+    ///
+    /// # Panics
+    /// Panics if `v` has the wrong dimension.
+    pub fn insert(&mut self, v: &[f32]) -> u64 {
+        assert_eq!(v.len(), self.dim, "inserted vector has wrong dimension");
+        let local = self.active.index.insert_vector(v);
+        debug_assert_eq!(local as usize, self.active.global_ids.len());
+        let gid = self.next_global;
+        self.next_global += 1;
+        self.active.global_ids.push(gid);
+        self.active.tombstones.grow(self.active.global_ids.len());
+        if self.policy.active_max_rows > 0 && self.active.rows() >= self.policy.active_max_rows {
+            self.freeze();
+        }
+        gid
+    }
+
+    /// Tombstone the row with global id `gid`. Returns `true` if the row
+    /// was live (idempotent: deleting a missing or already-deleted row
+    /// returns `false`). The row stops surfacing from every search
+    /// immediately; its memory is reclaimed by the next merge that touches
+    /// its segment.
+    pub fn delete(&mut self, gid: u64) -> bool {
+        for seg in self.frozen.iter_mut().chain(std::iter::once(&mut self.active)) {
+            if let Some(local) = seg.local_of(gid) {
+                if seg.tombstones.get(local) {
+                    return false;
+                }
+                seg.tombstones.set(local);
+                seg.deleted += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Seal the active segment: compact its graph to the CSR read layout,
+    /// move it to the frozen list, and open a fresh active segment. No-op
+    /// when the active segment is empty.
+    pub fn freeze(&mut self) {
+        if self.active.is_empty() {
+            return;
+        }
+        let mut sealed = std::mem::replace(
+            &mut self.active,
+            Segment::new_active(self.dim, self.params.clone(), self.variant),
+        );
+        sealed.index.compact();
+        self.frozen.push(sealed);
+        self.frozen.sort_by_key(|s| s.global_ids[0]);
+    }
+
+    /// Compact frozen segments the [`MergePolicy`] flags (too small, or too
+    /// tombstone-heavy) into one fresh segment over their surviving rows.
+    /// Returns what happened; a call with nothing worth merging (fewer than
+    /// two candidates and no tombstones among them) is a no-op.
+    pub fn merge(&mut self) -> MergeOutcome {
+        let candidates: Vec<usize> = self
+            .frozen
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.rows() < self.policy.min_rows
+                    || s.tombstone_fraction() > self.policy.max_tombstone_fraction
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let dead: usize = candidates.iter().map(|&i| self.frozen[i].deleted_rows()).sum();
+        if candidates.len() < 2 && dead == 0 {
+            let bytes = self.memory_bytes();
+            return MergeOutcome { bytes_before: bytes, bytes_after: bytes, ..Default::default() };
+        }
+        self.merge_segments(&candidates)
+    }
+
+    /// Freeze the active segment, then merge **all** frozen segments into a
+    /// single one, dropping every tombstoned row. After this the index
+    /// holds at most one (fully live) segment, and every query answers
+    /// bit-identically to a from-scratch [`AcornIndex`] over the surviving
+    /// rows in global id order.
+    pub fn compact_all(&mut self) -> MergeOutcome {
+        self.freeze();
+        if self.frozen.is_empty() {
+            return MergeOutcome::default();
+        }
+        let all: Vec<usize> = (0..self.frozen.len()).collect();
+        self.merge_segments(&all)
+    }
+
+    /// Rebuild the frozen segments at `indices` into one fresh segment over
+    /// their surviving rows (ascending global id), compact it, and splice
+    /// it into the frozen list.
+    fn merge_segments(&mut self, indices: &[usize]) -> MergeOutcome {
+        let bytes_before = self.memory_bytes();
+        let rows_before: usize = indices.iter().map(|&i| self.frozen[i].rows()).sum();
+
+        // Survivors, ascending by global id. Segments own disjoint id
+        // ranges, but sorting makes no ordering assumption at all.
+        let mut rows: Vec<(u64, usize, u32)> = Vec::new();
+        for &si in indices {
+            let seg = &self.frozen[si];
+            rows.extend(
+                seg.tombstones
+                    .iter_zeros()
+                    .map(|local| (seg.global_ids[local as usize], si, local)),
+            );
+        }
+        rows.sort_unstable_by_key(|&(gid, _, _)| gid);
+
+        let mut store = VectorStore::with_capacity(self.dim, rows.len());
+        let mut global_ids = Vec::with_capacity(rows.len());
+        for &(gid, si, local) in &rows {
+            store.push(self.frozen[si].index.vectors().get(local));
+            global_ids.push(gid);
+        }
+        let rows_kept = global_ids.len();
+
+        // Drop the candidates (descending index so positions stay valid),
+        // then insert the replacement and restore global-id order.
+        let mut doomed: Vec<usize> = indices.to_vec();
+        doomed.sort_unstable();
+        for &i in doomed.iter().rev() {
+            self.frozen.remove(i);
+        }
+        if rows_kept > 0 {
+            // The exact code path a from-scratch build takes: same params,
+            // same seed, same insertion order => an identical graph.
+            let mut index = AcornIndex::build(Arc::new(store), self.params.clone(), self.variant);
+            index.compact();
+            self.frozen.push(Segment {
+                index,
+                tombstones: Bitset::new(rows_kept),
+                global_ids,
+                deleted: 0,
+            });
+            self.frozen.sort_by_key(|s| s.global_ids[0]);
+        }
+
+        MergeOutcome {
+            segments_merged: indices.len(),
+            rows_dropped: rows_before - rows_kept,
+            rows_kept,
+            bytes_before,
+            bytes_after: self.memory_bytes(),
+        }
+    }
+
+    /// Pure ANN search: the `k` nearest live rows, by global id. Scratch
+    /// comes from the index's own pool.
+    pub fn search(&self, query: &[f32], k: usize, efs: usize) -> Vec<GlobalNeighbor> {
+        let mut scratch = self.pool.checkout(self.max_segment_rows());
+        let mut stats = SearchStats::default();
+        self.search_with(query, k, efs, &mut scratch, &mut stats)
+    }
+
+    /// [`search`](Self::search) with caller-owned scratch and stats (the
+    /// batch engine's entry point). The one scratch serves every segment of
+    /// the query in turn.
+    pub fn search_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<GlobalNeighbor> {
+        let mut per_seg = Vec::with_capacity(self.num_segments());
+        for seg in self.segments() {
+            let filter = LiveFilter { inner: &AllPass, tombstones: &seg.tombstones };
+            let out = seg.index.search_filtered(query, &filter, k, efs, scratch, stats);
+            per_seg.push(seg.to_global(out));
+        }
+        merge_k_sorted(&per_seg, k)
+    }
+
+    /// Filtered search (Algorithm 2 per segment, no fallback routing) with
+    /// a caller-supplied predicate over **global** ids. Tombstones compose
+    /// automatically; deleted rows never pass.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_filtered<F: Fn(u64) -> bool>(
+        &self,
+        query: &[f32],
+        filter: &F,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<GlobalNeighbor> {
+        let mut per_seg = Vec::with_capacity(self.num_segments());
+        for seg in self.segments() {
+            let inner = GlobalFnFilter { f: filter, global_ids: &seg.global_ids };
+            let live = LiveFilter { inner: &inner, tombstones: &seg.tombstones };
+            let out = seg.index.search_filtered(query, &live, k, efs, scratch, stats);
+            per_seg.push(seg.to_global(out));
+        }
+        merge_k_sorted(&per_seg, k)
+    }
+
+    /// Full hybrid search with ACORN's §5.2 cost-model routing applied
+    /// **per segment**: each segment estimates the predicate's selectivity
+    /// over its own rows (sampled through the segment's global-id map) and
+    /// independently chooses graph traversal or the exact pre-filter scan.
+    /// Per-segment top-`k` lists are k-way merged into the global answer.
+    ///
+    /// `attrs` is indexed by **global id** and must cover every id ever
+    /// assigned (`attrs.len() >= next_global_id()`); deleted rows keep
+    /// their attribute values but are excluded by tombstone composition.
+    pub fn hybrid_search(
+        &self,
+        query: &[f32],
+        predicate: &Predicate,
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<GlobalNeighbor>, SearchStats) {
+        self.hybrid_search_with(
+            query,
+            predicate,
+            attrs,
+            k,
+            efs,
+            scratch,
+            PredicateStrategy::default(),
+        )
+    }
+
+    /// [`hybrid_search`](Self::hybrid_search) with an explicit
+    /// [`PredicateStrategy`]. Results are bit-identical across strategies,
+    /// mirroring [`AcornIndex::hybrid_search_with`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn hybrid_search_with(
+        &self,
+        query: &[f32],
+        predicate: &Predicate,
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        strategy: PredicateStrategy,
+    ) -> (Vec<GlobalNeighbor>, SearchStats) {
+        assert!(
+            attrs.len() as u64 >= self.next_global,
+            "attribute store ({} rows) must cover every assigned global id (next = {})",
+            attrs.len(),
+            self.next_global
+        );
+        let mut stats = SearchStats::default();
+        let mut per_seg = Vec::with_capacity(self.num_segments());
+        match strategy {
+            PredicateStrategy::Interpreted => {
+                for seg in self.segments() {
+                    let out = self.hybrid_on_segment_interpreted(
+                        seg, query, predicate, attrs, k, efs, scratch, &mut stats,
+                    );
+                    per_seg.push(seg.to_global(out));
+                }
+            }
+            PredicateStrategy::Adaptive => {
+                let compiled = CompiledPredicate::compile(predicate);
+                // The block-materialized predicate bitmap is over global
+                // ids, so it is computed at most once per query and shared
+                // by every segment that routes to a materializing branch.
+                let mut global_bits: Option<Bitset> = None;
+                for seg in self.segments() {
+                    let out = self.hybrid_on_segment_adaptive(
+                        seg,
+                        query,
+                        &compiled,
+                        attrs,
+                        k,
+                        efs,
+                        scratch,
+                        &mut stats,
+                        &mut global_bits,
+                    );
+                    per_seg.push(seg.to_global(out));
+                }
+            }
+        }
+        (merge_k_sorted(&per_seg, k), stats)
+    }
+
+    /// One segment of the interpreted strategy: mirrors
+    /// `AcornIndex::hybrid_search_interpreted` with the filter remapped
+    /// through the segment's id map and composed with its tombstones.
+    #[allow(clippy::too_many_arguments)]
+    fn hybrid_on_segment_interpreted(
+        &self,
+        seg: &Segment,
+        query: &[f32],
+        predicate: &Predicate,
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let est = estimate_selectivity_mapped(
+            attrs,
+            predicate,
+            crate::index::SELECTIVITY_SAMPLES,
+            self.params.seed,
+            seg.rows(),
+            |p| seg.global_ids[p as usize] as u32,
+        );
+        stats.npred += crate::index::SELECTIVITY_SAMPLES as u64;
+        let inner = RemappedPredicateFilter { attrs, predicate, global_ids: &seg.global_ids };
+        let filter = LiveFilter { inner: &inner, tombstones: &seg.tombstones };
+        if est < seg.index.params().s_min() {
+            seg.index.prefilter_scan(query, &filter, k, stats)
+        } else {
+            seg.index.search_filtered(query, &filter, k, efs, scratch, stats)
+        }
+    }
+
+    /// One segment of the adaptive strategy: mirrors
+    /// `AcornIndex::hybrid_search_adaptive` (memo-seeded sampling, then
+    /// fallback / block-materialize / lazy-memoize) over remapped ids.
+    #[allow(clippy::too_many_arguments)]
+    fn hybrid_on_segment_adaptive(
+        &self,
+        seg: &Segment,
+        query: &[f32],
+        compiled: &CompiledPredicate,
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+        global_bits: &mut Option<Bitset>,
+    ) -> Vec<Neighbor> {
+        let mut memo = scratch.take_memo(seg.rows());
+        let est = estimate_selectivity_seeding_mapped(
+            attrs,
+            compiled,
+            crate::index::SELECTIVITY_SAMPLES,
+            self.params.seed,
+            &memo,
+            seg.rows(),
+            |p| seg.global_ids[p as usize] as u32,
+        );
+        stats.npred += crate::index::SELECTIVITY_SAMPLES as u64;
+
+        let materialize =
+            compiled.cost_class() == CostClass::Expensive || est < MATERIALIZE_BELOW_SELECTIVITY;
+        let needs_bits = est < seg.index.params().s_min() || materialize;
+        if needs_bits && global_bits.is_none() {
+            stats.npred += attrs.len() as u64; // the block scan runs every global row once
+            *global_bits = Some(compiled.to_bitset(attrs));
+        }
+
+        let out = if est < seg.index.params().s_min() {
+            let inner = GlobalBitsFilter {
+                bits: global_bits.as_ref().expect("materialized above"),
+                global_ids: &seg.global_ids,
+            };
+            let filter = LiveFilter { inner: &inner, tombstones: &seg.tombstones };
+            seg.index.prefilter_scan(query, &filter, k, stats)
+        } else if materialize {
+            let inner = GlobalBitsFilter {
+                bits: global_bits.as_ref().expect("materialized above"),
+                global_ids: &seg.global_ids,
+            };
+            let filter = LiveFilter { inner: &inner, tombstones: &seg.tombstones };
+            let before = stats.npred;
+            let out = seg.index.search_filtered(query, &filter, k, efs, scratch, stats);
+            // Every traversal check against the bitmap is a cache answer.
+            stats.npred_cached += stats.npred - before;
+            out
+        } else {
+            let inner = RemappedCompiledFilter { attrs, compiled, global_ids: &seg.global_ids };
+            let memoized = MemoFilter::new(&inner, memo);
+            let filter = LiveFilter { inner: &memoized, tombstones: &seg.tombstones };
+            let out = seg.index.search_filtered(query, &filter, k, efs, scratch, stats);
+            stats.npred_cached += memoized.hits();
+            memo = memoized.into_memo();
+            scratch.put_memo(memo);
+            return out;
+        };
+        scratch.put_memo(memo);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::PruneStrategy;
+    use acorn_hnsw::Metric;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_params(m: usize, gamma: usize, seed: u64) -> AcornParams {
+        AcornParams {
+            m,
+            gamma,
+            m_beta: m * 2,
+            ef_construction: 32,
+            metric: Metric::L2,
+            seed,
+            prune: PruneStrategy::AcornCompress,
+            s_min_override: None,
+            compressed_levels: 1,
+            flatten_hierarchy: false,
+        }
+    }
+
+    fn random_vecs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+    }
+
+    fn ids(out: &[GlobalNeighbor]) -> Vec<u64> {
+        out.iter().map(|n| n.id).collect()
+    }
+
+    #[test]
+    fn insert_search_roundtrip_with_stable_ids() {
+        let vecs = random_vecs(300, 8, 1);
+        let mut idx = SegmentedAcornIndex::new(8, small_params(8, 4, 7), AcornVariant::Gamma);
+        for (i, v) in vecs.iter().enumerate() {
+            assert_eq!(idx.insert(v), i as u64);
+        }
+        assert_eq!(idx.len(), 300);
+        assert_eq!(idx.num_segments(), 1, "all rows live in the active segment");
+        let out = idx.search(&vecs[17], 5, 48);
+        assert_eq!(out[0].id, 17, "nearest neighbor of a stored row is itself");
+        // Freezing moves serving to CSR without changing answers or ids.
+        idx.freeze();
+        assert_eq!(idx.frozen_segments().len(), 1);
+        assert!(idx.frozen_segments()[0].index().csr().is_some(), "frozen segments serve CSR");
+        let after = idx.search(&vecs[17], 5, 48);
+        assert_eq!(
+            out.iter().map(|n| (n.id, n.dist)).collect::<Vec<_>>(),
+            after.iter().map(|n| (n.id, n.dist)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn deleted_rows_never_surface_anywhere() {
+        let vecs = random_vecs(400, 8, 2);
+        let mut idx = SegmentedAcornIndex::new(8, small_params(8, 4, 3), AcornVariant::Gamma);
+        for v in &vecs {
+            idx.insert(v);
+        }
+        idx.freeze();
+        for v in random_vecs(100, 8, 3) {
+            idx.insert(&v);
+        }
+        // Delete across both the frozen and the active segment.
+        for gid in (0..500u64).step_by(3) {
+            assert!(idx.delete(gid), "first delete of {gid} must succeed");
+            assert!(!idx.delete(gid), "second delete of {gid} must be a no-op");
+        }
+        assert!(!idx.contains(0) && idx.contains(1));
+        assert_eq!(idx.len(), 500 - 167);
+        let mut scratch = SearchScratch::new(idx.max_segment_rows());
+        let mut stats = SearchStats::default();
+        for q in random_vecs(10, 8, 4) {
+            for n in idx.search(&q, 10, 64) {
+                assert!(n.id % 3 != 0, "deleted gid {} surfaced from search", n.id);
+            }
+            for n in idx.search_filtered(&q, &|gid| gid % 2 == 0, 10, 64, &mut scratch, &mut stats)
+            {
+                assert!(n.id % 3 != 0 && n.id % 2 == 0, "bad gid {}", n.id);
+            }
+        }
+    }
+
+    #[test]
+    fn delete_of_unknown_id_is_false() {
+        let mut idx = SegmentedAcornIndex::new(4, small_params(4, 2, 0), AcornVariant::Gamma);
+        assert!(!idx.delete(0));
+        idx.insert(&[0.0; 4]);
+        assert!(!idx.delete(5));
+        assert!(idx.delete(0));
+    }
+
+    #[test]
+    fn merge_drops_dead_rows_and_reclaims_memory() {
+        let vecs = random_vecs(600, 8, 5);
+        let mut idx = SegmentedAcornIndex::new(8, small_params(8, 3, 9), AcornVariant::Gamma);
+        for v in &vecs[..300] {
+            idx.insert(v);
+        }
+        idx.freeze();
+        for v in &vecs[300..] {
+            idx.insert(v);
+        }
+        idx.freeze();
+        for gid in 0..600u64 {
+            if gid % 2 == 0 {
+                idx.delete(gid);
+            }
+        }
+        let before = idx.memory_bytes();
+        let outcome = idx.merge(); // 50% tombstones > default 0.2 threshold
+        assert_eq!(outcome.segments_merged, 2);
+        assert_eq!(outcome.rows_dropped, 300);
+        assert_eq!(outcome.rows_kept, 300);
+        assert_eq!(outcome.bytes_before, before);
+        assert!(
+            outcome.bytes_after < outcome.bytes_before,
+            "merge must reclaim memory: {} -> {}",
+            outcome.bytes_before,
+            outcome.bytes_after
+        );
+        assert_eq!(idx.frozen_segments().len(), 1);
+        assert_eq!(idx.deleted_rows(), 0);
+        assert_eq!(idx.len(), 300);
+        assert_eq!(idx.live_ids(), (0..600).filter(|g| g % 2 == 1).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn merge_without_candidates_is_a_noop() {
+        let mut idx =
+            SegmentedAcornIndex::new(4, small_params(4, 2, 1), AcornVariant::Gamma).with_policy(
+                MergePolicy { min_rows: 0, max_tombstone_fraction: 0.5, ..Default::default() },
+            );
+        for v in random_vecs(100, 4, 6) {
+            idx.insert(&v);
+        }
+        idx.freeze();
+        let outcome = idx.merge();
+        assert_eq!(outcome.segments_merged, 0);
+        assert_eq!(outcome.bytes_before, outcome.bytes_after);
+        assert_eq!(idx.frozen_segments().len(), 1);
+    }
+
+    #[test]
+    fn compact_all_matches_from_scratch_rebuild_bitwise() {
+        let params = small_params(8, 4, 11);
+        let vecs = random_vecs(500, 8, 7);
+        let mut idx = SegmentedAcornIndex::new(8, params.clone(), AcornVariant::Gamma);
+        for v in &vecs[..200] {
+            idx.insert(v);
+        }
+        idx.freeze();
+        for v in &vecs[200..] {
+            idx.insert(v);
+        }
+        for gid in [3u64, 77, 130, 201, 256, 444, 499] {
+            idx.delete(gid);
+        }
+        let outcome = idx.compact_all();
+        assert_eq!(outcome.rows_dropped, 7);
+        assert_eq!(idx.num_segments(), 1);
+
+        let survivors = idx.live_ids();
+        let mut store = VectorStore::with_capacity(8, survivors.len());
+        for &gid in &survivors {
+            store.push(&vecs[gid as usize]);
+        }
+        let rebuilt = AcornIndex::build(Arc::new(store), params, AcornVariant::Gamma);
+
+        for q in random_vecs(8, 8, 12) {
+            let seg_out = idx.search(&q, 10, 64);
+            let reb_out = rebuilt.search(&q, 10, 64);
+            let mapped: Vec<(u64, f32)> =
+                reb_out.iter().map(|n| (survivors[n.id as usize], n.dist)).collect();
+            let got: Vec<(u64, f32)> = seg_out.iter().map(|n| (n.id, n.dist)).collect();
+            assert_eq!(got, mapped, "post-merge search must be bit-identical to a rebuild");
+        }
+    }
+
+    #[test]
+    fn auto_freeze_rolls_the_active_segment() {
+        let policy = MergePolicy { active_max_rows: 50, ..Default::default() };
+        let mut idx = SegmentedAcornIndex::new(4, small_params(4, 2, 2), AcornVariant::Gamma)
+            .with_policy(policy);
+        for v in random_vecs(120, 4, 8) {
+            idx.insert(&v);
+        }
+        assert_eq!(idx.frozen_segments().len(), 2, "two full segments must have rolled");
+        assert_eq!(idx.active_segment().rows(), 20);
+        assert_eq!(idx.len(), 120);
+        let out = idx.search(&[0.0; 4], 5, 32);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn hybrid_strategies_agree_across_segments() {
+        let n = 500;
+        let vecs = random_vecs(n, 8, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let labels: Vec<i64> = (0..n).map(|_| rng.gen_range(0..5)).collect();
+        let attrs = AttrStore::builder().add_int("label", labels.clone()).build();
+        let field = attrs.field("label").unwrap();
+
+        let mut idx = SegmentedAcornIndex::new(8, small_params(8, 4, 13), AcornVariant::Gamma);
+        for v in &vecs[..250] {
+            idx.insert(v);
+        }
+        idx.freeze();
+        for v in &vecs[250..] {
+            idx.insert(v);
+        }
+        for gid in (0..n as u64).step_by(7) {
+            idx.delete(gid);
+        }
+
+        let mut scratch = SearchScratch::new(idx.max_segment_rows());
+        for t in 0..6 {
+            let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let pred = Predicate::Equals { field, value: t % 5 };
+            let (a, sa) = idx.hybrid_search_with(
+                &q,
+                &pred,
+                &attrs,
+                10,
+                48,
+                &mut scratch,
+                PredicateStrategy::Interpreted,
+            );
+            let (b, sb) = idx.hybrid_search_with(
+                &q,
+                &pred,
+                &attrs,
+                10,
+                48,
+                &mut scratch,
+                PredicateStrategy::Adaptive,
+            );
+            let pa: Vec<(u64, f32)> = a.iter().map(|x| (x.id, x.dist)).collect();
+            let pb: Vec<(u64, f32)> = b.iter().map(|x| (x.id, x.dist)).collect();
+            assert_eq!(pa, pb, "strategies must answer identically");
+            assert_eq!(sa.fallback, sb.fallback);
+            for x in &a {
+                assert!(x.id % 7 != 0, "deleted row {} surfaced", x.id);
+                assert_eq!(labels[x.id as usize], t % 5, "predicate violated");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_fallback_routes_per_segment() {
+        // A rare label only present in rows the predicate selects: the
+        // segment estimate lands below s_min = 1/4 and the exact fallback
+        // must kick in, still excluding tombstones.
+        let n = 600;
+        let vecs = random_vecs(n, 8, 20);
+        let values: Vec<i64> = (0..n as i64).map(|i| if i < 8 { 1 } else { 0 }).collect();
+        let attrs = AttrStore::builder().add_int("v", values).build();
+        let field = attrs.field("v").unwrap();
+        let mut idx = SegmentedAcornIndex::new(8, small_params(8, 4, 21), AcornVariant::Gamma);
+        for v in &vecs {
+            idx.insert(v);
+        }
+        idx.freeze();
+        idx.delete(3);
+        let mut scratch = SearchScratch::new(idx.max_segment_rows());
+        let pred = Predicate::Equals { field, value: 1 };
+        let (out, stats) = idx.hybrid_search(&[0.0; 8], &pred, &attrs, 10, 32, &mut scratch);
+        assert!(stats.fallback, "selective predicate must trigger the per-segment fallback");
+        let mut got = ids(&out);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 4, 5, 6, 7], "gid 3 is tombstoned, the rest must pass");
+    }
+
+    #[test]
+    fn results_merge_across_many_segments() {
+        let vecs = random_vecs(300, 4, 30);
+        let mut idx = SegmentedAcornIndex::new(4, small_params(4, 2, 31), AcornVariant::Gamma);
+        for (i, v) in vecs.iter().enumerate() {
+            idx.insert(v);
+            if i % 60 == 59 {
+                idx.freeze();
+            }
+        }
+        assert!(idx.num_segments() >= 5);
+        // Brute-force oracle over all live rows.
+        let q = vec![0.1; 4];
+        let mut all: Vec<GlobalNeighbor> = vecs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| GlobalNeighbor::new(Metric::L2.distance(v, &q), i as u64))
+            .collect();
+        all.sort_unstable();
+        let got = idx.search(&q, 10, 120);
+        // With a generous beam, every segment's true top-10 is found, so the
+        // merged list equals the global top-10.
+        assert_eq!(ids(&got), all[..10].iter().map(|n| n.id).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_index_answers_empty() {
+        let idx = SegmentedAcornIndex::new(8, small_params(8, 2, 0), AcornVariant::Gamma);
+        assert!(idx.is_empty());
+        assert_eq!(idx.num_segments(), 0);
+        assert!(idx.search(&[0.0; 8], 5, 32).is_empty());
+        let mut scratch = SearchScratch::new(0);
+        let attrs = AttrStore::builder().add_int("x", vec![]).build();
+        let (out, _) = idx.hybrid_search(&[0.0; 8], &Predicate::True, &attrs, 5, 32, &mut scratch);
+        assert!(out.is_empty());
+    }
+}

@@ -20,19 +20,46 @@
 //! is stored once, in nested form, so a compacted index costs one extra
 //! byte on disk, not a second copy of the graph.
 //!
+//! ## Format v4 — segmented index
+//!
+//! [`SegmentedAcornIndex`] files share the magic but use version 4 and a
+//! different body: the shared parameter header, then the segment manifest —
+//! `dim`, `next_global`, the [`MergePolicy`], the frozen-segment count, and
+//! one block per segment (frozen segments first, the active segment last):
+//!
+//! ```text
+//! n u64 | global_ids [u64; n] | tombstone words [u64; ceil(n/64)]
+//! | vectors [f32; n · dim] | embedded v3 index blob
+//! ```
+//!
+//! Unlike v3, segment vectors are embedded: the segmented index owns its
+//! per-segment stores (rows arrive one at a time through `insert`), so a
+//! loaded index resumes serving **and accepting writes** with no external
+//! store to re-attach. Loading re-freezes each frozen segment's CSR via the
+//! embedded `compacted` flag and cross-checks every count in the manifest
+//! against the vector data and the embedded graph — a corrupt length fails
+//! with `InvalidData` instead of a giant allocation (the same guard
+//! philosophy as the v3 neighbor-list check).
+//!
 //! [`CsrGraph`]: acorn_hnsw::CsrGraph
 
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
 use acorn_hnsw::{LayeredGraph, Metric, VectorStore};
+use acorn_predicate::Bitset;
 
 use crate::index::AcornIndex;
 use crate::params::{AcornParams, AcornVariant};
 use crate::prune::PruneStrategy;
+use crate::segment::{MergePolicy, Segment, SegmentedAcornIndex};
 
 const MAGIC: &[u8; 4] = b"ACRN";
 const VERSION: u32 = 3;
+const SEGMENTED_VERSION: u32 = 4;
+/// Upper bound on a plausible vector dimensionality; a corrupt `dim` above
+/// this fails cleanly instead of sizing row buffers from garbage.
+const MAX_DIM: usize = 1 << 20;
 
 fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -64,6 +91,69 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// The parameter header shared by v3 (per index) and v4 (top level and per
+/// embedded segment): variant tag, then every [`AcornParams`] field that
+/// round-trips.
+fn put_header(w: &mut impl Write, variant: AcornVariant, p: &AcornParams) -> io::Result<()> {
+    w.write_all(&[match variant {
+        AcornVariant::Gamma => 0u8,
+        AcornVariant::One => 1u8,
+    }])?;
+    put_u64(w, p.m as u64)?;
+    put_u64(w, p.gamma as u64)?;
+    put_u64(w, p.m_beta as u64)?;
+    put_u64(w, p.ef_construction as u64)?;
+    w.write_all(&[match p.metric {
+        Metric::L2 => 0u8,
+        Metric::InnerProduct => 1u8,
+        Metric::Cosine => 2u8,
+    }])?;
+    put_u64(w, p.seed)?;
+    w.write_all(&p.s_min_override.unwrap_or(f64::NAN).to_le_bytes())?;
+    put_u64(w, p.compressed_levels as u64)?;
+    w.write_all(&[p.flatten_hierarchy as u8])
+}
+
+/// Inverse of [`put_header`]. The label-dependent ablation prune strategies
+/// do not round-trip; loaded params always carry `AcornCompress`.
+fn get_header(r: &mut impl Read) -> io::Result<(AcornVariant, AcornParams)> {
+    let variant = match get_u8(r)? {
+        0 => AcornVariant::Gamma,
+        1 => AcornVariant::One,
+        _ => return Err(bad("unknown variant tag")),
+    };
+    let m = get_u64(r)? as usize;
+    let gamma = get_u64(r)? as usize;
+    let m_beta = get_u64(r)? as usize;
+    let ef_construction = get_u64(r)? as usize;
+    let metric = match get_u8(r)? {
+        0 => Metric::L2,
+        1 => Metric::InnerProduct,
+        2 => Metric::Cosine,
+        _ => return Err(bad("unknown metric tag")),
+    };
+    let seed = get_u64(r)?;
+    let mut s_min_bytes = [0u8; 8];
+    r.read_exact(&mut s_min_bytes)?;
+    let s_min = f64::from_le_bytes(s_min_bytes);
+    let s_min_override = if s_min.is_nan() { None } else { Some(s_min) };
+    let compressed_levels = get_u64(r)? as usize;
+    let flatten_hierarchy = get_u8(r)? != 0;
+    let params = AcornParams {
+        m,
+        gamma,
+        m_beta,
+        ef_construction,
+        metric,
+        seed,
+        prune: PruneStrategy::AcornCompress,
+        s_min_override,
+        compressed_levels,
+        flatten_hierarchy,
+    };
+    Ok((variant, params))
+}
+
 impl AcornIndex {
     /// Serialize the index (graph + parameters, not the vectors) to `w`.
     ///
@@ -71,26 +161,9 @@ impl AcornIndex {
     /// [`PruneStrategy::KeepAll`] round-trip; the label-dependent ablation
     /// strategies are research knobs and serialize as `AcornCompress`.
     pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
-        let p = self.params();
         w.write_all(MAGIC)?;
         put_u32(w, VERSION)?;
-        w.write_all(&[match self.variant() {
-            AcornVariant::Gamma => 0u8,
-            AcornVariant::One => 1u8,
-        }])?;
-        put_u64(w, p.m as u64)?;
-        put_u64(w, p.gamma as u64)?;
-        put_u64(w, p.m_beta as u64)?;
-        put_u64(w, p.ef_construction as u64)?;
-        w.write_all(&[match p.metric {
-            Metric::L2 => 0u8,
-            Metric::InnerProduct => 1u8,
-            Metric::Cosine => 2u8,
-        }])?;
-        put_u64(w, p.seed)?;
-        w.write_all(&p.s_min_override.unwrap_or(f64::NAN).to_le_bytes())?;
-        put_u64(w, p.compressed_levels as u64)?;
-        w.write_all(&[p.flatten_hierarchy as u8])?;
+        put_header(w, self.variant(), self.params())?;
 
         let g = self.graph();
         put_u64(w, g.len() as u64)?;
@@ -132,31 +205,14 @@ impl AcornIndex {
         if &magic != MAGIC {
             return Err(bad("not an ACORN index file"));
         }
-        if get_u32(r)? != VERSION {
-            return Err(bad("unsupported ACORN index version"));
+        match get_u32(r)? {
+            VERSION => {}
+            SEGMENTED_VERSION => {
+                return Err(bad("this is a segmented index file; use SegmentedAcornIndex::load"))
+            }
+            _ => return Err(bad("unsupported ACORN index version")),
         }
-        let variant = match get_u8(r)? {
-            0 => AcornVariant::Gamma,
-            1 => AcornVariant::One,
-            _ => return Err(bad("unknown variant tag")),
-        };
-        let m = get_u64(r)? as usize;
-        let gamma = get_u64(r)? as usize;
-        let m_beta = get_u64(r)? as usize;
-        let ef_construction = get_u64(r)? as usize;
-        let metric = match get_u8(r)? {
-            0 => Metric::L2,
-            1 => Metric::InnerProduct,
-            2 => Metric::Cosine,
-            _ => return Err(bad("unknown metric tag")),
-        };
-        let seed = get_u64(r)?;
-        let mut s_min_bytes = [0u8; 8];
-        r.read_exact(&mut s_min_bytes)?;
-        let s_min = f64::from_le_bytes(s_min_bytes);
-        let s_min_override = if s_min.is_nan() { None } else { Some(s_min) };
-        let compressed_levels = get_u64(r)? as usize;
-        let flatten_hierarchy = get_u8(r)? != 0;
+        let (variant, params) = get_header(r)?;
 
         let n = get_u64(r)? as usize;
         if vecs.len() != n {
@@ -188,23 +244,205 @@ impl AcornIndex {
         let edges_pruned = get_u64(r)?;
         let compacted = get_u8(r)? != 0;
 
-        let params = AcornParams {
-            m,
-            gamma,
-            m_beta,
-            ef_construction,
-            metric,
-            seed,
-            prune: PruneStrategy::AcornCompress,
-            s_min_override,
-            compressed_levels,
-            flatten_hierarchy,
-        };
         let mut idx = AcornIndex::from_parts(params, variant, vecs, graph, edges_pruned);
         if compacted {
             idx.compact();
         }
         Ok(idx)
+    }
+}
+
+/// One v4 segment block: manifest (row count, global ids, tombstones),
+/// vector data, then the embedded v3 index blob (self-delimiting).
+fn put_segment(w: &mut impl Write, seg: &Segment) -> io::Result<()> {
+    put_u64(w, seg.global_ids.len() as u64)?;
+    for &gid in &seg.global_ids {
+        put_u64(w, gid)?;
+    }
+    for &word in seg.tombstones.words() {
+        put_u64(w, word)?;
+    }
+    for &x in seg.index.vectors().as_flat() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    seg.index.save(w)
+}
+
+/// Inverse of [`put_segment`], with every count cross-checked. Allocation
+/// is driven by bytes actually present in the stream, never by the
+/// untrusted `n` alone, so a corrupt length fails with `InvalidData` or
+/// `UnexpectedEof` instead of an OOM. `expected_variant`/`expected_params`
+/// are what `save` wrote into every embedded blob (the top-level
+/// configuration after any variant override); a disagreeing embedded
+/// header means corruption — segments searched under a different metric or
+/// seed would merge incommensurable distances.
+fn get_segment(
+    r: &mut impl Read,
+    dim: usize,
+    next_global: u64,
+    expected_variant: AcornVariant,
+    expected_params: &AcornParams,
+) -> io::Result<Segment> {
+    let n = get_u64(r)? as usize;
+
+    let mut global_ids = Vec::new();
+    for _ in 0..n {
+        global_ids.push(get_u64(r)?);
+    }
+    if global_ids.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(bad("segment manifest global ids must be strictly ascending"));
+    }
+    if global_ids.last().is_some_and(|&g| g >= next_global) {
+        return Err(bad("segment manifest global id at or beyond next_global"));
+    }
+
+    let mut words = Vec::new();
+    for _ in 0..n.div_ceil(64) {
+        words.push(get_u64(r)?);
+    }
+    let rem = n % 64;
+    if rem != 0 && words.last().is_some_and(|&w| w >> rem != 0) {
+        return Err(bad("tombstone bits set beyond the segment's row count"));
+    }
+    let tombstones = Bitset::from_words(n, words);
+
+    let mut store = VectorStore::with_capacity(dim, n.min(4096));
+    let mut row_bytes = vec![0u8; dim * 4];
+    let mut row = vec![0f32; dim];
+    for _ in 0..n {
+        r.read_exact(&mut row_bytes)?;
+        for (f, c) in row.iter_mut().zip(row_bytes.chunks_exact(4)) {
+            *f = f32::from_le_bytes(c.try_into().expect("4-byte chunk"));
+        }
+        store.push(&row);
+    }
+
+    // The embedded blob carries its own node count; AcornIndex::load
+    // rejects it unless it matches the store we just rebuilt from the
+    // manifest — the row-count corruption guard.
+    let index = AcornIndex::load(r, Arc::new(store))?;
+    if index.len() != global_ids.len() {
+        return Err(bad("segment manifest row count disagrees with the vector store"));
+    }
+    if index.variant() != expected_variant || index.params() != expected_params {
+        return Err(bad("embedded segment header disagrees with the segmented index header"));
+    }
+    Ok(Segment::from_parts(index, global_ids, tombstones))
+}
+
+impl SegmentedAcornIndex {
+    /// Serialize the whole segmented index — manifest, tombstones, vectors,
+    /// and per-segment graphs — to `w` (format v4). A loaded index resumes
+    /// serving from CSR and accepting writes immediately.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        put_u32(w, SEGMENTED_VERSION)?;
+        put_header(w, self.variant(), self.params())?;
+        put_u64(w, self.dim() as u64)?;
+        put_u64(w, self.next_global_id())?;
+        let policy = self.policy();
+        put_u64(w, policy.min_rows as u64)?;
+        w.write_all(&policy.max_tombstone_fraction.to_le_bytes())?;
+        put_u64(w, policy.active_max_rows as u64)?;
+        put_u64(w, self.frozen_segments().len() as u64)?;
+        for seg in self.frozen_segments() {
+            put_segment(w, seg)?;
+        }
+        put_segment(w, self.active_segment())
+    }
+
+    /// Load an index previously written by [`save`](Self::save).
+    ///
+    /// # Errors
+    /// Returns `InvalidData` on magic/version mismatch, inconsistent
+    /// parameters, a tombstone/segment manifest whose row counts disagree
+    /// with the embedded vector store or graph, non-ascending /
+    /// out-of-range / cross-segment-duplicated global ids, tombstone bits
+    /// beyond a segment's rows, and embedded segment headers that disagree
+    /// with the top-level configuration.
+    pub fn load(r: &mut impl Read) -> io::Result<SegmentedAcornIndex> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not an ACORN index file"));
+        }
+        match get_u32(r)? {
+            SEGMENTED_VERSION => {}
+            VERSION => {
+                return Err(bad("this is a plain (non-segmented) index file; use AcornIndex::load"))
+            }
+            _ => return Err(bad("unsupported ACORN index version")),
+        }
+        let (variant, params) = get_header(r)?;
+        // `AcornParams::validate` panics; a corrupt file must error instead.
+        if params.m < 2
+            || params.gamma < 1
+            || params.m_beta > params.edge_budget()
+            || params.ef_construction < 1
+            || params.compressed_levels < 1
+        {
+            return Err(bad("inconsistent parameters in segmented index header"));
+        }
+        let dim = get_u64(r)? as usize;
+        if dim == 0 || dim > MAX_DIM {
+            return Err(bad("implausible vector dimension in segmented index header"));
+        }
+        let next_global = get_u64(r)?;
+        let min_rows = get_u64(r)? as usize;
+        let mut frac_bytes = [0u8; 8];
+        r.read_exact(&mut frac_bytes)?;
+        let max_tombstone_fraction = f64::from_le_bytes(frac_bytes);
+        if !max_tombstone_fraction.is_finite() || max_tombstone_fraction < 0.0 {
+            return Err(bad("invalid merge policy tombstone fraction"));
+        }
+        let active_max_rows = get_u64(r)? as usize;
+        let policy = MergePolicy { min_rows, max_tombstone_fraction, active_max_rows };
+
+        // Every segment was built from the top-level configuration (with the
+        // ACORN-1 override applied by `AcornIndex::new`); reconstruct that
+        // expectation once and hold each embedded header to it.
+        let expected_params =
+            AcornIndex::new(Arc::new(VectorStore::new(dim)), params.clone(), variant)
+                .params()
+                .clone();
+
+        let nseg = get_u64(r)? as usize;
+        let mut frozen = Vec::new();
+        for _ in 0..nseg {
+            let seg = get_segment(r, dim, next_global, variant, &expected_params)?;
+            if seg.is_empty() {
+                return Err(bad("frozen segments must not be empty"));
+            }
+            frozen.push(seg);
+        }
+        if frozen.windows(2).any(|w| w[0].global_ids[0] >= w[1].global_ids[0]) {
+            return Err(bad("frozen segments must be ascending by first global id"));
+        }
+        let active = get_segment(r, dim, next_global, variant, &expected_params)?;
+
+        // Global ids must be owned by exactly one segment: a duplicated id
+        // would surface twice from one top-k merge and make deletes only
+        // half-stick. Segment-local ascending order is already enforced, so
+        // one sort over the union exposes any cross-segment duplicate.
+        let mut all_ids: Vec<u64> = frozen
+            .iter()
+            .chain(std::iter::once(&active))
+            .flat_map(|s| s.global_ids.iter().copied())
+            .collect();
+        all_ids.sort_unstable();
+        if all_ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(bad("global id owned by more than one segment"));
+        }
+
+        Ok(SegmentedAcornIndex::from_loaded_parts(
+            params,
+            variant,
+            dim,
+            frozen,
+            active,
+            next_global,
+            policy,
+        ))
     }
 }
 
@@ -327,6 +565,174 @@ mod tests {
         let err = AcornIndex::load(&mut buf.as_slice(), vecs).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("neighbor list"), "unexpected message: {err}");
+    }
+
+    /// A segmented index with one frozen segment (100 rows, gids 0..100,
+    /// gids 0..10 tombstoned) and one active segment (60 rows).
+    fn segmented_fixture() -> (crate::SegmentedAcornIndex, Vec<Vec<f32>>) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let vecs: Vec<Vec<f32>> =
+            (0..160).map(|_| (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let params =
+            AcornParams { m: 8, gamma: 4, m_beta: 16, ef_construction: 32, ..Default::default() };
+        let mut idx = crate::SegmentedAcornIndex::new(8, params, AcornVariant::Gamma);
+        for v in &vecs[..100] {
+            idx.insert(v);
+        }
+        idx.freeze();
+        for v in &vecs[100..] {
+            idx.insert(v);
+        }
+        for gid in 0..10u64 {
+            idx.delete(gid);
+        }
+        (idx, vecs)
+    }
+
+    /// Bytes before the first frozen segment block of a v4 file: magic 4 +
+    /// version 4 + header 59 + dim 8 + next_global 8 + policy 24 + nseg 8.
+    const SEG_HEADER_BYTES: usize = 115;
+
+    #[test]
+    fn segmented_roundtrip_preserves_answers_and_accepts_writes() {
+        let (idx, vecs) = segmented_fixture();
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        let mut loaded = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.len(), idx.len());
+        assert_eq!(loaded.total_rows(), idx.total_rows());
+        assert_eq!(loaded.deleted_rows(), 10);
+        assert_eq!(loaded.next_global_id(), idx.next_global_id());
+        assert_eq!(loaded.policy(), idx.policy());
+        assert!(
+            loaded.frozen_segments()[0].index().csr().is_some(),
+            "loaded frozen segments must serve from CSR immediately"
+        );
+
+        let q = vec![0.2; 8];
+        let a: Vec<(u64, f32)> = idx.search(&q, 10, 64).iter().map(|n| (n.id, n.dist)).collect();
+        let b: Vec<(u64, f32)> = loaded.search(&q, 10, 64).iter().map(|n| (n.id, n.dist)).collect();
+        assert_eq!(a, b, "loaded index must answer identically");
+
+        // The loaded index resumes accepting writes: insert into the active
+        // segment, delete a frozen row, and observe both take effect.
+        let gid = loaded.insert(&vecs[0]);
+        assert_eq!(gid, 160);
+        assert!(loaded.delete(42));
+        assert!(loaded.contains(gid) && !loaded.contains(42));
+        // vecs[0]'s original row (gid 0) is tombstoned, so the nearest
+        // neighbor of vecs[0] must be its freshly inserted duplicate.
+        let nearest = loaded.search(&vecs[0], 1, 64);
+        assert_eq!(nearest[0].id, gid);
+    }
+
+    #[test]
+    fn segmented_load_rejects_corrupt_row_count_without_huge_alloc() {
+        let (idx, _) = segmented_fixture();
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        // First frozen segment's n: an absurd value must error (EOF while
+        // reading the manifest), never attempt a proportional allocation.
+        buf[SEG_HEADER_BYTES..SEG_HEADER_BYTES + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap_err();
+        assert!(
+            err.kind() == std::io::ErrorKind::InvalidData
+                || err.kind() == std::io::ErrorKind::UnexpectedEof,
+            "unexpected error kind: {err}"
+        );
+    }
+
+    #[test]
+    fn segmented_load_rejects_unsorted_global_ids() {
+        let (idx, _) = segmented_fixture();
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        // First gid (value 0) -> 5: now >= the second gid (1).
+        let off = SEG_HEADER_BYTES + 8;
+        buf[off..off + 8].copy_from_slice(&5u64.to_le_bytes());
+        let err = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("strictly ascending"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn segmented_load_rejects_tombstone_bits_beyond_rows() {
+        let (idx, _) = segmented_fixture();
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        // Frozen segment: n = 100 -> 2 tombstone words, valid bits 0..36 of
+        // the last word. Set bits 40..48.
+        let words_off = SEG_HEADER_BYTES + 8 + 100 * 8;
+        buf[words_off + 8 + 5] = 0xFF;
+        let err = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("beyond the segment's row count"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn segmented_load_rejects_cross_segment_duplicate_global_ids() {
+        let (idx, _) = segmented_fixture();
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        // Frozen segment: gids 0..100. Rewrite the last one (99 -> 149):
+        // still strictly ascending within the segment and < next_global
+        // (160), but 149 is also owned by the active segment (100..160).
+        let off = SEG_HEADER_BYTES + 8 + 99 * 8;
+        buf[off..off + 8].copy_from_slice(&149u64.to_le_bytes());
+        let err = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("more than one segment"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn segmented_load_rejects_mismatched_embedded_header() {
+        let (idx, _) = segmented_fixture();
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        // The frozen segment's embedded v3 blob starts after its manifest
+        // (n = 100, dim = 8): 8 + 800 gid bytes + 16 tombstone bytes +
+        // 3200 vector bytes. Its metric byte sits 8 (magic + version) + 1
+        // (variant) + 32 (four u64 params) further in; flip L2 -> IP.
+        let blob = SEG_HEADER_BYTES + 8 + 800 + 16 + 3200;
+        let metric = blob + 8 + 1 + 32;
+        assert_eq!(buf[metric], 0, "expected the L2 metric tag at the computed offset");
+        buf[metric] = 1;
+        let err = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("disagrees with the segmented index header"),
+            "unexpected: {err}"
+        );
+    }
+
+    #[test]
+    fn segmented_and_plain_files_reject_each_other_with_guidance() {
+        let (seg_idx, _) = segmented_fixture();
+        let mut seg_buf = Vec::new();
+        seg_idx.save(&mut seg_buf).unwrap();
+        let store = random_store(1, 8, 1);
+        let err = AcornIndex::load(&mut seg_buf.as_slice(), store.clone()).unwrap_err();
+        assert!(err.to_string().contains("SegmentedAcornIndex::load"), "unexpected: {err}");
+
+        let plain = AcornIndex::build(
+            store.clone(),
+            AcornParams { m: 4, gamma: 2, m_beta: 4, ef_construction: 8, ..Default::default() },
+            AcornVariant::Gamma,
+        );
+        let mut plain_buf = Vec::new();
+        plain.save(&mut plain_buf).unwrap();
+        let err = crate::SegmentedAcornIndex::load(&mut plain_buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("AcornIndex::load"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn segmented_truncation_is_an_error_not_a_panic() {
+        let (idx, _) = segmented_fixture();
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        for cut in [3usize, 60, SEG_HEADER_BYTES, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                crate::SegmentedAcornIndex::load(&mut buf[..cut].to_vec().as_slice()).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
     }
 
     #[test]

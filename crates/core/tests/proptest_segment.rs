@@ -1,0 +1,266 @@
+//! Property tests for the segmented updatable index: after any random
+//! interleaving of inserts, deletes, freezes, and merges, (a) no tombstoned
+//! row ever surfaces and both predicate strategies answer bit-identically,
+//! and (b) once `compact_all` collapses the log into one segment, every
+//! query — pure, filtered, and hybrid under both `PredicateStrategy`s, plus
+//! raw layer searches in all three `LookupMode`s — is **result-identical**
+//! to a single `AcornIndex` rebuilt from scratch over the surviving rows.
+
+use std::sync::Arc;
+
+use acorn_core::search::{acorn_search_layer, LookupMode};
+use acorn_core::{AcornIndex, AcornParams, AcornVariant, PredicateStrategy, SegmentedAcornIndex};
+use acorn_hnsw::heap::Neighbor;
+use acorn_hnsw::{Metric, SearchScratch, SearchStats, VectorStore};
+use acorn_predicate::{AttrStore, BitmapFilter, Bitset, Predicate};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 8;
+
+fn params(seed: u64) -> AcornParams {
+    AcornParams { m: 8, gamma: 4, m_beta: 16, ef_construction: 32, seed, ..Default::default() }
+}
+
+/// Everything the oracle needs to rebuild the surviving state from scratch.
+struct Lifecycle {
+    index: SegmentedAcornIndex,
+    /// Vector of every row ever inserted, indexed by global id.
+    vectors: Vec<Vec<f32>>,
+    /// Attribute value of every row ever inserted, indexed by global id.
+    labels: Vec<i64>,
+    /// Liveness per global id.
+    alive: Vec<bool>,
+}
+
+/// Drive a random interleaving of insert / delete / freeze / merge ops.
+fn run_lifecycle(seed: u64, n0: usize, ops: usize, variant: AcornVariant) -> Lifecycle {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lc = Lifecycle {
+        index: SegmentedAcornIndex::new(DIM, params(seed), variant),
+        vectors: Vec::new(),
+        labels: Vec::new(),
+        alive: Vec::new(),
+    };
+    let insert = |lc: &mut Lifecycle, rng: &mut StdRng| {
+        let v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let gid = lc.index.insert(&v);
+        assert_eq!(gid as usize, lc.vectors.len(), "global ids must be dense and monotone");
+        lc.vectors.push(v);
+        lc.labels.push(rng.gen_range(0..4));
+        lc.alive.push(true);
+    };
+    for _ in 0..n0 {
+        insert(&mut lc, &mut rng);
+    }
+    for _ in 0..ops {
+        match rng.gen_range(0..100) {
+            0..=44 => insert(&mut lc, &mut rng),
+            45..=74 => {
+                // Delete a random row (live or already dead — both paths).
+                let gid = rng.gen_range(0..lc.vectors.len()) as u64;
+                let was_alive = lc.alive[gid as usize];
+                assert_eq!(lc.index.delete(gid), was_alive, "delete({gid}) outcome");
+                lc.alive[gid as usize] = false;
+            }
+            75..=89 => lc.index.freeze(),
+            _ => {
+                let _ = lc.index.merge();
+            }
+        }
+    }
+    lc
+}
+
+fn query(rng: &mut StdRng) -> Vec<f32> {
+    (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn global_pairs(out: &[acorn_core::GlobalNeighbor]) -> Vec<(u64, f32)> {
+    out.iter().map(|n| (n.id, n.dist)).collect()
+}
+
+/// Map a rebuilt index's local results through the survivor list so they
+/// are comparable with segmented (global-id) results.
+fn mapped_pairs(out: &[Neighbor], survivors: &[u64]) -> Vec<(u64, f32)> {
+    out.iter().map(|n| (survivors[n.id as usize], n.dist)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn segmented_equals_rebuild_after_interleaved_ops(
+        seed in 0u64..u64::MAX,
+        n0 in 120usize..250,
+        ops in 10usize..40,
+    ) {
+        for variant in [AcornVariant::Gamma, AcornVariant::One] {
+            let mut lc = run_lifecycle(seed, n0, ops, variant);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD1E5);
+            let mut scratch = SearchScratch::new(lc.index.max_segment_rows().max(1));
+            let attrs_global =
+                AttrStore::builder().add_int("label", lc.labels.clone()).build();
+            let field = attrs_global.field("label").unwrap();
+
+            // ---- Mid-lifecycle invariants (multi-segment, tombstones live) ----
+            prop_assert_eq!(
+                lc.index.len(),
+                lc.alive.iter().filter(|&&a| a).count(),
+                "live-row accounting"
+            );
+            for _ in 0..2 {
+                let q = query(&mut rng);
+                for n in lc.index.search(&q, 10, 48) {
+                    prop_assert!(lc.alive[n.id as usize], "dead gid {} surfaced", n.id);
+                }
+                let pred = Predicate::Equals { field, value: rng.gen_range(0..4) };
+                let (a, sa) = lc.index.hybrid_search_with(
+                    &q, &pred, &attrs_global, 10, 48, &mut scratch,
+                    PredicateStrategy::Interpreted,
+                );
+                let (b, sb) = lc.index.hybrid_search_with(
+                    &q, &pred, &attrs_global, 10, 48, &mut scratch,
+                    PredicateStrategy::Adaptive,
+                );
+                prop_assert_eq!(global_pairs(&a), global_pairs(&b),
+                    "strategies must agree mid-lifecycle ({:?})", variant);
+                prop_assert_eq!(sa.fallback, sb.fallback);
+                for n in &a {
+                    prop_assert!(lc.alive[n.id as usize]);
+                    prop_assert_eq!(lc.labels[n.id as usize], match &pred {
+                        Predicate::Equals { value, .. } => *value,
+                        _ => unreachable!(),
+                    });
+                }
+            }
+
+            // ---- Full compaction: bit-identical to a from-scratch rebuild ----
+            lc.index.compact_all();
+            let survivors: Vec<u64> = (0..lc.vectors.len() as u64)
+                .filter(|&g| lc.alive[g as usize])
+                .collect();
+            prop_assert_eq!(lc.index.live_ids(), survivors.clone());
+            if survivors.is_empty() {
+                prop_assert!(lc.index.search(&query(&mut rng), 5, 32).is_empty());
+                continue;
+            }
+            prop_assert_eq!(lc.index.num_segments(), 1);
+            prop_assert_eq!(lc.index.deleted_rows(), 0, "compaction drops every tombstone");
+
+            let mut store = VectorStore::with_capacity(DIM, survivors.len());
+            for &g in &survivors {
+                store.push(&lc.vectors[g as usize]);
+            }
+            let rebuilt = AcornIndex::build(Arc::new(store), params(seed), variant);
+            let attrs_local = AttrStore::builder()
+                .add_int("label", survivors.iter().map(|&g| lc.labels[g as usize]).collect())
+                .build();
+            let mut rscratch = SearchScratch::new(survivors.len());
+
+            for _ in 0..3 {
+                let q = query(&mut rng);
+                // Pure search.
+                let seg_out = lc.index.search(&q, 10, 48);
+                let reb_out = rebuilt.search(&q, 10, 48);
+                prop_assert_eq!(
+                    global_pairs(&seg_out),
+                    mapped_pairs(&reb_out, &survivors),
+                    "pure search must match the rebuild ({:?})", variant
+                );
+                // Hybrid, both predicate strategies.
+                let pred = Predicate::Equals { field, value: rng.gen_range(0..4) };
+                for strategy in [PredicateStrategy::Interpreted, PredicateStrategy::Adaptive] {
+                    let (seg_h, seg_stats) = lc.index.hybrid_search_with(
+                        &q, &pred, &attrs_global, 10, 48, &mut scratch, strategy,
+                    );
+                    let (reb_h, reb_stats) = rebuilt.hybrid_search_with(
+                        &q, &pred, &attrs_local, 10, 48, &mut rscratch, strategy,
+                    );
+                    prop_assert_eq!(
+                        global_pairs(&seg_h),
+                        mapped_pairs(&reb_h, &survivors),
+                        "hybrid/{:?} must match the rebuild ({:?})", strategy, variant
+                    );
+                    prop_assert_eq!(
+                        seg_stats.fallback, reb_stats.fallback,
+                        "routing must agree with the rebuild ({:?})", strategy
+                    );
+                }
+            }
+        }
+    }
+
+    /// Raw layer searches over the compacted segment's graph agree with the
+    /// rebuilt graph in **all three** `LookupMode`s — the merged graph is
+    /// not merely equivalent, it is the same graph.
+    #[test]
+    fn compacted_graph_is_identical_in_every_lookup_mode(
+        seed in 0u64..u64::MAX,
+        n0 in 100usize..200,
+        deletes in 5usize..40,
+    ) {
+        let mut lc = run_lifecycle(seed, n0, 0, AcornVariant::Gamma);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        lc.index.freeze();
+        for _ in 0..deletes {
+            let gid = rng.gen_range(0..lc.vectors.len()) as u64;
+            lc.index.delete(gid);
+            lc.alive[gid as usize] = false;
+        }
+        lc.index.compact_all();
+        let survivors: Vec<u64> =
+            (0..lc.vectors.len() as u64).filter(|&g| lc.alive[g as usize]).collect();
+        // The vendored proptest shim has no prop_assume; an emptied-out
+        // dataset simply has nothing left to compare.
+        if survivors.is_empty() {
+            return Ok(());
+        }
+
+        let mut store = VectorStore::with_capacity(DIM, survivors.len());
+        for &g in &survivors {
+            store.push(&lc.vectors[g as usize]);
+        }
+        let vecs = Arc::new(store);
+        let rebuilt = AcornIndex::build(vecs.clone(), params(seed), AcornVariant::Gamma);
+        let seg = &lc.index.frozen_segments()[0];
+        prop_assert_eq!(seg.index().graph().len(), rebuilt.graph().len());
+
+        let n = survivors.len();
+        let filter = BitmapFilter::new(Bitset::from_ids(
+            n,
+            (0..n as u32).filter(|i| i % 2 == 0),
+        ));
+        let q = query(&mut rng);
+        let entry = rebuilt.graph().entry_point().unwrap();
+        prop_assert_eq!(seg.index().graph().entry_point(), Some(entry));
+        let entries =
+            vec![Neighbor::new(Metric::L2.distance(vecs.get(entry), &q), entry)];
+
+        for mode in [
+            LookupMode::Truncate,
+            LookupMode::GammaSearch { m_beta: 16, compressed_levels: 1 },
+            LookupMode::TwoHop,
+        ] {
+            let mut s1 = SearchScratch::new(n);
+            let mut s2 = SearchScratch::new(n);
+            let mut st1 = SearchStats::default();
+            let mut st2 = SearchStats::default();
+            s1.begin(n);
+            s2.begin(n);
+            let a = acorn_search_layer(
+                seg.index().vectors(), seg.index().graph(), Metric::L2, &q, &filter,
+                &entries, 8, 0, 8, mode, &mut s1, &mut st1,
+            );
+            let b = acorn_search_layer(
+                &vecs, rebuilt.graph(), Metric::L2, &q, &filter,
+                &entries, 8, 0, 8, mode, &mut s2, &mut st2,
+            );
+            let pa: Vec<(u32, f32)> = a.iter().map(|x| (x.id, x.dist)).collect();
+            let pb: Vec<(u32, f32)> = b.iter().map(|x| (x.id, x.dist)).collect();
+            prop_assert_eq!(pa, pb, "layer search must agree in {:?}", mode);
+            prop_assert_eq!(st1, st2, "stats must agree in {:?}", mode);
+        }
+    }
+}

@@ -6,7 +6,10 @@
 /// When fewer than `k` records pass the predicate at all, the denominator is
 /// the achievable target size (`truth.len()`), so a method that returns
 /// everything reachable still scores 1.0. Empty ground truth scores 1.0.
-pub fn recall_at_k(got: &[u32], truth: &[u32], k: usize) -> f64 {
+///
+/// Generic over the id type so it serves both per-index `u32` row ids and
+/// the segmented index's stable `u64` global ids.
+pub fn recall_at_k<T: PartialEq>(got: &[T], truth: &[T], k: usize) -> f64 {
     let target = truth.len().min(k);
     if target == 0 {
         return 1.0;
@@ -16,7 +19,7 @@ pub fn recall_at_k(got: &[u32], truth: &[u32], k: usize) -> f64 {
 }
 
 /// Mean recall over a workload.
-pub fn workload_recall(got: &[Vec<u32>], truth: &[Vec<u32>], k: usize) -> f64 {
+pub fn workload_recall<T: PartialEq>(got: &[Vec<T>], truth: &[Vec<T>], k: usize) -> f64 {
     assert_eq!(got.len(), truth.len(), "result/truth length mismatch");
     if got.is_empty() {
         return 1.0;
@@ -63,5 +66,14 @@ mod tests {
     fn extra_results_beyond_k_ignored_in_truth() {
         // got may contain k results; truth longer than k is truncated.
         assert_eq!(recall_at_k(&[1], &[1, 2, 3], 1), 1.0);
+    }
+
+    #[test]
+    fn generic_over_u64_global_ids() {
+        let got: Vec<u64> = vec![1 << 40, 7];
+        let truth: Vec<u64> = vec![1 << 40, 8];
+        assert!((recall_at_k(&got, &truth, 2) - 0.5).abs() < 1e-12);
+        let lists = [got];
+        assert_eq!(workload_recall(&lists, &lists, 2), 1.0);
     }
 }

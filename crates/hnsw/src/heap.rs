@@ -177,6 +177,37 @@ impl TopK {
     }
 }
 
+/// K-way merge of ascending-sorted lists: the `k` smallest elements across
+/// all of `lists`, ascending. The segmented index uses this to combine
+/// per-segment top-`k` result lists into one global answer; it is generic so
+/// any `(distance, id)`-like ordering works.
+///
+/// Runs in `O(k · log L)` for `L` input lists via a cursor heap — no
+/// concatenate-and-sort of all inputs.
+pub fn merge_k_sorted<T: Ord + Copy>(lists: &[Vec<T>], k: usize) -> Vec<T> {
+    let mut heap: BinaryHeap<std::cmp::Reverse<(T, usize)>> =
+        BinaryHeap::with_capacity(lists.len());
+    let mut pos = vec![0usize; lists.len()];
+    for (i, l) in lists.iter().enumerate() {
+        debug_assert!(l.windows(2).all(|w| w[0] <= w[1]), "input list {i} must be sorted");
+        if let Some(&t) = l.first() {
+            heap.push(std::cmp::Reverse((t, i)));
+            pos[i] = 1;
+        }
+    }
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(k.min(total));
+    while out.len() < k {
+        let Some(std::cmp::Reverse((t, i))) = heap.pop() else { break };
+        out.push(t);
+        if let Some(&next) = lists[i].get(pos[i]) {
+            pos[i] += 1;
+            heap.push(std::cmp::Reverse((next, i)));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,5 +280,25 @@ mod tests {
     #[should_panic(expected = "k > 0")]
     fn topk_zero_panics() {
         let _ = TopK::new(0);
+    }
+
+    #[test]
+    fn merge_k_sorted_matches_sort_oracle() {
+        let lists = vec![vec![1u32, 4, 7, 9], vec![2u32, 3, 8], vec![], vec![5u32, 6]];
+        let mut all: Vec<u32> = lists.iter().flatten().copied().collect();
+        all.sort_unstable();
+        for k in [0usize, 1, 3, 9, 20] {
+            let got = merge_k_sorted(&lists, k);
+            assert_eq!(got, all[..k.min(all.len())].to_vec(), "k = {k}");
+        }
+        assert!(merge_k_sorted::<u32>(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn merge_k_sorted_breaks_distance_ties_by_id() {
+        let a = vec![Neighbor::new(1.0, 4), Neighbor::new(2.0, 0)];
+        let b = vec![Neighbor::new(1.0, 2), Neighbor::new(1.0, 9)];
+        let got: Vec<u32> = merge_k_sorted(&[a, b], 3).iter().map(|n| n.id).collect();
+        assert_eq!(got, vec![2, 4, 9]);
     }
 }

@@ -143,9 +143,30 @@ impl Bitset {
         }
     }
 
+    /// Grow the universe to `len` ids; new ids start cleared. Existing bits
+    /// are preserved. Used by the segmented index, whose active segment's
+    /// tombstone set must track a row count that grows with every insert.
+    ///
+    /// # Panics
+    /// Panics if `len` would shrink the universe (tombstones never forget).
+    pub fn grow(&mut self, len: usize) {
+        assert!(len >= self.len, "Bitset::grow cannot shrink the universe");
+        self.len = len;
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
     /// Iterate over set ids in ascending order.
     pub fn iter_ones(&self) -> Ones<'_> {
         Ones { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Iterate over *clear* ids in ascending order (the complement within
+    /// the universe). This is the survivor scan of merge compaction: with
+    /// tombstoned rows a small minority, it skips dead rows 64 at a time.
+    pub fn iter_zeros(&self) -> Zeros<'_> {
+        let mut z = Zeros { bits: self, word_idx: 0, current: 0 };
+        z.current = z.masked_complement(0);
+        z
     }
 
     /// Collect set ids into a vector.
@@ -181,6 +202,48 @@ impl Iterator for Ones<'_> {
                 return None;
             }
             self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+/// Iterator over clear bit positions within the universe.
+pub struct Zeros<'a> {
+    bits: &'a Bitset,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Zeros<'_> {
+    /// The complement of word `w`, with bits beyond the universe cleared so
+    /// the final partial word never yields out-of-range ids.
+    fn masked_complement(&self, w: usize) -> u64 {
+        let Some(&word) = self.bits.words.get(w) else { return 0 };
+        let mut c = !word;
+        if w + 1 == self.bits.words.len() {
+            let rem = self.bits.len % 64;
+            if rem != 0 {
+                c &= (1u64 << rem) - 1;
+            }
+        }
+        c
+    }
+}
+
+impl Iterator for Zeros<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros();
+                self.current &= self.current - 1;
+                return Some((self.word_idx * 64) as u32 + tz);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bits.words.len() {
+                return None;
+            }
+            self.current = self.masked_complement(self.word_idx);
         }
     }
 }
@@ -242,6 +305,38 @@ mod tests {
     fn set_out_of_range_panics() {
         let mut b = Bitset::new(8);
         b.set(8);
+    }
+
+    #[test]
+    fn iter_zeros_is_the_complement() {
+        for n in [0usize, 1, 63, 64, 65, 130, 200] {
+            let b = Bitset::from_ids(n, (0..n as u32).filter(|i| i % 3 == 0));
+            let zeros: Vec<u32> = b.iter_zeros().collect();
+            let want: Vec<u32> = (0..n as u32).filter(|i| i % 3 != 0).collect();
+            assert_eq!(zeros, want, "universe {n}");
+        }
+        // A full bitset yields no zeros, and never an out-of-range id from
+        // the final partial word.
+        assert_eq!(Bitset::full(70).iter_zeros().count(), 0);
+    }
+
+    #[test]
+    fn grow_preserves_bits_and_extends_universe() {
+        let mut b = Bitset::from_ids(10, [0u32, 9]);
+        b.grow(130);
+        assert_eq!(b.len(), 130);
+        assert!(b.get(0) && b.get(9));
+        assert_eq!(b.count(), 2);
+        b.set(129);
+        assert_eq!(b.to_ids(), vec![0, 9, 129]);
+        assert_eq!(b.iter_zeros().count(), 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn grow_rejects_shrinking() {
+        let mut b = Bitset::new(10);
+        b.grow(5);
     }
 
     #[test]

@@ -87,6 +87,49 @@ pub fn estimate_selectivity_seeding(
     })
 }
 
+/// [`estimate_selectivity`] over a **remapped universe**: sample positions
+/// are drawn from `0..universe` with the usual `(universe, sample_size,
+/// seed)`-determined sequence, and each position `p` is evaluated at row
+/// `map(p)` of `attrs`. The segmented index estimates per-segment routing
+/// this way (`universe` = segment rows, `map` = local → global id), so a
+/// fully-merged segment samples **the same positions and verdicts** as a
+/// from-scratch index over the surviving rows — routing, and therefore
+/// results, stay bit-identical across the two.
+pub fn estimate_selectivity_mapped(
+    attrs: &AttrStore,
+    predicate: &Predicate,
+    sample_size: usize,
+    seed: u64,
+    universe: usize,
+    map: impl Fn(u32) -> u32,
+) -> f64 {
+    sampled(universe, sample_size, seed, |p| predicate.eval(attrs, map(p)))
+}
+
+/// The compiled, memo-seeding form of [`estimate_selectivity_mapped`]: the
+/// memo is keyed by the **sampled position** (the segment-local row id, the
+/// same id space a `MemoFilter` over a remapped filter uses), while the
+/// predicate runs on `attrs` row `map(p)`. Duplicate draws are answered from
+/// the memo, exactly like [`estimate_selectivity_seeding`].
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_selectivity_seeding_mapped(
+    attrs: &AttrStore,
+    compiled: &CompiledPredicate,
+    sample_size: usize,
+    seed: u64,
+    memo: &crate::memo::MemoTable,
+    universe: usize,
+    map: impl Fn(u32) -> u32,
+) -> f64 {
+    sampled(universe, sample_size, seed, |p| {
+        memo.lookup(p).unwrap_or_else(|| {
+            let verdict = compiled.eval(attrs, map(p));
+            memo.record(p, verdict);
+            verdict
+        })
+    })
+}
+
 /// Exact selectivity by full scan (used for analysis and tests).
 pub fn exact_selectivity(attrs: &AttrStore, predicate: &Predicate) -> f64 {
     let n = attrs.len();
@@ -145,6 +188,43 @@ mod tests {
         let a = estimate_selectivity(&s, &p, 200, 7);
         let b = estimate_selectivity(&s, &p, 200, 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mapped_estimate_over_identity_matches_plain() {
+        let s = store(2000);
+        let f = s.field("x").unwrap();
+        let p = Predicate::Between { field: f, lo: 1, hi: 6 };
+        let plain = estimate_selectivity(&s, &p, 400, 13);
+        let mapped = estimate_selectivity_mapped(&s, &p, 400, 13, s.len(), |p| p);
+        assert_eq!(plain, mapped);
+
+        // A shifted sub-universe samples the same positions but remapped
+        // rows; with a constant-true predicate the estimate is still exact.
+        let all = estimate_selectivity_mapped(&s, &Predicate::True, 400, 13, 100, |p| p + 500);
+        assert_eq!(all, 1.0);
+    }
+
+    #[test]
+    fn seeding_mapped_agrees_and_records_local_positions() {
+        let s = store(3000);
+        let f = s.field("x").unwrap();
+        let p = Predicate::Equals { field: f, value: 4 };
+        let c = CompiledPredicate::compile(&p);
+        let mut memo = crate::memo::MemoTable::new();
+        memo.reset_for(1000);
+        // Sub-universe of 1000 positions mapped to rows 1000..2000.
+        let est = estimate_selectivity_seeding_mapped(&s, &c, 500, 9, &memo, 1000, |p| p + 1000);
+        let plain = estimate_selectivity_mapped(&s, &p, 500, 9, 1000, |p| p + 1000);
+        assert_eq!(est, plain, "seeding must not change the estimate");
+        assert!(memo.known_count() > 0, "sampled verdicts must be recorded");
+        // Every recorded verdict sits at a local position (< 1000) and
+        // matches the predicate at the mapped row.
+        for local in 0..1000u32 {
+            if let Some(v) = memo.lookup(local) {
+                assert_eq!(v, p.eval(&s, local + 1000), "position {local}");
+            }
+        }
     }
 
     #[test]

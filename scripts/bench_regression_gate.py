@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh BENCH_hybrid.json to the committed one.
+
+Usage: bench_regression_gate.py COMMITTED_JSON FRESH_JSON
+
+For every selectivity band, the best-across-threads adaptive QPS (the `qps`
+field of each run) of the fresh file must be at least
+ACORN_BENCH_MIN_REGRESSION_RATIO (default 0.7) times the committed value.
+Comparing the per-band best rather than every (band, threads) cell tolerates
+runner noise in individual cells while still catching a real regression in a
+band; 0.7 leaves generous slack for hardware differences between the commit
+machine and the CI runner.
+
+Exits 0 when every band passes, 1 otherwise (or on malformed input).
+"""
+
+import json
+import os
+import sys
+
+
+def band_best_qps(doc):
+    """Map selectivity_target -> best adaptive QPS across thread counts."""
+    out = {}
+    for band in doc["bands"]:
+        runs = band["runs"]
+        if not runs:
+            raise ValueError(f"band {band['selectivity_target']} has no runs")
+        out[band["selectivity_target"]] = max(r["qps"] for r in runs)
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 1
+    ratio = float(os.environ.get("ACORN_BENCH_MIN_REGRESSION_RATIO", "0.7"))
+    with open(sys.argv[1]) as f:
+        committed = band_best_qps(json.load(f))
+    with open(sys.argv[2]) as f:
+        fresh = band_best_qps(json.load(f))
+
+    if set(fresh) != set(committed):
+        print(
+            f"FAIL: band sets differ — committed {sorted(committed)} "
+            f"vs fresh {sorted(fresh)}"
+        )
+        return 1
+
+    failed = False
+    for target in sorted(committed):
+        old, new = committed[target], fresh[target]
+        got = new / old if old > 0 else float("inf")
+        verdict = "ok" if got >= ratio else "REGRESSION"
+        print(
+            f"band {target:.3f}: committed {old:.1f} QPS, fresh {new:.1f} QPS "
+            f"({got:.3f}x, floor {ratio:.2f}x) {verdict}"
+        )
+        if got < ratio:
+            failed = True
+
+    if failed:
+        print(f"FAIL: adaptive QPS fell below {ratio:.2f}x of the committed baseline")
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

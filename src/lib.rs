@@ -9,8 +9,10 @@
 //! This facade crate re-exports the full workspace:
 //!
 //! * [`core`] — the ACORN-γ and ACORN-1 indices (the paper's contribution),
-//!   plus the [`QueryEngine`](core::engine::QueryEngine) batch-serving layer
-//!   (concurrent, scratch-pooled query execution).
+//!   the [`QueryEngine`](core::engine::QueryEngine) batch-serving layer
+//!   (concurrent, scratch-pooled query execution), and the
+//!   [`SegmentedAcornIndex`](core::segment::SegmentedAcornIndex) updatable
+//!   index (tombstoned deletes, frozen CSR segments, merge compaction).
 //! * [`hnsw`] — the HNSW substrate (vector store, layered graph, Algorithm 1).
 //! * [`predicate`] — attributes, predicates (`equals`/`between`/`contains`/
 //!   regex), filters, and selectivity estimation.
@@ -64,8 +66,9 @@ pub use acorn_predicate as predicate;
 /// The most commonly used types, importable in one line.
 pub mod prelude {
     pub use acorn_core::{
-        AcornIndex, AcornParams, AcornVariant, BatchOutput, PredicateStrategy, PruneStrategy,
-        QueryEngine,
+        AcornIndex, AcornParams, AcornVariant, BatchOutput, GlobalNeighbor, MergeOutcome,
+        MergePolicy, PredicateStrategy, PruneStrategy, QueryEngine, SegmentedAcornIndex,
+        SegmentedQueryEngine,
     };
     pub use acorn_hnsw::{
         CsrGraph, GraphView, HnswIndex, HnswParams, Metric, Neighbor, ScratchPool, SearchScratch,
