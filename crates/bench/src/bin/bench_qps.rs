@@ -19,7 +19,9 @@
 //! reported.
 //!
 //! Emits `BENCH_hybrid.json` at the repository root (machine-readable
-//! perf-trajectory datapoint; `qps` is the CSR+adaptive serving number) and
+//! perf-trajectory datapoint; `qps` is the CSR+adaptive serving number,
+//! accompanied by per-query `lat_p50_us`/`lat_p99_us`/`lat_p999_us` wall-time
+//! percentiles of the same run) and
 //! an aligned table on stdout. Scaled by the usual `ACORN_BENCH_N` /
 //! `ACORN_BENCH_NQ` / `ACORN_BENCH_REPEATS` environment variables. Two CI
 //! guards make the binary exit non-zero: `ACORN_BENCH_MIN_CSR_RATIO` (e.g.
@@ -53,6 +55,11 @@ struct Cell {
     avg_npred_evaluated: f64,
     avg_npred_cached: f64,
     avg_npred_evaluated_interp: f64,
+    // Per-query wall-time percentiles of the CSR + adaptive run (the same
+    // configuration `qps` reports), in microseconds.
+    lat_p50_us: f64,
+    lat_p99_us: f64,
+    lat_p999_us: f64,
 }
 
 fn main() {
@@ -107,6 +114,7 @@ fn main() {
             "npred_eval memo",
             "npred_cached",
             "hit%",
+            "p50/p99 us",
         ],
     );
     let mut bands_json = Vec::new();
@@ -153,6 +161,8 @@ fn main() {
                 "compiled+memoized and interpreted predicates must answer identically"
             );
             let denom = nq.max(1) as f64;
+            let lat = csr_out.latency_summary();
+            let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
             let cell = Cell {
                 threads,
                 qps_nested: nested_out.qps,
@@ -164,6 +174,9 @@ fn main() {
                 avg_npred_evaluated: csr_out.stats.npred_evaluated() as f64 / denom,
                 avg_npred_cached: csr_out.stats.npred_cached as f64 / denom,
                 avg_npred_evaluated_interp: interp_out.stats.npred_evaluated() as f64 / denom,
+                lat_p50_us: lat.map_or(0.0, |l| us(l.p50)),
+                lat_p99_us: lat.map_or(0.0, |l| us(l.p99)),
+                lat_p999_us: lat.map_or(0.0, |l| us(l.p999)),
             };
             table.row(vec![
                 format!("{target:.2}"),
@@ -178,6 +191,7 @@ fn main() {
                 format!("{:.1}", cell.avg_npred_evaluated),
                 format!("{:.1}", cell.avg_npred_cached),
                 format!("{:.0}", 100.0 * cell.avg_npred_cached / cell.avg_npred.max(1.0)),
+                format!("{:.0}/{:.0}", cell.lat_p50_us, cell.lat_p99_us),
             ]);
             cells.push(cell);
         }
@@ -328,7 +342,8 @@ fn render_json(h: &JsonHeader<'_>) -> String {
                  \"qps_nested\": {:.1}, \"qps_interp\": {:.1}, \"csr_over_nested\": {:.3}, \
                  \"memo_over_interp_qps\": {:.3}, \"recall_at_10\": {:.4}, \"avg_ndis\": {:.1}, \
                  \"avg_npred\": {:.1}, \"npred_evaluated\": {:.1}, \"npred_cached\": {:.1}, \
-                 \"npred_evaluated_interp\": {:.1}}}",
+                 \"npred_evaluated_interp\": {:.1}, \"lat_p50_us\": {:.1}, \
+                 \"lat_p99_us\": {:.1}, \"lat_p999_us\": {:.1}}}",
                 c.threads,
                 c.qps_csr,
                 c.qps_nested,
@@ -341,6 +356,9 @@ fn render_json(h: &JsonHeader<'_>) -> String {
                 c.avg_npred_evaluated,
                 c.avg_npred_cached,
                 c.avg_npred_evaluated_interp,
+                c.lat_p50_us,
+                c.lat_p99_us,
+                c.lat_p999_us,
             );
             let _ = writeln!(s, "{}", if ci + 1 < cells.len() { "," } else { "" });
         }

@@ -1,0 +1,295 @@
+//! `churn_bench` — read tail latency under concurrent write churn.
+//!
+//! The snapshot-epoch question the segmented refactor exists to answer:
+//! **do background merges stall readers?** This binary measures it in two
+//! phases so the comparison is apples-to-apples on any core count:
+//!
+//! 1. **Baseline ("at rest")** — maintenance is off, so no merges run, but
+//!    a writer thread still churns inserts/deletes (auto-freezing via
+//!    `active_max_rows`) while `ACORN_CHURN_READERS` reader threads each
+//!    take `ACORN_CHURN_REST_QUERIES` timed queries through [`IndexReader`]
+//!    snapshots. This is the serving load *without* merges — same CPU
+//!    contention, same write pressure.
+//! 2. **Merge churn** — the background maintenance thread starts and the
+//!    writer keeps churning (ending in forced freezes + a foreground
+//!    merge). Readers keep sampling; a query lands in the during-merge
+//!    bucket when `merges_in_flight` is nonzero either immediately before
+//!    or after it (either sample nonzero ⇒ it overlapped a merge).
+//!    Merge-free phase-2 samples are discarded — they belong to neither a
+//!    controlled baseline nor a merge window.
+//!
+//! Queries run with a deliberately wide beam (`EFS = 384`, usually wider
+//! than any single segment) so one query costs ~1 ms — well above
+//! scheduler-timeslice noise. On a single-core runner the OS must
+//! interleave readers with the writer and the merge thread either way;
+//! what the gate catches is a reader *blocking on a lock across a merge*,
+//! which would push the during-merge tail to the full merge duration
+//! rather than a timeslice.
+//!
+//! Readers verify as they go: every returned global id must be live in the
+//! pinned snapshot, and results must be sorted by distance — a tombstoned
+//! id or torn segment list fails the run immediately.
+//!
+//! Scaling knobs: `ACORN_CHURN_N` (rows churned, default 4000),
+//! `ACORN_CHURN_READERS` (reader threads, default 2),
+//! `ACORN_CHURN_REST_QUERIES` (baseline samples per reader, default 250),
+//! plus the usual `ACORN_BENCH_NQ` for the query set size.
+//!
+//! CI stall gate: `ACORN_CHURN_MAX_P99_STALL_RATIO` (e.g. `3.0`) makes the
+//! binary exit non-zero when during-merge p99 exceeds that multiple of
+//! at-rest p99. The gate is skipped (with a warning) when either bucket
+//! has fewer than 20 samples — a ratio of two noise floors gates nothing.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use acorn_bench::bench_nq;
+use acorn_core::{AcornParams, AcornVariant, GlobalNeighbor, MergePolicy, SegmentedAcornIndex};
+use acorn_hnsw::{LatencySummary, Metric, SearchStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 16;
+const K: usize = 10;
+const EFS: usize = 384;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn random_vec(rng: &mut StdRng) -> Vec<f32> {
+    (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn check_hits(snap: &acorn_core::SegmentSnapshot, hits: &[GlobalNeighbor]) {
+    for w in hits.windows(2) {
+        assert!(w[0].dist <= w[1].dist, "results must stay sorted under churn");
+    }
+    for h in hits {
+        assert!(
+            snap.contains(h.id),
+            "gid {} surfaced but is not live at epoch {}",
+            h.id,
+            snap.epoch()
+        );
+    }
+}
+
+fn fmt_summary(label: &str, s: Option<LatencySummary>, count: usize) -> String {
+    match s {
+        Some(s) => format!(
+            "{label:>12}: n = {count:>6}  p50 = {:>8.1?}  p99 = {:>8.1?}  p999 = {:>8.1?}  \
+             mean = {:>8.1?}  max = {:>8.1?}",
+            s.p50, s.p99, s.p999, s.mean, s.max
+        ),
+        None => format!("{label:>12}: n = 0 (no samples)"),
+    }
+}
+
+fn main() {
+    let n = env_usize("ACORN_CHURN_N", 4000);
+    let readers = env_usize("ACORN_CHURN_READERS", 2).max(1);
+    let rest_target = env_usize("ACORN_CHURN_REST_QUERIES", 250).max(20);
+    let nq = bench_nq(50).max(1);
+
+    let params = AcornParams {
+        m: 8,
+        gamma: 4,
+        m_beta: 16,
+        ef_construction: 32,
+        metric: Metric::L2,
+        seed: 7,
+        ..Default::default()
+    };
+    // Small segments + an eager merge policy: every auto-frozen segment
+    // (192 rows < min_rows) is immediately a compaction candidate, so the
+    // maintenance thread merges continuously while the writer churns.
+    // `min_rows` stays bounded so each merge rebuilds a few small segments,
+    // not the whole index — maintenance should be many short merges, and
+    // the stall gate bounds what those do to reader tails.
+    let policy = MergePolicy { min_rows: 256, max_tombstone_fraction: 0.05, active_max_rows: 192 };
+    let mut idx = SegmentedAcornIndex::new(DIM, params, AcornVariant::Gamma).with_policy(policy);
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut inserted: Vec<u64> = Vec::with_capacity(n);
+    let preload = n / 2;
+    let t0 = Instant::now();
+    for _ in 0..preload {
+        inserted.push(idx.insert(&random_vec(&mut rng)));
+    }
+    println!(
+        "preloaded {preload} rows in {:.1?} ({} segments, epoch {})",
+        t0.elapsed(),
+        idx.num_segments(),
+        idx.epoch()
+    );
+
+    let queries: Vec<Vec<f32>> = (0..nq).map(|_| random_vec(&mut rng)).collect();
+    let reader = idx.reader();
+
+    // ---- Phase 1: baseline. Maintenance is off (no merges can run); the
+    // writer churns inserts/deletes until every reader has its quota of
+    // timed queries, so the baseline sees full write-path CPU pressure.
+    let mut at_rest: Vec<Duration> = Vec::new();
+    let readers_done = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let queries = &queries;
+        let readers_done = &readers_done;
+        let mut handles = Vec::new();
+        for r in 0..readers {
+            let reader = reader.clone();
+            handles.push(s.spawn(move || {
+                let mut scratch = reader.scratch_pool().checkout(0);
+                let mut stats = SearchStats::default();
+                let mut samples = Vec::with_capacity(rest_target);
+                for qi in 0..rest_target {
+                    let snap = reader.snapshot();
+                    scratch.reset_for(snap.max_segment_rows());
+                    let q0 = Instant::now();
+                    let hits =
+                        snap.search_with(&queries[(r + qi) % nq], K, EFS, &mut scratch, &mut stats);
+                    samples.push(q0.elapsed());
+                    check_hits(&snap, &hits);
+                }
+                readers_done.fetch_add(1, Ordering::Release);
+                samples
+            }));
+        }
+        // Size-stable churn: one insert then one delete, so the baseline
+        // write pressure matches phase 2 without growing the index.
+        while readers_done.load(Ordering::Acquire) < readers {
+            inserted.push(idx.insert(&random_vec(&mut rng)));
+            let victim = inserted.swap_remove(rng.gen_range(0..inserted.len()));
+            idx.delete(victim);
+        }
+        for h in handles {
+            at_rest.extend(h.join().expect("baseline reader panicked"));
+        }
+    });
+    println!(
+        "baseline: {} at-rest queries from {readers} readers in {:.1?} (no maintenance)",
+        at_rest.len(),
+        t0.elapsed()
+    );
+
+    // ---- Phase 2: merge churn. Maintenance on; the writer churns the
+    // remaining rows, then forces freezes and a foreground merge so at
+    // least one merge demonstrably overlaps the readers even on
+    // single-core runners.
+    idx.start_maintenance(Duration::from_millis(5));
+    let done = AtomicBool::new(false);
+    // (during_merge, latency) samples per reader thread.
+    let mut per_reader: Vec<Vec<(bool, Duration)>> = Vec::new();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let done = &done;
+        let queries = &queries;
+        let mut handles = Vec::new();
+        for r in 0..readers {
+            let reader = reader.clone();
+            handles.push(s.spawn(move || {
+                // One pooled scratch for the thread's whole lifetime; the
+                // per-query cost is the atomic snapshot load alone.
+                let mut scratch = reader.scratch_pool().checkout(0);
+                let mut stats = SearchStats::default();
+                let mut samples = Vec::new();
+                let mut qi = r; // stagger the query stream across readers
+                while !done.load(Ordering::Acquire) {
+                    let snap = reader.snapshot();
+                    scratch.reset_for(snap.max_segment_rows());
+                    let merging_before = reader.merges_in_flight() > 0;
+                    let q0 = Instant::now();
+                    let hits =
+                        snap.search_with(&queries[qi % nq], K, EFS, &mut scratch, &mut stats);
+                    let dt = q0.elapsed();
+                    let merging = merging_before || reader.merges_in_flight() > 0;
+                    samples.push((merging, dt));
+                    check_hits(&snap, &hits);
+                    qi += 1;
+                }
+                samples
+            }));
+        }
+
+        for i in 0..n.saturating_sub(preload) {
+            inserted.push(idx.insert(&random_vec(&mut rng)));
+            if i % 3 == 2 {
+                let victim = inserted.swap_remove(rng.gen_range(0..inserted.len()));
+                idx.delete(victim);
+            }
+        }
+        for _ in 0..2 {
+            for _ in 0..50 {
+                inserted.push(idx.insert(&random_vec(&mut rng)));
+            }
+            idx.freeze();
+        }
+        let outcome = idx.merge();
+        println!(
+            "foreground merge: {} segments -> {} rows kept, {} dropped",
+            outcome.segments_merged, outcome.rows_kept, outcome.rows_dropped
+        );
+        done.store(true, Ordering::Release);
+        for h in handles {
+            per_reader.push(h.join().expect("reader thread panicked"));
+        }
+    });
+    let wall = t0.elapsed();
+    idx.stop_maintenance();
+
+    let merges = reader.merges_completed();
+    let mut during: Vec<Duration> = Vec::new();
+    let mut discarded = 0usize;
+    for samples in &per_reader {
+        for &(merging, dt) in samples {
+            if merging {
+                during.push(dt);
+            } else {
+                discarded += 1;
+            }
+        }
+    }
+    println!(
+        "churned to {} live rows ({} segments, epoch {}, {merges} merges completed); \
+         {} merge-overlapped + {discarded} discarded merge-free queries \
+         from {readers} readers in {wall:.1?}",
+        idx.len(),
+        idx.num_segments(),
+        idx.epoch(),
+        during.len()
+    );
+    assert!(merges >= 1, "the bench must observe at least one completed merge");
+
+    let rest_summary = LatencySummary::from_samples(&at_rest);
+    let merge_summary = LatencySummary::from_samples(&during);
+    println!("{}", fmt_summary("at rest", rest_summary, at_rest.len()));
+    println!("{}", fmt_summary("during merge", merge_summary, during.len()));
+
+    if let Ok(max) = std::env::var("ACORN_CHURN_MAX_P99_STALL_RATIO") {
+        let max: f64 = max.parse().expect("ACORN_CHURN_MAX_P99_STALL_RATIO must be a float");
+        const MIN_SAMPLES: usize = 20;
+        if during.len() < MIN_SAMPLES || at_rest.len() < MIN_SAMPLES {
+            println!(
+                "WARN: stall gate skipped — need {MIN_SAMPLES}+ samples per bucket \
+                 (during-merge {}, at-rest {})",
+                during.len(),
+                at_rest.len()
+            );
+            return;
+        }
+        let (rest, merge) = (
+            rest_summary.expect("bucket checked non-empty"),
+            merge_summary.expect("bucket checked non-empty"),
+        );
+        let ratio = merge.p99.as_secs_f64() / rest.p99.as_secs_f64().max(1e-9);
+        if ratio > max {
+            eprintln!(
+                "FAIL: during-merge p99 is {ratio:.2}x at-rest p99 (allowed {max:.2}x) — \
+                 readers are stalling on maintenance"
+            );
+            std::process::exit(1);
+        }
+        println!("stall gate passed: during-merge p99 = {ratio:.2}x at-rest p99 <= {max:.2}x");
+    }
+}

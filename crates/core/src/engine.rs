@@ -23,11 +23,12 @@
 use std::time::Duration;
 
 use acorn_hnsw::heap::Neighbor;
-use acorn_hnsw::{ScratchPool, SearchScratch, SearchStats};
+use acorn_hnsw::{LatencySummary, ScratchPool, SearchScratch, SearchStats};
 use acorn_predicate::{AttrStore, NodeFilter, Predicate};
 
 use crate::index::{AcornIndex, PredicateStrategy};
 use crate::segment::{GlobalNeighbor, SegmentedAcornIndex};
+use crate::snapshot::{IndexReader, SegmentSnapshot};
 
 /// The answer to one batch of queries. `N` is the per-result neighbor type:
 /// [`Neighbor`] (local row ids) from [`QueryEngine`], [`GlobalNeighbor`]
@@ -44,6 +45,18 @@ pub struct BatchOutput<N = Neighbor> {
     pub elapsed: Duration,
     /// Query executions per second (counts every repeat).
     pub qps: f64,
+    /// Wall time of every individual query execution (repeats included),
+    /// in shard-then-repeat order — the samples behind
+    /// [`latency_summary`](Self::latency_summary).
+    pub latencies: Vec<Duration>,
+}
+
+impl<N> BatchOutput<N> {
+    /// Tail-latency percentiles (p50/p99/p999), mean, and max over the
+    /// per-execution latencies. `None` for an empty batch.
+    pub fn latency_summary(&self) -> Option<LatencySummary> {
+        LatencySummary::from_samples(&self.latencies)
+    }
 }
 
 /// A batch-serving layer over a borrowed [`AcornIndex`].
@@ -110,7 +123,13 @@ impl<'a> QueryEngine<'a> {
             f,
         );
         let qps = run.throughput();
-        BatchOutput { results: run.results, stats: run.stats, elapsed: run.elapsed, qps }
+        BatchOutput {
+            results: run.results,
+            stats: run.stats,
+            elapsed: run.elapsed,
+            qps,
+            latencies: run.latencies,
+        }
     }
 
     /// Pure ANN search for a batch of queries: the `k` nearest neighbors of
@@ -203,21 +222,34 @@ impl<'a> QueryEngine<'a> {
 /// each worker's pooled scratch serving **every segment** of its queries in
 /// turn — the per-query fan-out across segments, the k-way merge of
 /// per-segment result heaps, and the global-id remapping all happen inside
-/// the index's `*_with` entry points. Results come back as
+/// the snapshot's `*_with` entry points. Results come back as
 /// [`GlobalNeighbor`]s in deterministic input order with aggregated
 /// [`SearchStats`].
-#[derive(Debug)]
-pub struct SegmentedQueryEngine<'a> {
-    index: &'a SegmentedAcornIndex,
+///
+/// The engine holds an [`IndexReader`], not a borrow of the index: it stays
+/// valid while the writer inserts, deletes, and merges concurrently. Each
+/// batch pins **one** [`SegmentSnapshot`] up front, so every query of the
+/// batch answers at the same epoch — bit-identical to a sequential loop at
+/// that epoch, whatever the writer does mid-batch — and no worker acquires
+/// a lock after the pin.
+#[derive(Debug, Clone)]
+pub struct SegmentedQueryEngine {
+    reader: IndexReader,
     threads: usize,
     repeats: usize,
 }
 
-impl<'a> SegmentedQueryEngine<'a> {
+impl SegmentedQueryEngine {
     /// An engine over `index` using all available cores and one execution
     /// per query.
-    pub fn new(index: &'a SegmentedAcornIndex) -> Self {
-        Self { index, threads: 0, repeats: 1 }
+    pub fn new(index: &SegmentedAcornIndex) -> Self {
+        Self::for_reader(index.reader())
+    }
+
+    /// An engine over a standalone [`IndexReader`] handle (the form a
+    /// serving thread uses when the writer lives elsewhere).
+    pub fn for_reader(reader: IndexReader) -> Self {
+        Self { reader, threads: 0, repeats: 1 }
     }
 
     /// Set the worker-thread count (`0` = all available cores).
@@ -233,33 +265,40 @@ impl<'a> SegmentedQueryEngine<'a> {
         self
     }
 
-    /// The segmented index this engine serves.
-    pub fn index(&self) -> &SegmentedAcornIndex {
-        self.index
+    /// The reader handle this engine serves through.
+    pub fn reader(&self) -> &IndexReader {
+        &self.reader
     }
 
     /// The scratch pool this engine draws from (the index's own).
     pub fn pool(&self) -> &ScratchPool {
-        self.index.scratch_pool()
+        self.reader.scratch_pool()
     }
 
-    fn run_batch<F>(&self, nq: usize, f: F) -> BatchOutput<GlobalNeighbor>
+    fn run_batch<F>(&self, snap: &SegmentSnapshot, nq: usize, f: F) -> BatchOutput<GlobalNeighbor>
     where
         F: Fn(usize, &mut SearchScratch, &mut SearchStats) -> Vec<GlobalNeighbor> + Sync,
     {
         let run = acorn_hnsw::pool::run_sharded(
-            self.index.scratch_pool(),
+            self.reader.scratch_pool(),
             nq,
             self.threads,
             self.repeats,
-            self.index.max_segment_rows(),
+            snap.max_segment_rows(),
             f,
         );
         let qps = run.throughput();
-        BatchOutput { results: run.results, stats: run.stats, elapsed: run.elapsed, qps }
+        BatchOutput {
+            results: run.results,
+            stats: run.stats,
+            elapsed: run.elapsed,
+            qps,
+            latencies: run.latencies,
+        }
     }
 
-    /// Pure ANN search for a batch of queries across all segments.
+    /// Pure ANN search for a batch of queries across all segments of one
+    /// pinned epoch.
     pub fn search_batch<Q>(
         &self,
         queries: &[Q],
@@ -269,8 +308,9 @@ impl<'a> SegmentedQueryEngine<'a> {
     where
         Q: AsRef<[f32]> + Sync,
     {
-        self.run_batch(queries.len(), |i, scratch, stats| {
-            self.index.search_with(queries[i].as_ref(), k, efs, scratch, stats)
+        let snap = self.reader.snapshot();
+        self.run_batch(&snap, queries.len(), |i, scratch, stats| {
+            snap.search_with(queries[i].as_ref(), k, efs, scratch, stats)
         })
     }
 
@@ -286,8 +326,9 @@ impl<'a> SegmentedQueryEngine<'a> {
         Q: AsRef<[f32]> + Sync,
         F: Fn(u64) -> bool + Sync,
     {
-        self.run_batch(queries.len(), |i, scratch, stats| {
-            self.index.search_filtered(queries[i].as_ref(), filter, k, efs, scratch, stats)
+        let snap = self.reader.snapshot();
+        self.run_batch(&snap, queries.len(), |i, scratch, stats| {
+            snap.search_filtered(queries[i].as_ref(), filter, k, efs, scratch, stats)
         })
     }
 
@@ -319,17 +360,11 @@ impl<'a> SegmentedQueryEngine<'a> {
     where
         Q: AsRef<[f32]> + Sync,
     {
-        self.run_batch(queries.len(), |i, scratch, stats| {
+        let snap = self.reader.snapshot();
+        self.run_batch(&snap, queries.len(), |i, scratch, stats| {
             let (q, predicate) = &queries[i];
-            let (out, st) = self.index.hybrid_search_with(
-                q.as_ref(),
-                predicate,
-                attrs,
-                k,
-                efs,
-                scratch,
-                strategy,
-            );
+            let (out, st) =
+                snap.hybrid_search_with(q.as_ref(), predicate, attrs, k, efs, scratch, strategy);
             stats.merge(&st);
             out
         })

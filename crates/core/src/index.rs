@@ -276,6 +276,17 @@ impl AcornIndex {
         id
     }
 
+    /// Replace the shared vector store with a private deep copy, restoring
+    /// exclusive ownership. The segmented writer publishes snapshots of its
+    /// active segment by cloning the index — the clone shares the store's
+    /// `Arc`, which would make the writer's next
+    /// [`insert_vector`](Self::insert_vector) panic; detaching the clone's
+    /// store gives the published view its own immutable copy and hands the
+    /// original `Arc` back to the writer alone.
+    pub(crate) fn detach_store(&mut self) {
+        self.vecs = Arc::new((*self.vecs).clone());
+    }
+
     /// Insert vector `id` (ids must be inserted sequentially).
     ///
     /// # Panics

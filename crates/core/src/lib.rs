@@ -39,7 +39,11 @@
 //! inserts, frozen CSR-served segments, tombstoned deletes, and merge
 //! compaction that drops dead rows — with a property-tested guarantee that
 //! a fully-compacted index answers bit-identically to a from-scratch
-//! rebuild over the surviving rows (see [`segment`]).
+//! rebuild over the surviving rows (see [`segment`]). Concurrency is
+//! snapshot-epoch MVCC (see [`snapshot`]): every mutation publishes an
+//! immutable [`SegmentSnapshot`] atomically; readers pin an epoch through
+//! an [`IndexReader`] with one cheap load and serve the whole query
+//! lock-free while merges run on a background maintenance thread.
 
 pub mod engine;
 pub mod index;
@@ -49,11 +53,13 @@ pub mod prune;
 pub mod search;
 pub mod segment;
 pub mod serialize;
+pub mod snapshot;
 
 pub use engine::{BatchOutput, QueryEngine, SegmentedQueryEngine};
 pub use index::{AcornIndex, PredicateStrategy, MATERIALIZE_BELOW_SELECTIVITY};
 pub use params::{AcornParams, AcornVariant};
 pub use prune::PruneStrategy;
-pub use segment::{GlobalNeighbor, MergeOutcome, MergePolicy, Segment, SegmentedAcornIndex};
+pub use segment::{GlobalNeighbor, MergeOutcome, MergePolicy, SegmentedAcornIndex};
+pub use snapshot::{IndexReader, SegmentSnapshot, SegmentView};
 
 pub use acorn_hnsw::{CsrGraph, GraphView, Neighbor, ScratchPool, SearchScratch, SearchStats};

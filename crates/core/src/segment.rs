@@ -1,5 +1,6 @@
 //! The segmented, updatable ACORN index: tombstoned deletes and merge
-//! compaction over a log of immutable segments.
+//! compaction over a log of immutable segments, with snapshot-epoch
+//! concurrency between one writer and any number of lock-free readers.
 //!
 //! ACORN's evaluation assumes a statically built index; a serving system
 //! needs inserts, deletes, and maintenance without a full rebuild. This
@@ -9,25 +10,36 @@
 //!
 //! * **one active segment** — a nested [`LayeredGraph`]-backed
 //!   [`AcornIndex`] absorbing inserts through
-//!   [`AcornIndex::insert_vector`];
-//! * **frozen segments** — read-optimized snapshots served from the
+//!   [`AcornIndex::insert_vector`]; owned exclusively by the writer.
+//! * **frozen segments** — read-optimized, immutable
+//!   [`SealedSegment`]s served from the
 //!   [`CsrGraph`](acorn_hnsw::CsrGraph) layout ([`freeze`] compacts the
 //!   active segment and opens a fresh one);
-//! * **tombstoned deletes** — [`delete`] sets a bit in the owning segment's
-//!   [`Bitset`]; the tombstone composes with every query's
-//!   [`NodeFilter`], so a deleted row never surfaces from `search`,
-//!   `search_filtered`, or `hybrid_search` while its graph node keeps
-//!   serving as a traversal waypoint (recall degrades gracefully until the
-//!   next merge, exactly like Lucene's deleted docs);
+//! * **tombstoned deletes** — [`delete`] locates the owning segment by
+//!   range binary search over the ascending, disjoint per-segment gid
+//!   ranges, then sets a bit in a copy-on-write [`Bitset`]; a deleted row
+//!   never surfaces from `search`, `search_filtered`, or `hybrid_search`
+//!   while its graph node keeps serving as a traversal waypoint (recall
+//!   degrades gracefully until the next merge, exactly like Lucene's
+//!   deleted docs);
 //! * **merge compaction** — [`merge`] rebuilds small or tombstone-heavy
 //!   frozen segments into one fresh graph over the surviving rows, dropping
 //!   dead rows and reclaiming their vector, adjacency, and tombstone
-//!   memory.
+//!   memory. Merges rebuild **off to the side** (no lock held while the
+//!   replacement graph is built) and may run on a background
+//!   [maintenance thread](SegmentedAcornIndex::start_maintenance).
+//!
+//! Every mutation publishes an immutable [`SegmentSnapshot`] — see the
+//! [`snapshot`](crate::snapshot) module for the epoch lifecycle and the
+//! reader-side guarantees. Readers ([`IndexReader`], the writer's own query
+//! methods, [`SegmentedQueryEngine`](crate::engine::SegmentedQueryEngine))
+//! pin an epoch with one cheap load and then run the whole query without
+//! acquiring any lock.
 //!
 //! Rows are addressed by **stable global ids** (`u64`, assigned by
 //! [`insert`], never reused); each segment keeps a sorted local → global id
 //! map, and every query k-way merges per-segment top-`k` lists into one
-//! global answer ([`merge_k_sorted`]).
+//! global answer.
 //!
 //! **Determinism contract** (property-tested): after [`compact_all`]
 //! collapses everything into one segment, every query — pure, filtered, and
@@ -35,7 +47,7 @@
 //! to a from-scratch [`AcornIndex`] built over the surviving rows in global
 //! id order. This holds because merge rebuilds with the same parameters,
 //! seed, and insertion order, and because per-segment selectivity routing
-//! samples through [`estimate_selectivity_mapped`], which draws the same
+//! samples through `estimate_selectivity_mapped`, which draws the same
 //! sample positions over a segment's rows as a monolithic index draws over
 //! its own.
 //!
@@ -45,25 +57,29 @@
 //! [`merge`]: SegmentedAcornIndex::merge
 //! [`compact_all`]: SegmentedAcornIndex::compact_all
 //! [`LayeredGraph`]: acorn_hnsw::LayeredGraph
+//! [`SealedSegment`]: crate::snapshot::SegmentView
 
 use std::cmp::Ordering;
-use std::sync::Arc;
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
-use acorn_hnsw::heap::{merge_k_sorted, Neighbor};
 use acorn_hnsw::{ScratchPool, SearchScratch, SearchStats, VectorStore};
-use acorn_predicate::{
-    estimate_selectivity_mapped, estimate_selectivity_seeding_mapped, AllPass, AttrStore, Bitset,
-    CompiledPredicate, CostClass, MemoFilter, NodeFilter, Predicate,
+use acorn_predicate::{AttrStore, Bitset, Predicate};
+
+use crate::index::{AcornIndex, PredicateStrategy};
+use crate::params::{AcornParams, AcornVariant};
+use crate::snapshot::{
+    FrozenSeg, IndexReader, Pending, SealedSegment, SegmentSnapshot, SegmentView, SharedState,
 };
 
-use crate::index::{AcornIndex, PredicateStrategy, MATERIALIZE_BELOW_SELECTIVITY};
-use crate::params::{AcornParams, AcornVariant};
-
 /// A search result addressed by **global** row id (stable across freezes
-/// and merges), the segmented analogue of [`Neighbor`].
+/// and merges), the segmented analogue of
+/// [`Neighbor`](acorn_hnsw::Neighbor).
 ///
 /// Ordering is by distance (`total_cmp`), tie-broken by id — the same
-/// contract as [`Neighbor`], so per-segment lists merge deterministically.
+/// contract as `Neighbor`, so per-segment lists merge deterministically.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GlobalNeighbor {
     /// Distance to the query (smaller = closer).
@@ -126,7 +142,7 @@ pub struct MergeOutcome {
     /// Tombstoned rows dropped — their vectors, edges, and tombstone bits
     /// are gone.
     pub rows_dropped: usize,
-    /// Surviving rows carried into the merged segment.
+    /// Surviving rows carried into the merged segment(s).
     pub rows_kept: usize,
     /// [`SegmentedAcornIndex::memory_bytes`] before the merge.
     pub bytes_before: usize,
@@ -134,23 +150,19 @@ pub struct MergeOutcome {
     pub bytes_after: usize,
 }
 
-/// One generation of rows: an [`AcornIndex`] over the segment's own vector
-/// store, the sorted local → global id map, and the tombstone set.
-#[derive(Debug, Clone)]
-pub struct Segment {
+/// The writer-owned mutable segment absorbing inserts. Sealed into an
+/// immutable [`SegmentView`] on every publication (readers never see this
+/// struct).
+#[derive(Debug)]
+pub(crate) struct ActiveSegment {
     pub(crate) index: AcornIndex,
-    /// `global_ids[local]` = stable global id of segment row `local`;
-    /// strictly ascending, so local ordering and global ordering agree
-    /// (which keeps distance-tie-breaking identical after a merge).
     pub(crate) global_ids: Vec<u64>,
-    /// Set bit = deleted row. Universe tracks the row count.
     pub(crate) tombstones: Bitset,
-    /// Cached count of set tombstone bits.
     pub(crate) deleted: usize,
 }
 
-impl Segment {
-    fn new_active(dim: usize, params: AcornParams, variant: AcornVariant) -> Self {
+impl ActiveSegment {
+    fn new(dim: usize, params: AcornParams, variant: AcornVariant) -> Self {
         Self {
             index: AcornIndex::new(Arc::new(VectorStore::new(dim)), params, variant),
             global_ids: Vec::new(),
@@ -159,179 +171,52 @@ impl Segment {
         }
     }
 
-    pub(crate) fn from_parts(index: AcornIndex, global_ids: Vec<u64>, tombstones: Bitset) -> Self {
-        let deleted = tombstones.count();
-        Self { index, global_ids, tombstones, deleted }
-    }
-
-    /// Total rows (live + tombstoned).
-    pub fn rows(&self) -> usize {
-        self.global_ids.len()
-    }
-
-    /// Rows not tombstoned.
-    pub fn live_rows(&self) -> usize {
-        self.rows() - self.deleted
-    }
-
-    /// Tombstoned rows.
-    pub fn deleted_rows(&self) -> usize {
-        self.deleted
-    }
-
-    /// `deleted / rows` (0.0 for an empty segment).
-    pub fn tombstone_fraction(&self) -> f64 {
-        if self.global_ids.is_empty() {
-            0.0
-        } else {
-            self.deleted as f64 / self.global_ids.len() as f64
+    /// Seal the current state into an immutable view readers can hold
+    /// lock-free: the index is cloned and its vector store detached so the
+    /// writer keeps exclusive ownership of its own store `Arc`.
+    fn publish_view(&self) -> SegmentView {
+        let mut index = self.index.clone();
+        index.detach_store();
+        SegmentView {
+            sealed: Arc::new(SealedSegment { index, global_ids: self.global_ids.clone() }),
+            tombstones: Arc::new(self.tombstones.clone()),
+            deleted: self.deleted,
         }
     }
-
-    /// True when the segment holds no rows at all.
-    pub fn is_empty(&self) -> bool {
-        self.global_ids.is_empty()
-    }
-
-    /// The per-segment ACORN index (frozen segments serve from CSR).
-    pub fn index(&self) -> &AcornIndex {
-        &self.index
-    }
-
-    /// The sorted local → global id map.
-    pub fn global_ids(&self) -> &[u64] {
-        &self.global_ids
-    }
-
-    /// The tombstone set (set bit = deleted local row).
-    pub fn tombstones(&self) -> &Bitset {
-        &self.tombstones
-    }
-
-    /// Local row id of `gid`, if this segment owns it (tombstoned or not).
-    pub fn local_of(&self, gid: u64) -> Option<u32> {
-        self.global_ids.binary_search(&gid).ok().map(|i| i as u32)
-    }
-
-    /// Bytes held by this segment: the served graph layout, the vector
-    /// data, the id map, and the tombstone words.
-    pub fn memory_bytes(&self) -> usize {
-        self.index.serving_memory_bytes()
-            + self.index.vectors().memory_bytes()
-            + self.global_ids.len() * std::mem::size_of::<u64>()
-            + self.tombstones.memory_bytes()
-    }
-
-    /// Remap a per-segment result list to global ids. Input is ascending by
-    /// `(dist, local)`; because `global_ids` is strictly ascending, output
-    /// is ascending by `(dist, global)` — ready for the k-way merge.
-    fn to_global(&self, out: Vec<Neighbor>) -> Vec<GlobalNeighbor> {
-        out.into_iter()
-            .map(|n| GlobalNeighbor::new(n.dist, self.global_ids[n.id as usize]))
-            .collect()
-    }
 }
 
-/// Composes a segment's tombstones with any row filter: a tombstoned row
-/// never passes, whatever the inner filter says. With an empty tombstone
-/// set this is transparent (same verdicts, same enumeration order), which
-/// is what keeps a fully-merged segment bit-identical to a monolithic
-/// index.
-struct LiveFilter<'a, F: NodeFilter> {
-    inner: &'a F,
-    tombstones: &'a Bitset,
+/// One deserialized segment, before it is wired into the writer's shared
+/// state (`serialize::load` produces these).
+#[derive(Debug)]
+pub(crate) struct RawSegment {
+    pub(crate) index: AcornIndex,
+    pub(crate) global_ids: Vec<u64>,
+    pub(crate) tombstones: Bitset,
 }
 
-impl<F: NodeFilter> NodeFilter for LiveFilter<'_, F> {
-    #[inline]
-    fn passes(&self, id: u32) -> bool {
-        !self.tombstones.get(id) && self.inner.passes(id)
-    }
-
-    fn for_each_passing(&self, n: usize, f: &mut dyn FnMut(u32)) -> u64 {
-        let tombstones = self.tombstones;
-        self.inner.for_each_passing(n, &mut |id| {
-            if !tombstones.get(id) {
-                f(id);
-            }
-        })
-    }
-}
-
-/// Interpreted predicate evaluation at a row's global id (the attribute
-/// store is indexed by global id; the graph traversal speaks local ids).
-struct RemappedPredicateFilter<'a> {
-    attrs: &'a AttrStore,
-    predicate: &'a Predicate,
-    global_ids: &'a [u64],
-}
-
-impl NodeFilter for RemappedPredicateFilter<'_> {
-    #[inline]
-    fn passes(&self, id: u32) -> bool {
-        self.predicate.eval(self.attrs, self.global_ids[id as usize] as u32)
-    }
-}
-
-/// Compiled predicate evaluation at a row's global id.
-struct RemappedCompiledFilter<'a> {
-    attrs: &'a AttrStore,
-    compiled: &'a CompiledPredicate,
-    global_ids: &'a [u64],
-}
-
-impl NodeFilter for RemappedCompiledFilter<'_> {
-    #[inline]
-    fn passes(&self, id: u32) -> bool {
-        self.compiled.eval(self.attrs, self.global_ids[id as usize] as u32)
-    }
-}
-
-/// Bit test against a globally-materialized predicate bitmap, remapped
-/// through the segment's id map.
-struct GlobalBitsFilter<'a> {
-    bits: &'a Bitset,
-    global_ids: &'a [u64],
-}
-
-impl NodeFilter for GlobalBitsFilter<'_> {
-    #[inline]
-    fn passes(&self, id: u32) -> bool {
-        self.bits.get(self.global_ids[id as usize] as u32)
-    }
-}
-
-/// A caller-supplied `Fn(u64) -> bool` over global ids, adapted to the
-/// local-id [`NodeFilter`] contract.
-struct GlobalFnFilter<'a, F: Fn(u64) -> bool> {
-    f: &'a F,
-    global_ids: &'a [u64],
-}
-
-impl<F: Fn(u64) -> bool> NodeFilter for GlobalFnFilter<'_, F> {
-    #[inline]
-    fn passes(&self, id: u32) -> bool {
-        (self.f)(self.global_ids[id as usize])
-    }
+/// Background maintenance thread handle: a condvar-signalled stop flag and
+/// the join handle.
+#[derive(Debug)]
+struct MaintenanceHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    join: Option<JoinHandle<()>>,
 }
 
 /// A segmented, updatable ACORN index: one mutable active segment plus any
 /// number of frozen, CSR-served segments, with tombstone deletes and merge
 /// compaction. See the [module docs](self) for the architecture and the
 /// determinism contract.
-#[derive(Debug, Clone)]
+///
+/// This struct is the **writer**: `insert` / `delete` / `freeze` take
+/// `&mut self` and publish a new epoch atomically. Query methods on the
+/// writer are conveniences that pin the current epoch; concurrent serving
+/// goes through [`reader`](Self::reader) handles, which stay valid while
+/// the writer (and the background maintenance thread) keep mutating.
+#[derive(Debug)]
 pub struct SegmentedAcornIndex {
-    params: AcornParams,
-    variant: AcornVariant,
-    dim: usize,
-    frozen: Vec<Segment>,
-    active: Segment,
-    next_global: u64,
-    policy: MergePolicy,
-    /// Scratch pool shared by [`search`](Self::search) and the segmented
-    /// batch engine; one checked-out scratch serves all segments of a query
-    /// sequentially (`begin(n)` re-arms it per segment).
-    pool: ScratchPool,
+    shared: Arc<SharedState>,
+    active: ActiveSegment,
+    maintenance: Option<MaintenanceHandle>,
 }
 
 impl SegmentedAcornIndex {
@@ -341,15 +226,28 @@ impl SegmentedAcornIndex {
     /// segment now, every merge product later), so all segments share one
     /// level-sampling seed and pruning configuration.
     pub fn new(dim: usize, params: AcornParams, variant: AcornVariant) -> Self {
-        Self {
-            active: Segment::new_active(dim, params.clone(), variant),
-            params,
-            variant,
-            dim,
+        let pending = Pending {
             frozen: Vec::new(),
+            active_view: None,
             next_global: 0,
             policy: MergePolicy::default(),
-            pool: ScratchPool::new(),
+            epoch: 0,
+            next_seg_id: 0,
+        };
+        let snapshot = SegmentSnapshot {
+            epoch: 0,
+            params: params.clone(),
+            variant,
+            dim,
+            policy: MergePolicy::default(),
+            next_global: 0,
+            frozen: Vec::new(),
+            active: None,
+        };
+        Self {
+            active: ActiveSegment::new(dim, params.clone(), variant),
+            shared: Arc::new(SharedState::new(params, variant, dim, pending, snapshot)),
+            maintenance: None,
         }
     }
 
@@ -359,195 +257,301 @@ impl SegmentedAcornIndex {
         params: AcornParams,
         variant: AcornVariant,
         dim: usize,
-        frozen: Vec<Segment>,
-        active: Segment,
+        frozen: Vec<RawSegment>,
+        active: RawSegment,
         next_global: u64,
         policy: MergePolicy,
     ) -> Self {
-        Self { params, variant, dim, frozen, active, next_global, policy, pool: ScratchPool::new() }
+        let frozen: Vec<FrozenSeg> = frozen
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let deleted = r.tombstones.count();
+                FrozenSeg {
+                    id: i as u64,
+                    sealed: Arc::new(SealedSegment { index: r.index, global_ids: r.global_ids }),
+                    tombstones: Arc::new(r.tombstones),
+                    deleted,
+                }
+            })
+            .collect();
+        let next_seg_id = frozen.len() as u64;
+        let active = ActiveSegment {
+            deleted: active.tombstones.count(),
+            index: active.index,
+            global_ids: active.global_ids,
+            tombstones: active.tombstones,
+        };
+        let active_view = (!active.global_ids.is_empty()).then(|| active.publish_view());
+        let pending = Pending {
+            frozen,
+            active_view: active_view.clone(),
+            next_global,
+            policy: policy.clone(),
+            epoch: 0,
+            next_seg_id,
+        };
+        let snapshot = SegmentSnapshot {
+            epoch: 0,
+            params: params.clone(),
+            variant,
+            dim,
+            policy,
+            next_global,
+            frozen: pending.frozen.iter().map(FrozenSeg::view).collect(),
+            active: active_view,
+        };
+        Self {
+            active,
+            shared: Arc::new(SharedState::new(params, variant, dim, pending, snapshot)),
+            maintenance: None,
+        }
     }
 
-    /// Replace the merge policy (builder style).
-    pub fn with_policy(mut self, policy: MergePolicy) -> Self {
-        self.policy = policy;
+    /// Replace the merge policy (builder style). Publishes a new epoch.
+    pub fn with_policy(self, policy: MergePolicy) -> Self {
+        {
+            let mut p = self.shared.pending();
+            p.policy = policy;
+            self.shared.publish(&mut p);
+        }
         self
     }
 
     /// The merge policy in force.
-    pub fn policy(&self) -> &MergePolicy {
-        &self.policy
+    pub fn policy(&self) -> MergePolicy {
+        self.shared.pending().policy.clone()
     }
 
     /// Construction parameters shared by every segment.
     pub fn params(&self) -> &AcornParams {
-        &self.params
+        &self.shared.params
     }
 
     /// Which ACORN variant the segments implement.
     pub fn variant(&self) -> AcornVariant {
-        self.variant
+        self.shared.variant
     }
 
     /// Vector dimensionality.
     pub fn dim(&self) -> usize {
-        self.dim
+        self.shared.dim
+    }
+
+    /// A cloneable, `Send + Sync` handle for serving queries concurrently
+    /// with writes and background merges.
+    pub fn reader(&self) -> IndexReader {
+        IndexReader { shared: self.shared.clone() }
+    }
+
+    /// Pin the current epoch (see [`IndexReader::snapshot`]).
+    pub fn snapshot(&self) -> Arc<SegmentSnapshot> {
+        self.shared.snapshot()
+    }
+
+    /// The current epoch counter (bumped by every publication).
+    pub fn epoch(&self) -> u64 {
+        self.shared.snapshot().epoch()
     }
 
     /// Live (non-tombstoned) rows across all segments.
     pub fn len(&self) -> usize {
-        self.segments().map(Segment::live_rows).sum()
+        self.snapshot().len()
     }
 
     /// True when no live rows exist.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.snapshot().is_empty()
     }
 
     /// Total rows still stored, tombstoned included.
     pub fn total_rows(&self) -> usize {
-        self.segments().map(Segment::rows).sum()
+        self.snapshot().total_rows()
     }
 
     /// Tombstoned rows awaiting compaction.
     pub fn deleted_rows(&self) -> usize {
-        self.segments().map(Segment::deleted_rows).sum()
+        self.snapshot().deleted_rows()
     }
 
     /// The next global id [`insert`](Self::insert) will assign (also the
     /// exclusive upper bound of every id ever assigned).
     pub fn next_global_id(&self) -> u64 {
-        self.next_global
+        self.snapshot().next_global_id()
     }
 
-    /// Frozen (read-optimized) segments, ascending by first global id.
-    pub fn frozen_segments(&self) -> &[Segment] {
-        &self.frozen
+    /// Views of the frozen (read-optimized) segments at the current epoch,
+    /// ascending by first global id.
+    pub fn frozen_segments(&self) -> Vec<SegmentView> {
+        self.snapshot().frozen_segments().to_vec()
     }
 
-    /// The mutable active segment (may be empty).
-    pub fn active_segment(&self) -> &Segment {
-        &self.active
+    /// Rows currently in the writer's active segment.
+    pub fn active_rows(&self) -> usize {
+        self.active.global_ids.len()
     }
 
     /// Number of non-empty segments queries fan out over.
     pub fn num_segments(&self) -> usize {
-        self.frozen.len() + usize::from(!self.active.is_empty())
-    }
-
-    /// All non-empty segments in query order (frozen first, then active).
-    fn segments(&self) -> impl Iterator<Item = &Segment> {
-        self.frozen.iter().chain(std::iter::once(&self.active)).filter(|s| !s.is_empty())
+        self.snapshot().num_segments()
     }
 
     /// Sorted global ids of all live rows (diagnostics and tests).
     pub fn live_ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self
-            .segments()
-            .flat_map(|s| s.tombstones.iter_zeros().map(|l| s.global_ids[l as usize]))
-            .collect();
-        ids.sort_unstable();
-        ids
+        self.snapshot().live_ids()
     }
 
     /// True when `gid` is indexed and not tombstoned.
     pub fn contains(&self, gid: u64) -> bool {
-        self.segments().any(|s| s.local_of(gid).is_some_and(|local| !s.tombstones.get(local)))
+        self.snapshot().contains(gid)
     }
 
     /// Bytes held across all segments: served graph layouts, vector data,
     /// id maps, and tombstone words. Merge compaction shrinks this by
     /// dropping dead rows.
     pub fn memory_bytes(&self) -> usize {
-        self.segments().map(Segment::memory_bytes).sum()
+        self.snapshot().memory_bytes()
     }
 
     /// Row count of the largest segment — the scratch capacity a worker
     /// needs to serve any single query.
     pub fn max_segment_rows(&self) -> usize {
-        self.segments().map(Segment::rows).max().unwrap_or(0)
+        self.snapshot().max_segment_rows()
     }
 
     /// The shared scratch pool (the segmented batch engine draws from it).
     pub fn scratch_pool(&self) -> &ScratchPool {
-        &self.pool
+        &self.shared.pool
     }
 
     /// Insert a vector, returning its stable global id. The row lands in
     /// the active segment; if the merge policy's `active_max_rows` is set
-    /// and reached, the active segment is auto-frozen afterwards.
+    /// and reached, the active segment is auto-frozen afterwards. Publishes
+    /// a new epoch — readers see the row on their next snapshot.
     ///
     /// # Panics
     /// Panics if `v` has the wrong dimension.
     pub fn insert(&mut self, v: &[f32]) -> u64 {
-        assert_eq!(v.len(), self.dim, "inserted vector has wrong dimension");
+        assert_eq!(v.len(), self.shared.dim, "inserted vector has wrong dimension");
         let local = self.active.index.insert_vector(v);
         debug_assert_eq!(local as usize, self.active.global_ids.len());
-        let gid = self.next_global;
-        self.next_global += 1;
+        let mut p = self.shared.pending();
+        let gid = p.next_global;
+        p.next_global += 1;
         self.active.global_ids.push(gid);
         self.active.tombstones.grow(self.active.global_ids.len());
-        if self.policy.active_max_rows > 0 && self.active.rows() >= self.policy.active_max_rows {
-            self.freeze();
+        if p.policy.active_max_rows > 0 && self.active.global_ids.len() >= p.policy.active_max_rows
+        {
+            Self::seal_active_locked(&mut self.active, &self.shared, &mut p);
+        } else {
+            p.active_view = Some(self.active.publish_view());
         }
+        self.shared.publish(&mut p);
         gid
     }
 
     /// Tombstone the row with global id `gid`. Returns `true` if the row
     /// was live (idempotent: deleting a missing or already-deleted row
-    /// returns `false`). The row stops surfacing from every search
-    /// immediately; its memory is reclaimed by the next merge that touches
-    /// its segment.
+    /// returns `false`). The row stops surfacing from every search at the
+    /// published epoch; its memory is reclaimed by the next merge that
+    /// touches its segment.
+    ///
+    /// Segments own ascending, pairwise-disjoint gid ranges (the active
+    /// segment's range sits above every frozen one), so the owner is found
+    /// by **range binary search** — `O(log segments + log rows)`, not a
+    /// linear scan of every segment's id list.
     pub fn delete(&mut self, gid: u64) -> bool {
-        for seg in self.frozen.iter_mut().chain(std::iter::once(&mut self.active)) {
-            if let Some(local) = seg.local_of(gid) {
-                if seg.tombstones.get(local) {
-                    return false;
-                }
-                seg.tombstones.set(local);
-                seg.deleted += 1;
-                return true;
+        let mut p = self.shared.pending();
+        // Active segment: its gids are the highest ever assigned.
+        if self.active.global_ids.first().is_some_and(|&first| gid >= first) {
+            let Ok(local) = self.active.global_ids.binary_search(&gid) else {
+                return false;
+            };
+            let local = local as u32;
+            if self.active.tombstones.get(local) {
+                return false;
             }
+            self.active.tombstones.set(local);
+            self.active.deleted += 1;
+            match &mut p.active_view {
+                // The sealed graph/store are unchanged — swap in the new
+                // tombstone state without re-cloning the index.
+                Some(view) => {
+                    view.tombstones = Arc::new(self.active.tombstones.clone());
+                    view.deleted = self.active.deleted;
+                }
+                None => p.active_view = Some(self.active.publish_view()),
+            }
+            self.shared.publish(&mut p);
+            return true;
         }
-        false
+        // Frozen segments: ranges are disjoint and sorted by first gid, so
+        // at most one segment can own `gid`.
+        let i = p.frozen.partition_point(|s| s.first_gid() <= gid);
+        if i == 0 {
+            return false;
+        }
+        let seg = &mut p.frozen[i - 1];
+        let Ok(local) = seg.sealed.global_ids.binary_search(&gid) else {
+            return false;
+        };
+        let local = local as u32;
+        if seg.tombstones.get(local) {
+            return false;
+        }
+        // Copy-on-write: snapshots holding the old bitset keep serving it.
+        Arc::make_mut(&mut seg.tombstones).set(local);
+        seg.deleted += 1;
+        self.shared.publish(&mut p);
+        true
     }
 
     /// Seal the active segment: compact its graph to the CSR read layout,
     /// move it to the frozen list, and open a fresh active segment. No-op
-    /// when the active segment is empty.
+    /// when the active segment is empty. Publishes a new epoch.
     pub fn freeze(&mut self) {
-        if self.active.is_empty() {
+        if self.active.global_ids.is_empty() {
+            return;
+        }
+        let mut p = self.shared.pending();
+        Self::seal_active_locked(&mut self.active, &self.shared, &mut p);
+        self.shared.publish(&mut p);
+    }
+
+    /// Seal `active` into the frozen list of `p`. Caller publishes.
+    fn seal_active_locked(active: &mut ActiveSegment, shared: &SharedState, p: &mut Pending) {
+        if active.global_ids.is_empty() {
             return;
         }
         let mut sealed = std::mem::replace(
-            &mut self.active,
-            Segment::new_active(self.dim, self.params.clone(), self.variant),
+            active,
+            ActiveSegment::new(shared.dim, shared.params.clone(), shared.variant),
         );
         sealed.index.compact();
-        self.frozen.push(sealed);
-        self.frozen.sort_by_key(|s| s.global_ids[0]);
+        p.frozen.push(FrozenSeg {
+            id: p.next_seg_id,
+            sealed: Arc::new(SealedSegment { index: sealed.index, global_ids: sealed.global_ids }),
+            tombstones: Arc::new(sealed.tombstones),
+            deleted: sealed.deleted,
+        });
+        p.next_seg_id += 1;
+        p.frozen.sort_by_key(FrozenSeg::first_gid);
+        p.active_view = None;
     }
 
     /// Compact frozen segments the [`MergePolicy`] flags (too small, or too
-    /// tombstone-heavy) into one fresh segment over their surviving rows.
-    /// Returns what happened; a call with nothing worth merging (fewer than
-    /// two candidates and no tombstones among them) is a no-op.
-    pub fn merge(&mut self) -> MergeOutcome {
-        let candidates: Vec<usize> = self
-            .frozen
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| {
-                s.rows() < self.policy.min_rows
-                    || s.tombstone_fraction() > self.policy.max_tombstone_fraction
-            })
-            .map(|(i, _)| i)
-            .collect();
-        let dead: usize = candidates.iter().map(|&i| self.frozen[i].deleted_rows()).sum();
-        if candidates.len() < 2 && dead == 0 {
-            let bytes = self.memory_bytes();
-            return MergeOutcome { bytes_before: bytes, bytes_after: bytes, ..Default::default() };
-        }
-        self.merge_segments(&candidates)
+    /// tombstone-heavy) into fresh segments over their surviving rows.
+    /// Returns what happened; a call with nothing worth merging (no
+    /// adjacent run of two candidates and no tombstones among lone ones)
+    /// is a no-op.
+    ///
+    /// Takes `&self`: the rebuild happens off to the side while inserts,
+    /// deletes, and queries proceed; only the final splice-and-publish
+    /// briefly takes the pending lock. Safe to call from any thread holding
+    /// a [`reader`](Self::reader)'s shared state — the background
+    /// maintenance thread calls exactly this.
+    pub fn merge(&self) -> MergeOutcome {
+        run_merge(&self.shared, false)
     }
 
     /// Freeze the active segment, then merge **all** frozen segments into a
@@ -557,82 +561,75 @@ impl SegmentedAcornIndex {
     /// rows in global id order.
     pub fn compact_all(&mut self) -> MergeOutcome {
         self.freeze();
-        if self.frozen.is_empty() {
-            return MergeOutcome::default();
-        }
-        let all: Vec<usize> = (0..self.frozen.len()).collect();
-        self.merge_segments(&all)
+        run_merge(&self.shared, true)
     }
 
-    /// Rebuild the frozen segments at `indices` into one fresh segment over
-    /// their surviving rows (ascending global id), compact it, and splice
-    /// it into the frozen list.
-    fn merge_segments(&mut self, indices: &[usize]) -> MergeOutcome {
-        let bytes_before = self.memory_bytes();
-        let rows_before: usize = indices.iter().map(|&i| self.frozen[i].rows()).sum();
-
-        // Survivors, ascending by global id. Segments own disjoint id
-        // ranges, but sorting makes no ordering assumption at all.
-        let mut rows: Vec<(u64, usize, u32)> = Vec::new();
-        for &si in indices {
-            let seg = &self.frozen[si];
-            rows.extend(
-                seg.tombstones
-                    .iter_zeros()
-                    .map(|local| (seg.global_ids[local as usize], si, local)),
-            );
+    /// Start a background maintenance thread that runs
+    /// [`merge`](Self::merge) every `interval` until
+    /// [`stop_maintenance`](Self::stop_maintenance) (or drop). No-op when
+    /// already running.
+    ///
+    /// The thread rebuilds off to the side and publishes each merge as a
+    /// new epoch; in-flight readers keep serving the epoch they pinned,
+    /// bit-identically, until they drop it.
+    pub fn start_maintenance(&mut self, interval: Duration) {
+        if self.maintenance.is_some() {
+            return;
         }
-        rows.sort_unstable_by_key(|&(gid, _, _)| gid);
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared = self.shared.clone();
+        let thread_stop = stop.clone();
+        let join = std::thread::Builder::new()
+            .name("acorn-maintenance".into())
+            .spawn(move || {
+                let (lock, cvar) = &*thread_stop;
+                let mut stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                while !*stopped {
+                    let (guard, _) = cvar
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    stopped = guard;
+                    if *stopped {
+                        break;
+                    }
+                    drop(stopped);
+                    run_merge(&shared, false);
+                    stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                }
+            })
+            .expect("spawn acorn-maintenance thread");
+        self.maintenance = Some(MaintenanceHandle { stop, join: Some(join) });
+    }
 
-        let mut store = VectorStore::with_capacity(self.dim, rows.len());
-        let mut global_ids = Vec::with_capacity(rows.len());
-        for &(gid, si, local) in &rows {
-            store.push(self.frozen[si].index.vectors().get(local));
-            global_ids.push(gid);
-        }
-        let rows_kept = global_ids.len();
-
-        // Drop the candidates (descending index so positions stay valid),
-        // then insert the replacement and restore global-id order.
-        let mut doomed: Vec<usize> = indices.to_vec();
-        doomed.sort_unstable();
-        for &i in doomed.iter().rev() {
-            self.frozen.remove(i);
-        }
-        if rows_kept > 0 {
-            // The exact code path a from-scratch build takes: same params,
-            // same seed, same insertion order => an identical graph.
-            let mut index = AcornIndex::build(Arc::new(store), self.params.clone(), self.variant);
-            index.compact();
-            self.frozen.push(Segment {
-                index,
-                tombstones: Bitset::new(rows_kept),
-                global_ids,
-                deleted: 0,
-            });
-            self.frozen.sort_by_key(|s| s.global_ids[0]);
-        }
-
-        MergeOutcome {
-            segments_merged: indices.len(),
-            rows_dropped: rows_before - rows_kept,
-            rows_kept,
-            bytes_before,
-            bytes_after: self.memory_bytes(),
+    /// Signal the maintenance thread to stop and join it. No-op when not
+    /// running. Called automatically on drop.
+    pub fn stop_maintenance(&mut self) {
+        if let Some(mut h) = self.maintenance.take() {
+            let (lock, cvar) = &*h.stop;
+            *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            cvar.notify_all();
+            if let Some(join) = h.join.take() {
+                let _ = join.join();
+            }
         }
     }
 
-    /// Pure ANN search: the `k` nearest live rows, by global id. Scratch
-    /// comes from the index's own pool.
+    /// True while a background maintenance thread is attached.
+    pub fn maintenance_running(&self) -> bool {
+        self.maintenance.is_some()
+    }
+
+    /// Pure ANN search: the `k` nearest live rows, by global id. Pins the
+    /// current epoch; scratch comes from the shared pool.
     pub fn search(&self, query: &[f32], k: usize, efs: usize) -> Vec<GlobalNeighbor> {
-        let mut scratch = self.pool.checkout(self.max_segment_rows());
+        let snap = self.snapshot();
+        let mut scratch = self.shared.pool.checkout(snap.max_segment_rows());
         let mut stats = SearchStats::default();
-        self.search_with(query, k, efs, &mut scratch, &mut stats)
+        snap.search_with(query, k, efs, &mut scratch, &mut stats)
     }
 
-    /// [`search`](Self::search) with caller-owned scratch and stats (the
-    /// batch engine's entry point). The one scratch serves every segment of
-    /// the query in turn.
+    /// [`search`](Self::search) with caller-owned scratch and stats. The
+    /// one scratch serves every segment of the query in turn.
     pub fn search_with(
         &self,
         query: &[f32],
@@ -641,13 +638,7 @@ impl SegmentedAcornIndex {
         scratch: &mut SearchScratch,
         stats: &mut SearchStats,
     ) -> Vec<GlobalNeighbor> {
-        let mut per_seg = Vec::with_capacity(self.num_segments());
-        for seg in self.segments() {
-            let filter = LiveFilter { inner: &AllPass, tombstones: &seg.tombstones };
-            let out = seg.index.search_filtered(query, &filter, k, efs, scratch, stats);
-            per_seg.push(seg.to_global(out));
-        }
-        merge_k_sorted(&per_seg, k)
+        self.snapshot().search_with(query, k, efs, scratch, stats)
     }
 
     /// Filtered search (Algorithm 2 per segment, no fallback routing) with
@@ -663,25 +654,11 @@ impl SegmentedAcornIndex {
         scratch: &mut SearchScratch,
         stats: &mut SearchStats,
     ) -> Vec<GlobalNeighbor> {
-        let mut per_seg = Vec::with_capacity(self.num_segments());
-        for seg in self.segments() {
-            let inner = GlobalFnFilter { f: filter, global_ids: &seg.global_ids };
-            let live = LiveFilter { inner: &inner, tombstones: &seg.tombstones };
-            let out = seg.index.search_filtered(query, &live, k, efs, scratch, stats);
-            per_seg.push(seg.to_global(out));
-        }
-        merge_k_sorted(&per_seg, k)
+        self.snapshot().search_filtered(query, filter, k, efs, scratch, stats)
     }
 
     /// Full hybrid search with ACORN's §5.2 cost-model routing applied
-    /// **per segment**: each segment estimates the predicate's selectivity
-    /// over its own rows (sampled through the segment's global-id map) and
-    /// independently chooses graph traversal or the exact pre-filter scan.
-    /// Per-segment top-`k` lists are k-way merged into the global answer.
-    ///
-    /// `attrs` is indexed by **global id** and must cover every id ever
-    /// assigned (`attrs.len() >= next_global_id()`); deleted rows keep
-    /// their attribute values but are excluded by tombstone composition.
+    /// **per segment** — see [`SegmentSnapshot::hybrid_search`].
     pub fn hybrid_search(
         &self,
         query: &[f32],
@@ -691,15 +668,7 @@ impl SegmentedAcornIndex {
         efs: usize,
         scratch: &mut SearchScratch,
     ) -> (Vec<GlobalNeighbor>, SearchStats) {
-        self.hybrid_search_with(
-            query,
-            predicate,
-            attrs,
-            k,
-            efs,
-            scratch,
-            PredicateStrategy::default(),
-        )
+        self.snapshot().hybrid_search(query, predicate, attrs, k, efs, scratch)
     }
 
     /// [`hybrid_search`](Self::hybrid_search) with an explicit
@@ -716,149 +685,200 @@ impl SegmentedAcornIndex {
         scratch: &mut SearchScratch,
         strategy: PredicateStrategy,
     ) -> (Vec<GlobalNeighbor>, SearchStats) {
-        assert!(
-            attrs.len() as u64 >= self.next_global,
-            "attribute store ({} rows) must cover every assigned global id (next = {})",
-            attrs.len(),
-            self.next_global
-        );
-        let mut stats = SearchStats::default();
-        let mut per_seg = Vec::with_capacity(self.num_segments());
-        match strategy {
-            PredicateStrategy::Interpreted => {
-                for seg in self.segments() {
-                    let out = self.hybrid_on_segment_interpreted(
-                        seg, query, predicate, attrs, k, efs, scratch, &mut stats,
-                    );
-                    per_seg.push(seg.to_global(out));
-                }
-            }
-            PredicateStrategy::Adaptive => {
-                let compiled = CompiledPredicate::compile(predicate);
-                // The block-materialized predicate bitmap is over global
-                // ids, so it is computed at most once per query and shared
-                // by every segment that routes to a materializing branch.
-                let mut global_bits: Option<Bitset> = None;
-                for seg in self.segments() {
-                    let out = self.hybrid_on_segment_adaptive(
-                        seg,
-                        query,
-                        &compiled,
-                        attrs,
-                        k,
-                        efs,
-                        scratch,
-                        &mut stats,
-                        &mut global_bits,
-                    );
-                    per_seg.push(seg.to_global(out));
-                }
-            }
-        }
-        (merge_k_sorted(&per_seg, k), stats)
-    }
-
-    /// One segment of the interpreted strategy: mirrors
-    /// `AcornIndex::hybrid_search_interpreted` with the filter remapped
-    /// through the segment's id map and composed with its tombstones.
-    #[allow(clippy::too_many_arguments)]
-    fn hybrid_on_segment_interpreted(
-        &self,
-        seg: &Segment,
-        query: &[f32],
-        predicate: &Predicate,
-        attrs: &AttrStore,
-        k: usize,
-        efs: usize,
-        scratch: &mut SearchScratch,
-        stats: &mut SearchStats,
-    ) -> Vec<Neighbor> {
-        let est = estimate_selectivity_mapped(
-            attrs,
-            predicate,
-            crate::index::SELECTIVITY_SAMPLES,
-            self.params.seed,
-            seg.rows(),
-            |p| seg.global_ids[p as usize] as u32,
-        );
-        stats.npred += crate::index::SELECTIVITY_SAMPLES as u64;
-        let inner = RemappedPredicateFilter { attrs, predicate, global_ids: &seg.global_ids };
-        let filter = LiveFilter { inner: &inner, tombstones: &seg.tombstones };
-        if est < seg.index.params().s_min() {
-            seg.index.prefilter_scan(query, &filter, k, stats)
-        } else {
-            seg.index.search_filtered(query, &filter, k, efs, scratch, stats)
-        }
-    }
-
-    /// One segment of the adaptive strategy: mirrors
-    /// `AcornIndex::hybrid_search_adaptive` (memo-seeded sampling, then
-    /// fallback / block-materialize / lazy-memoize) over remapped ids.
-    #[allow(clippy::too_many_arguments)]
-    fn hybrid_on_segment_adaptive(
-        &self,
-        seg: &Segment,
-        query: &[f32],
-        compiled: &CompiledPredicate,
-        attrs: &AttrStore,
-        k: usize,
-        efs: usize,
-        scratch: &mut SearchScratch,
-        stats: &mut SearchStats,
-        global_bits: &mut Option<Bitset>,
-    ) -> Vec<Neighbor> {
-        let mut memo = scratch.take_memo(seg.rows());
-        let est = estimate_selectivity_seeding_mapped(
-            attrs,
-            compiled,
-            crate::index::SELECTIVITY_SAMPLES,
-            self.params.seed,
-            &memo,
-            seg.rows(),
-            |p| seg.global_ids[p as usize] as u32,
-        );
-        stats.npred += crate::index::SELECTIVITY_SAMPLES as u64;
-
-        let materialize =
-            compiled.cost_class() == CostClass::Expensive || est < MATERIALIZE_BELOW_SELECTIVITY;
-        let needs_bits = est < seg.index.params().s_min() || materialize;
-        if needs_bits && global_bits.is_none() {
-            stats.npred += attrs.len() as u64; // the block scan runs every global row once
-            *global_bits = Some(compiled.to_bitset(attrs));
-        }
-
-        let out = if est < seg.index.params().s_min() {
-            let inner = GlobalBitsFilter {
-                bits: global_bits.as_ref().expect("materialized above"),
-                global_ids: &seg.global_ids,
-            };
-            let filter = LiveFilter { inner: &inner, tombstones: &seg.tombstones };
-            seg.index.prefilter_scan(query, &filter, k, stats)
-        } else if materialize {
-            let inner = GlobalBitsFilter {
-                bits: global_bits.as_ref().expect("materialized above"),
-                global_ids: &seg.global_ids,
-            };
-            let filter = LiveFilter { inner: &inner, tombstones: &seg.tombstones };
-            let before = stats.npred;
-            let out = seg.index.search_filtered(query, &filter, k, efs, scratch, stats);
-            // Every traversal check against the bitmap is a cache answer.
-            stats.npred_cached += stats.npred - before;
-            out
-        } else {
-            let inner = RemappedCompiledFilter { attrs, compiled, global_ids: &seg.global_ids };
-            let memoized = MemoFilter::new(&inner, memo);
-            let filter = LiveFilter { inner: &memoized, tombstones: &seg.tombstones };
-            let out = seg.index.search_filtered(query, &filter, k, efs, scratch, stats);
-            stats.npred_cached += memoized.hits();
-            memo = memoized.into_memo();
-            scratch.put_memo(memo);
-            return out;
-        };
-        scratch.put_memo(memo);
-        out
+        self.snapshot().hybrid_search_with(query, predicate, attrs, k, efs, scratch, strategy)
     }
 }
+
+impl Drop for SegmentedAcornIndex {
+    fn drop(&mut self) {
+        self.stop_maintenance();
+    }
+}
+
+/// One merge source captured at selection time: the shared sealed payload
+/// plus a **deep copy** of its tombstones, so deletes landing during the
+/// off-lock rebuild are detectable afterwards.
+struct Captured {
+    id: u64,
+    sealed: Arc<SealedSegment>,
+    tombstones: Bitset,
+}
+
+/// RAII gauge for [`SharedState::merges_in_flight`].
+struct InFlight<'a>(&'a std::sync::atomic::AtomicUsize);
+
+impl<'a> InFlight<'a> {
+    fn new(gauge: &'a std::sync::atomic::AtomicUsize) -> Self {
+        gauge.fetch_add(1, AtomicOrdering::AcqRel);
+        Self(gauge)
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, AtomicOrdering::AcqRel);
+    }
+}
+
+fn pending_bytes(p: &Pending) -> usize {
+    p.frozen.iter().map(|s| s.view().memory_bytes()).sum::<usize>()
+        + p.active_view.as_ref().map_or(0, SegmentView::memory_bytes)
+}
+
+/// The three-phase merge shared by foreground [`SegmentedAcornIndex::merge`]
+/// / [`compact_all`](SegmentedAcornIndex::compact_all) and the background
+/// maintenance thread:
+///
+/// 1. **capture** (pending lock): select candidate segments, group them
+///    into maximal *adjacent* runs (merging only adjacent segments keeps
+///    the frozen gid ranges pairwise disjoint — the invariant `delete`'s
+///    range binary search relies on), and capture each source's sealed
+///    payload + a deep tombstone copy.
+/// 2. **rebuild** (no lock): build one fresh graph per run over the
+///    captured survivors in global-id order — the exact code path a
+///    from-scratch build takes, so answers stay bit-identical — while
+///    inserts, deletes, and queries proceed.
+/// 3. **publish** (pending lock): splice each rebuilt segment in place of
+///    its sources (located by segment id), re-apply any deletes that landed
+///    mid-rebuild as tombstones on the merged segment, and publish the new
+///    epoch. In-flight readers keep serving their pinned epoch.
+///
+/// `maintenance_lock` serializes whole merges: sources can only be removed
+/// by a merge, so a captured source is guaranteed to still be present at
+/// phase 3.
+pub(crate) fn run_merge(shared: &SharedState, select_all: bool) -> MergeOutcome {
+    let _serialized = shared.maintenance_lock.lock().unwrap_or_else(PoisonError::into_inner);
+
+    // Phase 1: capture.
+    let (runs, bytes_before) = {
+        let p = shared.pending();
+        let bytes_before = pending_bytes(&p);
+        let is_candidate = |s: &FrozenSeg| {
+            let rows = s.sealed.global_ids.len();
+            let fraction = if rows == 0 { 0.0 } else { s.deleted as f64 / rows as f64 };
+            select_all || rows < p.policy.min_rows || fraction > p.policy.max_tombstone_fraction
+        };
+        let mut runs: Vec<Vec<Captured>> = Vec::new();
+        let mut current: Vec<Captured> = Vec::new();
+        for s in &p.frozen {
+            if is_candidate(s) {
+                current.push(Captured {
+                    id: s.id,
+                    sealed: s.sealed.clone(),
+                    tombstones: (*s.tombstones).clone(),
+                });
+            } else if !current.is_empty() {
+                runs.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            runs.push(current);
+        }
+        // A lone candidate with no dead rows gains nothing from a rebuild.
+        runs.retain(|r| r.len() >= 2 || r.iter().any(|c| c.tombstones.count() > 0));
+        (runs, bytes_before)
+    };
+    if runs.is_empty() {
+        return MergeOutcome { bytes_before, bytes_after: bytes_before, ..Default::default() };
+    }
+
+    let _gauge = InFlight::new(&shared.merges_in_flight);
+
+    // Phase 2: rebuild off-lock.
+    let mut rows_before_total = 0;
+    let mut segments_merged = 0;
+    let mut rebuilt: Vec<Option<(AcornIndex, Vec<u64>)>> = Vec::with_capacity(runs.len());
+    for run in &runs {
+        segments_merged += run.len();
+        rows_before_total += run.iter().map(|c| c.sealed.global_ids.len()).sum::<usize>();
+        // Survivors, ascending by global id (runs are adjacent, but sorting
+        // makes no ordering assumption at all).
+        let mut rows: Vec<(u64, usize, u32)> = Vec::new();
+        for (ci, c) in run.iter().enumerate() {
+            rows.extend(
+                c.tombstones
+                    .iter_zeros()
+                    .map(|local| (c.sealed.global_ids[local as usize], ci, local)),
+            );
+        }
+        rows.sort_unstable_by_key(|&(gid, _, _)| gid);
+        if rows.is_empty() {
+            rebuilt.push(None);
+            continue;
+        }
+        let mut store = VectorStore::with_capacity(shared.dim, rows.len());
+        let mut global_ids = Vec::with_capacity(rows.len());
+        for &(gid, ci, local) in &rows {
+            store.push(run[ci].sealed.index.vectors().get(local));
+            global_ids.push(gid);
+        }
+        // The exact code path a from-scratch build takes: same params, same
+        // seed, same insertion order => an identical graph.
+        let mut index = AcornIndex::build(Arc::new(store), shared.params.clone(), shared.variant);
+        index.compact();
+        rebuilt.push(Some((index, global_ids)));
+    }
+
+    // Phase 3: splice and publish.
+    let mut p = shared.pending();
+    let mut rows_kept = 0;
+    for (run, built) in runs.iter().zip(rebuilt) {
+        // Deletes that landed after capture: bits set now but not then.
+        let mut late: Vec<u64> = Vec::new();
+        for c in run {
+            let pos = p
+                .frozen
+                .iter()
+                .position(|s| s.id == c.id)
+                .expect("merge sources are only removed by merges, and merges are serialized");
+            let source = p.frozen.remove(pos);
+            for local in source.tombstones.iter_ones() {
+                if !c.tombstones.get(local) {
+                    late.push(source.sealed.global_ids[local as usize]);
+                }
+            }
+        }
+        let Some((index, global_ids)) = built else {
+            continue;
+        };
+        rows_kept += global_ids.len();
+        let mut tombstones = Bitset::new(global_ids.len());
+        let mut deleted = 0;
+        for gid in late {
+            if let Ok(local) = global_ids.binary_search(&gid) {
+                tombstones.set(local as u32);
+                deleted += 1;
+            }
+        }
+        let id = p.next_seg_id;
+        p.next_seg_id += 1;
+        p.frozen.push(FrozenSeg {
+            id,
+            sealed: Arc::new(SealedSegment { index, global_ids }),
+            tombstones: Arc::new(tombstones),
+            deleted,
+        });
+    }
+    p.frozen.sort_by_key(FrozenSeg::first_gid);
+    shared.merges_completed.fetch_add(1, AtomicOrdering::AcqRel);
+    shared.publish(&mut p);
+    let bytes_after = pending_bytes(&p);
+
+    MergeOutcome {
+        segments_merged,
+        rows_dropped: rows_before_total - rows_kept,
+        rows_kept,
+        bytes_before,
+        bytes_after,
+    }
+}
+
+// The writer moves across threads in the churn tests (behind a `Mutex`);
+// a compile error here means a non-`Send`/`Sync` member crept in.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<SegmentedAcornIndex>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -952,6 +972,31 @@ mod tests {
         idx.insert(&[0.0; 4]);
         assert!(!idx.delete(5));
         assert!(idx.delete(0));
+    }
+
+    #[test]
+    fn delete_resolves_gid_gaps_left_by_merges() {
+        // After a merge drops rows, the surviving gid space has gaps; the
+        // range binary search must answer false for a dropped gid and still
+        // find its (merged-segment) neighbors.
+        let vecs = random_vecs(200, 4, 40);
+        let mut idx = SegmentedAcornIndex::new(4, small_params(4, 2, 41), AcornVariant::Gamma);
+        for v in &vecs[..100] {
+            idx.insert(v);
+        }
+        idx.freeze();
+        for v in &vecs[100..] {
+            idx.insert(v);
+        }
+        idx.freeze();
+        for gid in (0..200u64).step_by(2) {
+            idx.delete(gid);
+        }
+        idx.merge();
+        assert_eq!(idx.num_segments(), 1);
+        assert!(!idx.delete(42), "dropped gid must not resolve after the merge");
+        assert!(idx.delete(43), "surviving gid must resolve inside the merged segment");
+        assert!(!idx.delete(1000), "gid above every range must not resolve");
     }
 
     #[test]
@@ -1050,10 +1095,49 @@ mod tests {
             idx.insert(&v);
         }
         assert_eq!(idx.frozen_segments().len(), 2, "two full segments must have rolled");
-        assert_eq!(idx.active_segment().rows(), 20);
+        assert_eq!(idx.active_rows(), 20);
         assert_eq!(idx.len(), 120);
         let out = idx.search(&[0.0; 4], 5, 32);
         assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn snapshots_pin_their_epoch() {
+        let vecs = random_vecs(120, 4, 50);
+        let mut idx = SegmentedAcornIndex::new(4, small_params(4, 2, 51), AcornVariant::Gamma);
+        for v in &vecs[..60] {
+            idx.insert(v);
+        }
+        let reader = idx.reader();
+        let pinned = reader.snapshot();
+        let pinned_epoch = pinned.epoch();
+        let baseline = {
+            let mut scratch = SearchScratch::new(pinned.max_segment_rows());
+            let mut stats = SearchStats::default();
+            pinned.search_with(&vecs[3], 5, 32, &mut scratch, &mut stats)
+        };
+        // Mutate heavily: more inserts, deletes, a freeze, and a merge.
+        for v in &vecs[60..] {
+            idx.insert(v);
+        }
+        for gid in (0..60u64).step_by(4) {
+            idx.delete(gid);
+        }
+        idx.freeze();
+        idx.merge();
+        assert!(reader.epoch() > pinned_epoch, "mutations must advance the epoch");
+        // The pinned snapshot still answers bit-identically to before.
+        let mut scratch = SearchScratch::new(pinned.max_segment_rows());
+        let mut stats = SearchStats::default();
+        let again = pinned.search_with(&vecs[3], 5, 32, &mut scratch, &mut stats);
+        assert_eq!(
+            baseline.iter().map(|n| (n.id, n.dist)).collect::<Vec<_>>(),
+            again.iter().map(|n| (n.id, n.dist)).collect::<Vec<_>>(),
+            "a pinned epoch must be immutable under writer churn"
+        );
+        assert_eq!(pinned.len(), 60);
+        assert!(pinned.contains(0), "delete landed after the pin");
+        assert!(!reader.snapshot().contains(0), "the current epoch sees the delete");
     }
 
     #[test]

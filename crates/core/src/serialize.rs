@@ -52,7 +52,8 @@ use acorn_predicate::Bitset;
 use crate::index::AcornIndex;
 use crate::params::{AcornParams, AcornVariant};
 use crate::prune::PruneStrategy;
-use crate::segment::{MergePolicy, Segment, SegmentedAcornIndex};
+use crate::segment::{MergePolicy, RawSegment, SegmentedAcornIndex};
+use crate::snapshot::SegmentSnapshot;
 
 const MAGIC: &[u8; 4] = b"ACRN";
 const VERSION: u32 = 3;
@@ -254,18 +255,23 @@ impl AcornIndex {
 
 /// One v4 segment block: manifest (row count, global ids, tombstones),
 /// vector data, then the embedded v3 index blob (self-delimiting).
-fn put_segment(w: &mut impl Write, seg: &Segment) -> io::Result<()> {
-    put_u64(w, seg.global_ids.len() as u64)?;
-    for &gid in &seg.global_ids {
+fn put_segment(
+    w: &mut impl Write,
+    global_ids: &[u64],
+    tombstones: &Bitset,
+    index: &AcornIndex,
+) -> io::Result<()> {
+    put_u64(w, global_ids.len() as u64)?;
+    for &gid in global_ids {
         put_u64(w, gid)?;
     }
-    for &word in seg.tombstones.words() {
+    for &word in tombstones.words() {
         put_u64(w, word)?;
     }
-    for &x in seg.index.vectors().as_flat() {
+    for &x in index.vectors().as_flat() {
         w.write_all(&x.to_le_bytes())?;
     }
-    seg.index.save(w)
+    index.save(w)
 }
 
 /// Inverse of [`put_segment`], with every count cross-checked. Allocation
@@ -282,7 +288,7 @@ fn get_segment(
     next_global: u64,
     expected_variant: AcornVariant,
     expected_params: &AcornParams,
-) -> io::Result<Segment> {
+) -> io::Result<RawSegment> {
     let n = get_u64(r)? as usize;
 
     let mut global_ids = Vec::new();
@@ -327,13 +333,15 @@ fn get_segment(
     if index.variant() != expected_variant || index.params() != expected_params {
         return Err(bad("embedded segment header disagrees with the segmented index header"));
     }
-    Ok(Segment::from_parts(index, global_ids, tombstones))
+    Ok(RawSegment { index, global_ids, tombstones })
 }
 
-impl SegmentedAcornIndex {
-    /// Serialize the whole segmented index — manifest, tombstones, vectors,
-    /// and per-segment graphs — to `w` (format v4). A loaded index resumes
-    /// serving from CSR and accepting writes immediately.
+impl SegmentSnapshot {
+    /// Serialize this snapshot — manifest, tombstones, vectors, and
+    /// per-segment graphs — to `w` (format v4). A snapshot is immutable, so
+    /// the bytes are consistent *as of this epoch* no matter how many
+    /// inserts, deletes, or background merges land while the write is in
+    /// flight; saving the same snapshot twice yields identical bytes.
     pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
         w.write_all(MAGIC)?;
         put_u32(w, SEGMENTED_VERSION)?;
@@ -346,9 +354,36 @@ impl SegmentedAcornIndex {
         put_u64(w, policy.active_max_rows as u64)?;
         put_u64(w, self.frozen_segments().len() as u64)?;
         for seg in self.frozen_segments() {
-            put_segment(w, seg)?;
+            put_segment(w, seg.global_ids(), seg.tombstones(), seg.index())?;
         }
-        put_segment(w, self.active_segment())
+        match self.active_segment() {
+            Some(seg) => put_segment(w, seg.global_ids(), seg.tombstones(), seg.index()),
+            None => {
+                // No published active view (empty or just sealed): write the
+                // block an empty active segment would produce — zero rows,
+                // then a fresh empty index blob carrying the expected
+                // header — so the on-disk layout is invariant to whether the
+                // writer happened to have an unsealed row in flight.
+                put_u64(w, 0)?;
+                AcornIndex::new(
+                    Arc::new(VectorStore::new(self.dim())),
+                    self.params().clone(),
+                    self.variant(),
+                )
+                .save(w)
+            }
+        }
+    }
+}
+
+impl SegmentedAcornIndex {
+    /// Serialize the whole segmented index to `w` (format v4) by saving the
+    /// currently published [`SegmentSnapshot`] — see
+    /// [`SegmentSnapshot::save`] for the snapshot-consistency guarantee. A
+    /// loaded index resumes serving from CSR and accepting writes
+    /// immediately.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        self.snapshot().save(w)
     }
 
     /// Load an index previously written by [`save`](Self::save).
@@ -357,9 +392,10 @@ impl SegmentedAcornIndex {
     /// Returns `InvalidData` on magic/version mismatch, inconsistent
     /// parameters, a tombstone/segment manifest whose row counts disagree
     /// with the embedded vector store or graph, non-ascending /
-    /// out-of-range / cross-segment-duplicated global ids, tombstone bits
-    /// beyond a segment's rows, and embedded segment headers that disagree
-    /// with the top-level configuration.
+    /// out-of-range / cross-segment-duplicated global ids, overlapping
+    /// segment gid ranges, tombstone bits beyond a segment's rows, and
+    /// embedded segment headers that disagree with the top-level
+    /// configuration.
     pub fn load(r: &mut impl Read) -> io::Result<SegmentedAcornIndex> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
@@ -410,7 +446,7 @@ impl SegmentedAcornIndex {
         let mut frozen = Vec::new();
         for _ in 0..nseg {
             let seg = get_segment(r, dim, next_global, variant, &expected_params)?;
-            if seg.is_empty() {
+            if seg.global_ids.is_empty() {
                 return Err(bad("frozen segments must not be empty"));
             }
             frozen.push(seg);
@@ -432,6 +468,19 @@ impl SegmentedAcornIndex {
         all_ids.sort_unstable();
         if all_ids.windows(2).any(|w| w[0] == w[1]) {
             return Err(bad("global id owned by more than one segment"));
+        }
+
+        // Beyond uniqueness, segment gid *ranges* must be pairwise disjoint
+        // and ascending (frozen by first gid, the active segment above them
+        // all): `delete` routes a gid to its owning segment by range binary
+        // search, so interleaved ranges would silently misroute deletes.
+        let ranges: Vec<(u64, u64)> = frozen
+            .iter()
+            .chain(std::iter::once(&active).filter(|a| !a.global_ids.is_empty()))
+            .map(|s| (s.global_ids[0], *s.global_ids.last().expect("non-empty")))
+            .collect();
+        if ranges.windows(2).any(|w| w[0].1 >= w[1].0) {
+            return Err(bad("segment global id ranges overlap"));
         }
 
         Ok(SegmentedAcornIndex::from_loaded_parts(
@@ -680,6 +729,23 @@ mod tests {
         buf[off..off + 8].copy_from_slice(&149u64.to_le_bytes());
         let err = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("more than one segment"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn segmented_load_rejects_overlapping_segment_ranges() {
+        let (idx, _) = segmented_fixture();
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        // Raise next_global (160 -> 200, at magic 4 + version 4 + header 59
+        // + dim 8 = offset 75), then rewrite the frozen segment's last gid
+        // (99 -> 170): every per-id check passes (ascending within the
+        // segment, below next_global, no duplicate), but the frozen range
+        // [0, 170] now straddles the active range [100, 159].
+        buf[75..83].copy_from_slice(&200u64.to_le_bytes());
+        let off = SEG_HEADER_BYTES + 8 + 99 * 8;
+        buf[off..off + 8].copy_from_slice(&170u64.to_le_bytes());
+        let err = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("ranges overlap"), "unexpected: {err}");
     }
 
     #[test]

@@ -1,0 +1,784 @@
+//! Snapshot-epoch concurrency for the segmented index: immutable
+//! [`SegmentSnapshot`]s published atomically, acquired by readers with one
+//! cheap load, and held lock-free for the whole query.
+//!
+//! The concurrency model is MVCC over Lucene-style segments:
+//!
+//! * Every mutation ([`insert`], [`delete`], [`freeze`], merges) builds the
+//!   next immutable [`SegmentSnapshot`] and publishes it into the
+//!   [`SnapshotCell`] under the writer's pending lock, bumping the epoch.
+//! * A reader calls [`IndexReader::snapshot`] once — a read-lock held only
+//!   long enough to clone an `Arc` — and then serves the entire query from
+//!   that snapshot **without acquiring any lock**: sealed segments are
+//!   `Arc<SealedSegment>`, tombstone sets are `Arc<Bitset>`, and nothing in
+//!   a published snapshot is ever mutated again.
+//! * Old epochs are reclaimed by `Arc` drop when the last in-flight reader
+//!   releases them; a background merge publishing a new epoch never stalls
+//!   or retroactively changes a query that started on the old one.
+//!
+//! Tombstones are copy-on-write: deleting a row in a sealed segment clones
+//! the (small) bitset via [`Arc::make_mut`] while the (large) graph +
+//! vector data stay shared by every epoch that references the segment.
+//!
+//! [`insert`]: crate::segment::SegmentedAcornIndex::insert
+//! [`delete`]: crate::segment::SegmentedAcornIndex::delete
+//! [`freeze`]: crate::segment::SegmentedAcornIndex::freeze
+
+use std::sync::atomic::{AtomicU64, AtomicUsize};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+
+use acorn_hnsw::heap::{merge_k_sorted, Neighbor};
+use acorn_hnsw::{ScratchPool, SearchScratch, SearchStats};
+use acorn_predicate::{
+    estimate_selectivity_mapped, estimate_selectivity_seeding_mapped, AllPass, AttrStore, Bitset,
+    CompiledPredicate, CostClass, MemoFilter, NodeFilter, Predicate,
+};
+
+use crate::index::{AcornIndex, PredicateStrategy, MATERIALIZE_BELOW_SELECTIVITY};
+use crate::params::{AcornParams, AcornVariant};
+use crate::segment::{GlobalNeighbor, MergePolicy};
+
+/// The immutable payload of one sealed segment generation: the per-segment
+/// ACORN index and its sorted local → global id map. Shared by every
+/// snapshot (and every pending-state entry) that references the segment.
+#[derive(Debug)]
+pub(crate) struct SealedSegment {
+    pub(crate) index: AcornIndex,
+    pub(crate) global_ids: Vec<u64>,
+}
+
+/// A read-only view of one segment inside a [`SegmentSnapshot`]: the shared
+/// sealed payload plus the tombstone set as of the snapshot's epoch.
+///
+/// Cloning a view clones two `Arc`s — the graph, vectors, and id map are
+/// never copied.
+#[derive(Debug, Clone)]
+pub struct SegmentView {
+    pub(crate) sealed: Arc<SealedSegment>,
+    /// Set bit = deleted row, frozen at this view's epoch (copy-on-write:
+    /// later deletes clone the bitset, never mutate this one).
+    pub(crate) tombstones: Arc<Bitset>,
+    /// Cached count of set tombstone bits.
+    pub(crate) deleted: usize,
+}
+
+impl SegmentView {
+    /// Total rows (live + tombstoned).
+    pub fn rows(&self) -> usize {
+        self.sealed.global_ids.len()
+    }
+
+    /// Rows not tombstoned.
+    pub fn live_rows(&self) -> usize {
+        self.rows() - self.deleted
+    }
+
+    /// Tombstoned rows.
+    pub fn deleted_rows(&self) -> usize {
+        self.deleted
+    }
+
+    /// `deleted / rows` (0.0 for an empty segment).
+    pub fn tombstone_fraction(&self) -> f64 {
+        if self.sealed.global_ids.is_empty() {
+            0.0
+        } else {
+            self.deleted as f64 / self.sealed.global_ids.len() as f64
+        }
+    }
+
+    /// True when the segment holds no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.global_ids.is_empty()
+    }
+
+    /// The per-segment ACORN index (sealed segments serve from CSR).
+    pub fn index(&self) -> &AcornIndex {
+        &self.sealed.index
+    }
+
+    /// The sorted local → global id map.
+    pub fn global_ids(&self) -> &[u64] {
+        &self.sealed.global_ids
+    }
+
+    /// The tombstone set (set bit = deleted local row).
+    pub fn tombstones(&self) -> &Bitset {
+        &self.tombstones
+    }
+
+    /// Local row id of `gid`, if this segment owns it (tombstoned or not).
+    pub fn local_of(&self, gid: u64) -> Option<u32> {
+        self.sealed.global_ids.binary_search(&gid).ok().map(|i| i as u32)
+    }
+
+    /// Bytes held by this segment: the served graph layout, the vector
+    /// data, the id map, and the tombstone words.
+    pub fn memory_bytes(&self) -> usize {
+        self.sealed.index.serving_memory_bytes()
+            + self.sealed.index.vectors().memory_bytes()
+            + self.sealed.global_ids.len() * std::mem::size_of::<u64>()
+            + self.tombstones.memory_bytes()
+    }
+
+    /// Remap a per-segment result list to global ids. Input is ascending by
+    /// `(dist, local)`; because `global_ids` is strictly ascending, output
+    /// is ascending by `(dist, global)` — ready for the k-way merge.
+    pub(crate) fn to_global(&self, out: Vec<Neighbor>) -> Vec<GlobalNeighbor> {
+        out.into_iter()
+            .map(|n| GlobalNeighbor::new(n.dist, self.sealed.global_ids[n.id as usize]))
+            .collect()
+    }
+}
+
+/// Composes a segment's tombstones with any row filter: a tombstoned row
+/// never passes, whatever the inner filter says. With an empty tombstone
+/// set this is transparent (same verdicts, same enumeration order), which
+/// is what keeps a fully-merged segment bit-identical to a monolithic
+/// index.
+struct LiveFilter<'a, F: NodeFilter> {
+    inner: &'a F,
+    tombstones: &'a Bitset,
+}
+
+impl<F: NodeFilter> NodeFilter for LiveFilter<'_, F> {
+    #[inline]
+    fn passes(&self, id: u32) -> bool {
+        !self.tombstones.get(id) && self.inner.passes(id)
+    }
+
+    fn for_each_passing(&self, n: usize, f: &mut dyn FnMut(u32)) -> u64 {
+        let tombstones = self.tombstones;
+        self.inner.for_each_passing(n, &mut |id| {
+            if !tombstones.get(id) {
+                f(id);
+            }
+        })
+    }
+}
+
+/// Interpreted predicate evaluation at a row's global id (the attribute
+/// store is indexed by global id; the graph traversal speaks local ids).
+struct RemappedPredicateFilter<'a> {
+    attrs: &'a AttrStore,
+    predicate: &'a Predicate,
+    global_ids: &'a [u64],
+}
+
+impl NodeFilter for RemappedPredicateFilter<'_> {
+    #[inline]
+    fn passes(&self, id: u32) -> bool {
+        self.predicate.eval(self.attrs, self.global_ids[id as usize] as u32)
+    }
+}
+
+/// Compiled predicate evaluation at a row's global id.
+struct RemappedCompiledFilter<'a> {
+    attrs: &'a AttrStore,
+    compiled: &'a CompiledPredicate,
+    global_ids: &'a [u64],
+}
+
+impl NodeFilter for RemappedCompiledFilter<'_> {
+    #[inline]
+    fn passes(&self, id: u32) -> bool {
+        self.compiled.eval(self.attrs, self.global_ids[id as usize] as u32)
+    }
+}
+
+/// Bit test against a globally-materialized predicate bitmap, remapped
+/// through the segment's id map.
+struct GlobalBitsFilter<'a> {
+    bits: &'a Bitset,
+    global_ids: &'a [u64],
+}
+
+impl NodeFilter for GlobalBitsFilter<'_> {
+    #[inline]
+    fn passes(&self, id: u32) -> bool {
+        self.bits.get(self.global_ids[id as usize] as u32)
+    }
+}
+
+/// A caller-supplied `Fn(u64) -> bool` over global ids, adapted to the
+/// local-id [`NodeFilter`] contract.
+struct GlobalFnFilter<'a, F: Fn(u64) -> bool> {
+    f: &'a F,
+    global_ids: &'a [u64],
+}
+
+impl<F: Fn(u64) -> bool> NodeFilter for GlobalFnFilter<'_, F> {
+    #[inline]
+    fn passes(&self, id: u32) -> bool {
+        (self.f)(self.global_ids[id as usize])
+    }
+}
+
+/// One immutable epoch of the segmented index: every sealed segment (the
+/// frozen list plus a sealed copy of the active segment) with the tombstone
+/// state as of publication.
+///
+/// A snapshot answers every query the segmented index supports — pure,
+/// filtered, and hybrid under either [`PredicateStrategy`] — **without any
+/// locking or shared mutable state**: all methods take `&self` and
+/// caller-owned scratch. Two queries against the same snapshot are
+/// bit-identical, whatever the writer does in between.
+#[derive(Debug)]
+pub struct SegmentSnapshot {
+    pub(crate) epoch: u64,
+    pub(crate) params: AcornParams,
+    pub(crate) variant: AcornVariant,
+    pub(crate) dim: usize,
+    pub(crate) policy: MergePolicy,
+    pub(crate) next_global: u64,
+    /// Sealed read-optimized segments, ascending by first global id.
+    pub(crate) frozen: Vec<SegmentView>,
+    /// Sealed copy of the active segment at publication (absent when the
+    /// active segment was empty).
+    pub(crate) active: Option<SegmentView>,
+}
+
+impl SegmentSnapshot {
+    /// The epoch counter: strictly increasing across publications, starting
+    /// at 0 for a freshly created index.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Construction parameters shared by every segment.
+    pub fn params(&self) -> &AcornParams {
+        &self.params
+    }
+
+    /// Which ACORN variant the segments implement.
+    pub fn variant(&self) -> AcornVariant {
+        self.variant
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The merge policy in force at this epoch.
+    pub fn policy(&self) -> &MergePolicy {
+        &self.policy
+    }
+
+    /// The next global id the writer would assign at this epoch (also the
+    /// exclusive upper bound of every id ever assigned).
+    pub fn next_global_id(&self) -> u64 {
+        self.next_global
+    }
+
+    /// Live (non-tombstoned) rows across all segments.
+    pub fn len(&self) -> usize {
+        self.segments().map(SegmentView::live_rows).sum()
+    }
+
+    /// True when no live rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total rows still stored, tombstoned included.
+    pub fn total_rows(&self) -> usize {
+        self.segments().map(SegmentView::rows).sum()
+    }
+
+    /// Tombstoned rows awaiting compaction.
+    pub fn deleted_rows(&self) -> usize {
+        self.segments().map(SegmentView::deleted_rows).sum()
+    }
+
+    /// Frozen (read-optimized) segments, ascending by first global id.
+    pub fn frozen_segments(&self) -> &[SegmentView] {
+        &self.frozen
+    }
+
+    /// The sealed copy of the active segment, if it held rows.
+    pub fn active_segment(&self) -> Option<&SegmentView> {
+        self.active.as_ref()
+    }
+
+    /// Number of non-empty segments queries fan out over.
+    pub fn num_segments(&self) -> usize {
+        self.segments().count()
+    }
+
+    /// All non-empty segments in query order (frozen first, then active).
+    fn segments(&self) -> impl Iterator<Item = &SegmentView> {
+        self.frozen.iter().chain(self.active.iter()).filter(|s| !s.is_empty())
+    }
+
+    /// Sorted global ids of all live rows (diagnostics and tests).
+    pub fn live_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .segments()
+            .flat_map(|s| s.tombstones.iter_zeros().map(|l| s.sealed.global_ids[l as usize]))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// True when `gid` is indexed and not tombstoned at this epoch.
+    pub fn contains(&self, gid: u64) -> bool {
+        self.segments().any(|s| s.local_of(gid).is_some_and(|local| !s.tombstones.get(local)))
+    }
+
+    /// Bytes held across all segments: served graph layouts, vector data,
+    /// id maps, and tombstone words.
+    pub fn memory_bytes(&self) -> usize {
+        self.segments().map(SegmentView::memory_bytes).sum()
+    }
+
+    /// Row count of the largest segment — the scratch capacity a worker
+    /// needs to serve any single query.
+    pub fn max_segment_rows(&self) -> usize {
+        self.segments().map(SegmentView::rows).max().unwrap_or(0)
+    }
+
+    /// Pure ANN search with caller-owned scratch and stats: the `k` nearest
+    /// live rows, by global id. Lock-free: touches only this snapshot.
+    pub fn search_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<GlobalNeighbor> {
+        let mut per_seg = Vec::with_capacity(self.num_segments());
+        for seg in self.segments() {
+            let filter = LiveFilter { inner: &AllPass, tombstones: &seg.tombstones };
+            let out = seg.sealed.index.search_filtered(query, &filter, k, efs, scratch, stats);
+            per_seg.push(seg.to_global(out));
+        }
+        merge_k_sorted(&per_seg, k)
+    }
+
+    /// Filtered search (Algorithm 2 per segment, no fallback routing) with
+    /// a caller-supplied predicate over **global** ids. Tombstones compose
+    /// automatically; deleted rows never pass.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_filtered<F: Fn(u64) -> bool>(
+        &self,
+        query: &[f32],
+        filter: &F,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<GlobalNeighbor> {
+        let mut per_seg = Vec::with_capacity(self.num_segments());
+        for seg in self.segments() {
+            let inner = GlobalFnFilter { f: filter, global_ids: &seg.sealed.global_ids };
+            let live = LiveFilter { inner: &inner, tombstones: &seg.tombstones };
+            let out = seg.sealed.index.search_filtered(query, &live, k, efs, scratch, stats);
+            per_seg.push(seg.to_global(out));
+        }
+        merge_k_sorted(&per_seg, k)
+    }
+
+    /// Full hybrid search with ACORN's §5.2 cost-model routing applied
+    /// **per segment**: each segment estimates the predicate's selectivity
+    /// over its own rows (sampled through the segment's global-id map) and
+    /// independently chooses graph traversal or the exact pre-filter scan.
+    /// Per-segment top-`k` lists are k-way merged into the global answer.
+    ///
+    /// `attrs` is indexed by **global id** and must cover every id ever
+    /// assigned (`attrs.len() >= next_global_id()`); deleted rows keep
+    /// their attribute values but are excluded by tombstone composition.
+    pub fn hybrid_search(
+        &self,
+        query: &[f32],
+        predicate: &Predicate,
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+    ) -> (Vec<GlobalNeighbor>, SearchStats) {
+        self.hybrid_search_with(
+            query,
+            predicate,
+            attrs,
+            k,
+            efs,
+            scratch,
+            PredicateStrategy::default(),
+        )
+    }
+
+    /// [`hybrid_search`](Self::hybrid_search) with an explicit
+    /// [`PredicateStrategy`]. Results are bit-identical across strategies,
+    /// mirroring [`AcornIndex::hybrid_search_with`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn hybrid_search_with(
+        &self,
+        query: &[f32],
+        predicate: &Predicate,
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        strategy: PredicateStrategy,
+    ) -> (Vec<GlobalNeighbor>, SearchStats) {
+        assert!(
+            attrs.len() as u64 >= self.next_global,
+            "attribute store ({} rows) must cover every assigned global id (next = {})",
+            attrs.len(),
+            self.next_global
+        );
+        let mut stats = SearchStats::default();
+        let mut per_seg = Vec::with_capacity(self.num_segments());
+        match strategy {
+            PredicateStrategy::Interpreted => {
+                for seg in self.segments() {
+                    let out = self.hybrid_on_segment_interpreted(
+                        seg, query, predicate, attrs, k, efs, scratch, &mut stats,
+                    );
+                    per_seg.push(seg.to_global(out));
+                }
+            }
+            PredicateStrategy::Adaptive => {
+                let compiled = CompiledPredicate::compile(predicate);
+                // The block-materialized predicate bitmap is over global
+                // ids, so it is computed at most once per query and shared
+                // by every segment that routes to a materializing branch.
+                let mut global_bits: Option<Bitset> = None;
+                for seg in self.segments() {
+                    let out = self.hybrid_on_segment_adaptive(
+                        seg,
+                        query,
+                        &compiled,
+                        attrs,
+                        k,
+                        efs,
+                        scratch,
+                        &mut stats,
+                        &mut global_bits,
+                    );
+                    per_seg.push(seg.to_global(out));
+                }
+            }
+        }
+        (merge_k_sorted(&per_seg, k), stats)
+    }
+
+    /// One segment of the interpreted strategy: mirrors
+    /// `AcornIndex::hybrid_search_interpreted` with the filter remapped
+    /// through the segment's id map and composed with its tombstones.
+    #[allow(clippy::too_many_arguments)]
+    fn hybrid_on_segment_interpreted(
+        &self,
+        seg: &SegmentView,
+        query: &[f32],
+        predicate: &Predicate,
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let est = estimate_selectivity_mapped(
+            attrs,
+            predicate,
+            crate::index::SELECTIVITY_SAMPLES,
+            self.params.seed,
+            seg.rows(),
+            |p| seg.sealed.global_ids[p as usize] as u32,
+        );
+        stats.npred += crate::index::SELECTIVITY_SAMPLES as u64;
+        let inner =
+            RemappedPredicateFilter { attrs, predicate, global_ids: &seg.sealed.global_ids };
+        let filter = LiveFilter { inner: &inner, tombstones: &seg.tombstones };
+        if est < seg.sealed.index.params().s_min() {
+            seg.sealed.index.prefilter_scan(query, &filter, k, stats)
+        } else {
+            seg.sealed.index.search_filtered(query, &filter, k, efs, scratch, stats)
+        }
+    }
+
+    /// One segment of the adaptive strategy: mirrors
+    /// `AcornIndex::hybrid_search_adaptive` (memo-seeded sampling, then
+    /// fallback / block-materialize / lazy-memoize) over remapped ids.
+    #[allow(clippy::too_many_arguments)]
+    fn hybrid_on_segment_adaptive(
+        &self,
+        seg: &SegmentView,
+        query: &[f32],
+        compiled: &CompiledPredicate,
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+        global_bits: &mut Option<Bitset>,
+    ) -> Vec<Neighbor> {
+        let mut memo = scratch.take_memo(seg.rows());
+        let est = estimate_selectivity_seeding_mapped(
+            attrs,
+            compiled,
+            crate::index::SELECTIVITY_SAMPLES,
+            self.params.seed,
+            &memo,
+            seg.rows(),
+            |p| seg.sealed.global_ids[p as usize] as u32,
+        );
+        stats.npred += crate::index::SELECTIVITY_SAMPLES as u64;
+
+        let materialize =
+            compiled.cost_class() == CostClass::Expensive || est < MATERIALIZE_BELOW_SELECTIVITY;
+        let needs_bits = est < seg.sealed.index.params().s_min() || materialize;
+        if needs_bits && global_bits.is_none() {
+            stats.npred += attrs.len() as u64; // the block scan runs every global row once
+            *global_bits = Some(compiled.to_bitset(attrs));
+        }
+
+        let out = if est < seg.sealed.index.params().s_min() {
+            let inner = GlobalBitsFilter {
+                bits: global_bits.as_ref().expect("materialized above"),
+                global_ids: &seg.sealed.global_ids,
+            };
+            let filter = LiveFilter { inner: &inner, tombstones: &seg.tombstones };
+            seg.sealed.index.prefilter_scan(query, &filter, k, stats)
+        } else if materialize {
+            let inner = GlobalBitsFilter {
+                bits: global_bits.as_ref().expect("materialized above"),
+                global_ids: &seg.sealed.global_ids,
+            };
+            let filter = LiveFilter { inner: &inner, tombstones: &seg.tombstones };
+            let before = stats.npred;
+            let out = seg.sealed.index.search_filtered(query, &filter, k, efs, scratch, stats);
+            // Every traversal check against the bitmap is a cache answer.
+            stats.npred_cached += stats.npred - before;
+            out
+        } else {
+            let inner =
+                RemappedCompiledFilter { attrs, compiled, global_ids: &seg.sealed.global_ids };
+            let memoized = MemoFilter::new(&inner, memo);
+            let filter = LiveFilter { inner: &memoized, tombstones: &seg.tombstones };
+            let out = seg.sealed.index.search_filtered(query, &filter, k, efs, scratch, stats);
+            stats.npred_cached += memoized.hits();
+            memo = memoized.into_memo();
+            scratch.put_memo(memo);
+            return out;
+        };
+        scratch.put_memo(memo);
+        out
+    }
+}
+
+/// One frozen segment in the writer's pending state: the shared sealed
+/// payload, the current (copy-on-write) tombstone set, and a unique segment
+/// id that merge publication uses to splice results without positional
+/// races.
+#[derive(Debug, Clone)]
+pub(crate) struct FrozenSeg {
+    /// Unique per-index segment id (never reused) — identifies merge
+    /// sources across the unlock/relock window of a background merge.
+    pub(crate) id: u64,
+    pub(crate) sealed: Arc<SealedSegment>,
+    pub(crate) tombstones: Arc<Bitset>,
+    pub(crate) deleted: usize,
+}
+
+impl FrozenSeg {
+    pub(crate) fn view(&self) -> SegmentView {
+        SegmentView {
+            sealed: self.sealed.clone(),
+            tombstones: self.tombstones.clone(),
+            deleted: self.deleted,
+        }
+    }
+
+    pub(crate) fn first_gid(&self) -> u64 {
+        self.sealed.global_ids[0]
+    }
+}
+
+/// The writer's mutable bookkeeping, guarded by [`SharedState::pending`].
+/// Everything a publication needs except the active segment's graph (which
+/// only the writer owns and seals into views).
+#[derive(Debug)]
+pub(crate) struct Pending {
+    pub(crate) frozen: Vec<FrozenSeg>,
+    /// Sealed view of the active segment as of the last publication
+    /// (`None` when the active segment is empty).
+    pub(crate) active_view: Option<SegmentView>,
+    pub(crate) next_global: u64,
+    pub(crate) policy: MergePolicy,
+    pub(crate) epoch: u64,
+    pub(crate) next_seg_id: u64,
+}
+
+/// The atomically swappable current-snapshot holder. `load` takes the read
+/// lock only long enough to clone the `Arc` — after that the reader holds
+/// the epoch lock-free for as long as it likes.
+#[derive(Debug)]
+pub(crate) struct SnapshotCell(RwLock<Arc<SegmentSnapshot>>);
+
+impl SnapshotCell {
+    fn new(snap: Arc<SegmentSnapshot>) -> Self {
+        Self(RwLock::new(snap))
+    }
+
+    pub(crate) fn load(&self) -> Arc<SegmentSnapshot> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    fn store(&self, snap: Arc<SegmentSnapshot>) {
+        *self.0.write().unwrap_or_else(PoisonError::into_inner) = snap;
+    }
+}
+
+/// State shared between the writer, every [`IndexReader`], and the
+/// background maintenance thread.
+#[derive(Debug)]
+pub(crate) struct SharedState {
+    pub(crate) params: AcornParams,
+    pub(crate) variant: AcornVariant,
+    pub(crate) dim: usize,
+    pub(crate) pending: Mutex<Pending>,
+    pub(crate) cell: SnapshotCell,
+    /// Scratch pool shared by reader conveniences and the segmented batch
+    /// engine; one checked-out scratch serves all segments of a query
+    /// sequentially (`begin(n)` re-arms it per segment).
+    pub(crate) pool: ScratchPool,
+    /// Serializes merges (foreground `merge`/`compact_all` and the
+    /// maintenance thread): merge sources can only disappear through a
+    /// merge, so holding this across capture → rebuild → publish keeps the
+    /// three-phase protocol race-free while inserts and deletes proceed.
+    pub(crate) maintenance_lock: Mutex<()>,
+    /// Merges currently in their rebuild/publish window (the churn bench
+    /// samples this to bucket read latencies).
+    pub(crate) merges_in_flight: AtomicUsize,
+    /// Merges that published a new epoch since the index was created.
+    pub(crate) merges_completed: AtomicU64,
+}
+
+impl SharedState {
+    pub(crate) fn new(
+        params: AcornParams,
+        variant: AcornVariant,
+        dim: usize,
+        pending: Pending,
+        snapshot: SegmentSnapshot,
+    ) -> Self {
+        Self {
+            params,
+            variant,
+            dim,
+            pending: Mutex::new(pending),
+            cell: SnapshotCell::new(Arc::new(snapshot)),
+            pool: ScratchPool::new(),
+            maintenance_lock: Mutex::new(()),
+            merges_in_flight: AtomicUsize::new(0),
+            merges_completed: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock the pending state, surviving a panicked holder.
+    pub(crate) fn pending(&self) -> MutexGuard<'_, Pending> {
+        self.pending.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Publish the pending state as the next epoch. Caller holds the
+    /// pending lock; readers pick the new snapshot up on their next
+    /// [`IndexReader::snapshot`] call while in-flight queries finish on
+    /// whatever epoch they loaded.
+    pub(crate) fn publish(&self, p: &mut Pending) {
+        p.epoch += 1;
+        self.cell.store(Arc::new(SegmentSnapshot {
+            epoch: p.epoch,
+            params: self.params.clone(),
+            variant: self.variant,
+            dim: self.dim,
+            policy: p.policy.clone(),
+            next_global: p.next_global,
+            frozen: p.frozen.iter().map(FrozenSeg::view).collect(),
+            active: p.active_view.clone(),
+        }));
+    }
+
+    pub(crate) fn snapshot(&self) -> Arc<SegmentSnapshot> {
+        self.cell.load()
+    }
+}
+
+/// A cloneable, `Send + Sync` handle for serving queries against the
+/// segmented index concurrently with writes and background merges.
+///
+/// [`snapshot`](Self::snapshot) pins the current epoch with one cheap
+/// atomic load/clone; everything after that is lock-free. The convenience
+/// search methods pin a fresh snapshot per call — hold a snapshot yourself
+/// when several operations must observe one consistent epoch.
+#[derive(Debug, Clone)]
+pub struct IndexReader {
+    pub(crate) shared: Arc<SharedState>,
+}
+
+impl IndexReader {
+    /// Pin the current epoch. The returned snapshot never changes; drop it
+    /// to release the epoch's memory (shared segments stay alive as long as
+    /// any epoch references them).
+    pub fn snapshot(&self) -> Arc<SegmentSnapshot> {
+        self.shared.snapshot()
+    }
+
+    /// The current epoch counter (monotonically increasing).
+    pub fn epoch(&self) -> u64 {
+        self.shared.snapshot().epoch
+    }
+
+    /// The shared scratch pool (the segmented batch engine draws from it).
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        &self.shared.pool
+    }
+
+    /// Merges currently rebuilding or publishing (0 when maintenance is
+    /// idle). Sampled by the churn bench to bucket read latencies.
+    pub fn merges_in_flight(&self) -> usize {
+        self.shared.merges_in_flight.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Merges that have published a new epoch since the index was created.
+    pub fn merges_completed(&self) -> u64 {
+        self.shared.merges_completed.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Pure ANN search against the current epoch: the `k` nearest live
+    /// rows, by global id. Scratch comes from the shared pool.
+    pub fn search(&self, query: &[f32], k: usize, efs: usize) -> Vec<GlobalNeighbor> {
+        let snap = self.snapshot();
+        let mut scratch = self.shared.pool.checkout(snap.max_segment_rows());
+        let mut stats = SearchStats::default();
+        snap.search_with(query, k, efs, &mut scratch, &mut stats)
+    }
+
+    /// Hybrid search against the current epoch with the default strategy.
+    /// Scratch comes from the shared pool.
+    pub fn hybrid_search(
+        &self,
+        query: &[f32],
+        predicate: &Predicate,
+        attrs: &AttrStore,
+        k: usize,
+        efs: usize,
+    ) -> (Vec<GlobalNeighbor>, SearchStats) {
+        let snap = self.snapshot();
+        let mut scratch = self.shared.pool.checkout(snap.max_segment_rows());
+        snap.hybrid_search(query, predicate, attrs, k, efs, &mut scratch)
+    }
+}
+
+/// The whole reader side must be shareable across threads; a compile error
+/// here means a non-`Send`/`Sync` member crept into the snapshot path.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<SegmentSnapshot>();
+    assert_send_sync::<SegmentView>();
+    assert_send_sync::<IndexReader>();
+    assert_send_sync::<SharedState>();
+    assert_send_sync::<acorn_hnsw::CsrGraph>();
+};

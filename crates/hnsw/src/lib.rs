@@ -48,7 +48,7 @@ pub use graph::{GraphView, LayeredGraph};
 pub use heap::Neighbor;
 pub use index::{HnswIndex, HnswParams};
 pub use level::LevelSampler;
-pub use pool::{run_sharded, PooledScratch, ScratchPool, ShardedRun};
+pub use pool::{run_sharded, LatencySummary, PooledScratch, ScratchPool, ShardedRun};
 pub use search::SearchScratch;
 pub use stats::SearchStats;
 pub use vecs::{Metric, VectorStore};

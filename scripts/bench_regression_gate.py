@@ -11,6 +11,13 @@ runner noise in individual cells while still catching a real regression in a
 band; 0.7 leaves generous slack for hardware differences between the commit
 machine and the CI runner.
 
+Runs may additionally carry latency percentiles (`lat_p50_us` / `lat_p99_us`
+/ `lat_p999_us`); when both files have them they are reported for context,
+but they never gate (tail latency on a shared CI runner is too noisy to
+fail on). Baselines written before the percentile keys existed — or with
+any other missing optional key — are handled by ignoring the key, so the
+gate stays usable across format generations in both directions.
+
 Exits 0 when every band passes, 1 otherwise (or on malformed input).
 """
 
@@ -30,15 +37,29 @@ def band_best_qps(doc):
     return out
 
 
+def band_best_p99(doc):
+    """Map selectivity_target -> best (lowest) p99 latency in us, or None
+    for files predating the percentile keys."""
+    out = {}
+    for band in doc["bands"]:
+        p99s = [r["lat_p99_us"] for r in band["runs"] if "lat_p99_us" in r]
+        out[band["selectivity_target"]] = min(p99s) if p99s else None
+    return out
+
+
 def main():
     if len(sys.argv) != 3:
         print(__doc__)
         return 1
     ratio = float(os.environ.get("ACORN_BENCH_MIN_REGRESSION_RATIO", "0.7"))
     with open(sys.argv[1]) as f:
-        committed = band_best_qps(json.load(f))
+        committed_doc = json.load(f)
     with open(sys.argv[2]) as f:
-        fresh = band_best_qps(json.load(f))
+        fresh_doc = json.load(f)
+    committed = band_best_qps(committed_doc)
+    fresh = band_best_qps(fresh_doc)
+    committed_p99 = band_best_p99(committed_doc)
+    fresh_p99 = band_best_p99(fresh_doc)
 
     if set(fresh) != set(committed):
         print(
@@ -58,6 +79,12 @@ def main():
         )
         if got < ratio:
             failed = True
+        old_p99, new_p99 = committed_p99.get(target), fresh_p99.get(target)
+        if old_p99 is not None and new_p99 is not None:
+            print(
+                f"  p99 latency (informational): committed {old_p99:.0f} us, "
+                f"fresh {new_p99:.0f} us"
+            )
 
     if failed:
         print(f"FAIL: adaptive QPS fell below {ratio:.2f}x of the committed baseline")
