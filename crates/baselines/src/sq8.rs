@@ -1,202 +1,8 @@
 //! 8-bit scalar quantization (the SQ8 codec behind Milvus IVF-SQ8).
 //!
-//! Each dimension is linearly mapped to `0..=255` using per-dimension
-//! min/max trained on the dataset. Distances are computed asymmetrically:
-//! the query stays in f32 and codes are dequantized on the fly, which keeps
-//! the recall loss small while cutting vector memory 4×.
+//! The codec was promoted into the shared substrate so quantized frozen
+//! segments can use it as a [`VectorData`](acorn_hnsw::VectorData) backend;
+//! this module re-exports it for the IVF-SQ8 baseline and any existing
+//! callers.
 
-use acorn_hnsw::VectorStore;
-
-/// A trained per-dimension scalar quantizer plus the encoded dataset.
-#[derive(Debug, Clone)]
-pub struct Sq8Store {
-    dim: usize,
-    mins: Vec<f32>,
-    scales: Vec<f32>, // (max - min) / 255, zero-guarded
-    codes: Vec<u8>,
-}
-
-impl Sq8Store {
-    /// Train on `vecs` and encode every vector.
-    ///
-    /// # Panics
-    /// Panics if the store is empty.
-    pub fn train(vecs: &VectorStore) -> Self {
-        assert!(!vecs.is_empty(), "cannot train SQ8 on an empty dataset");
-        let dim = vecs.dim();
-        let mut mins = vec![f32::INFINITY; dim];
-        let mut maxs = vec![f32::NEG_INFINITY; dim];
-        for i in 0..vecs.len() as u32 {
-            for (d, &x) in vecs.get(i).iter().enumerate() {
-                mins[d] = mins[d].min(x);
-                maxs[d] = maxs[d].max(x);
-            }
-        }
-        let scales: Vec<f32> = mins
-            .iter()
-            .zip(&maxs)
-            .map(|(&lo, &hi)| {
-                let s = (hi - lo) / 255.0;
-                if s > 0.0 {
-                    s
-                } else {
-                    1.0
-                }
-            })
-            .collect();
-
-        let mut codes = Vec::with_capacity(vecs.len() * dim);
-        for i in 0..vecs.len() as u32 {
-            for (d, &x) in vecs.get(i).iter().enumerate() {
-                let q = ((x - mins[d]) / scales[d]).round().clamp(0.0, 255.0);
-                codes.push(q as u8);
-            }
-        }
-        Self { dim, mins, scales, codes }
-    }
-
-    /// Number of encoded vectors.
-    pub fn len(&self) -> usize {
-        self.codes.len() / self.dim
-    }
-
-    /// True if nothing is encoded.
-    pub fn is_empty(&self) -> bool {
-        self.codes.is_empty()
-    }
-
-    /// Dimensionality.
-    pub fn dim(&self) -> usize {
-        self.dim
-    }
-
-    /// Bytes used by codes + codec tables.
-    pub fn memory_bytes(&self) -> usize {
-        self.codes.len() + (self.mins.len() + self.scales.len()) * 4
-    }
-
-    /// Decode vector `i` into `out` (test/debug helper).
-    pub fn decode_into(&self, i: u32, out: &mut Vec<f32>) {
-        out.clear();
-        let start = i as usize * self.dim;
-        for (d, &c) in self.codes[start..start + self.dim].iter().enumerate() {
-            out.push(self.mins[d] + c as f32 * self.scales[d]);
-        }
-    }
-
-    /// Asymmetric squared-L2 distance between an f32 query and code `i`.
-    #[inline]
-    pub fn l2_sq_to(&self, i: u32, query: &[f32]) -> f32 {
-        debug_assert_eq!(query.len(), self.dim);
-        let start = i as usize * self.dim;
-        let codes = &self.codes[start..start + self.dim];
-        let mut sum = 0.0f32;
-        for d in 0..self.dim {
-            let x = self.mins[d] + codes[d] as f32 * self.scales[d];
-            let diff = query[d] - x;
-            sum += diff * diff;
-        }
-        sum
-    }
-
-    /// Worst-case per-dimension quantization error (half a quantization
-    /// step), useful for error-bound tests.
-    pub fn max_step(&self) -> f32 {
-        self.scales.iter().fold(0.0f32, |a, &s| a.max(s)) * 0.5
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use acorn_hnsw::Metric;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    fn random_store(n: usize, dim: usize, seed: u64) -> VectorStore {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut s = VectorStore::with_capacity(dim, n);
-        for _ in 0..n {
-            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            s.push(&v);
-        }
-        s
-    }
-
-    #[test]
-    fn roundtrip_error_bounded_by_half_step() {
-        let vecs = random_store(200, 16, 1);
-        let sq = Sq8Store::train(&vecs);
-        let mut decoded = Vec::new();
-        for i in 0..vecs.len() as u32 {
-            sq.decode_into(i, &mut decoded);
-            for (d, (&orig, &dec)) in vecs.get(i).iter().zip(&decoded).enumerate() {
-                let step = sq.max_step();
-                assert!(
-                    (orig - dec).abs() <= step + 1e-5,
-                    "dim {d}: |{orig} - {dec}| > step {step}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn asymmetric_distance_close_to_exact() {
-        let vecs = random_store(300, 32, 2);
-        let sq = Sq8Store::train(&vecs);
-        let q: Vec<f32> = (0..32).map(|i| (i as f32 * 0.1).sin()).collect();
-        for i in 0..vecs.len() as u32 {
-            let exact = Metric::L2.distance(vecs.get(i), &q);
-            let approx = sq.l2_sq_to(i, &q);
-            // Relative error stays small (quantization noise only).
-            assert!(
-                (exact - approx).abs() <= 0.05 * exact.max(1.0),
-                "vector {i}: exact {exact} vs sq8 {approx}"
-            );
-        }
-    }
-
-    #[test]
-    fn memory_is_roughly_quarter_of_f32() {
-        let vecs = random_store(1000, 64, 3);
-        let sq = Sq8Store::train(&vecs);
-        let f32_bytes = vecs.memory_bytes();
-        assert!(sq.memory_bytes() < f32_bytes / 3, "SQ8 must save ~4x memory");
-    }
-
-    #[test]
-    fn constant_dimension_handled() {
-        let mut s = VectorStore::new(2);
-        s.push(&[1.0, 5.0]);
-        s.push(&[2.0, 5.0]); // dim 1 is constant: scale would be 0
-        let sq = Sq8Store::train(&s);
-        let mut out = Vec::new();
-        sq.decode_into(0, &mut out);
-        assert!((out[1] - 5.0).abs() < 1e-6);
-    }
-
-    #[test]
-    fn top1_neighbor_preserved_under_quantization() {
-        let vecs = random_store(500, 16, 4);
-        let sq = Sq8Store::train(&vecs);
-        let mut rng = StdRng::seed_from_u64(5);
-        let mut agree = 0;
-        for _ in 0..30 {
-            let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let exact = (0..vecs.len() as u32)
-                .min_by(|&a, &b| {
-                    Metric::L2
-                        .distance(vecs.get(a), &q)
-                        .total_cmp(&Metric::L2.distance(vecs.get(b), &q))
-                })
-                .unwrap();
-            let approx = (0..sq.len() as u32)
-                .min_by(|&a, &b| sq.l2_sq_to(a, &q).total_cmp(&sq.l2_sq_to(b, &q)))
-                .unwrap();
-            if exact == approx {
-                agree += 1;
-            }
-        }
-        assert!(agree >= 27, "top-1 agreement too low: {agree}/30");
-    }
-}
+pub use acorn_hnsw::sq8::{Sq8Store, MIN_STEP};

@@ -11,7 +11,10 @@
 //! * **predicate strategy** — the interpreted per-check AST walk
 //!   ([`PredicateStrategy::Interpreted`]) vs the compiled + memoized /
 //!   block-materialized engine ([`PredicateStrategy::Adaptive`]), both on
-//!   the CSR index.
+//!   the CSR index;
+//! * **vector storage tier** — exact f32 rows vs an SQ8-quantized tier with
+//!   exact top-`rerank_k` refinement (both CSR + adaptive), reporting QPS,
+//!   recall, bytes/row, and overlap with the exact tier's answers.
 //!
 //! The lowest band sits near `s_min = 1/γ`, exercising the pre-filter
 //! fallback; the others exercise predicate-subgraph traversal. Results are
@@ -23,12 +26,15 @@
 //! accompanied by per-query `lat_p50_us`/`lat_p99_us`/`lat_p999_us` wall-time
 //! percentiles of the same run) and
 //! an aligned table on stdout. Scaled by the usual `ACORN_BENCH_N` /
-//! `ACORN_BENCH_NQ` / `ACORN_BENCH_REPEATS` environment variables. Two CI
+//! `ACORN_BENCH_NQ` / `ACORN_BENCH_REPEATS` environment variables. Four CI
 //! guards make the binary exit non-zero: `ACORN_BENCH_MIN_CSR_RATIO` (e.g.
-//! `0.9`) if average CSR/nested QPS falls below it, and
+//! `0.9`) if average CSR/nested QPS falls below it,
 //! `ACORN_BENCH_MAX_NPRED_RATIO` (e.g. `0.5`) if the adaptive engine's
 //! per-query evaluated-`npred` exceeds that fraction of the interpreted
-//! count.
+//! count, `ACORN_BENCH_MIN_SQ8_RECALL` (e.g. `0.98`) if any band's SQ8
+//! recall@10 against the exact tier's answers falls below it, and
+//! `ACORN_BENCH_MAX_SQ8_BYTES_RATIO` (e.g. `0.45`) if the quantized
+//! traversal tier's bytes/row exceeds that fraction of the f32 rows.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -49,7 +55,13 @@ struct Cell {
     qps_nested: f64,
     qps_csr: f64,
     qps_interp: f64,
+    qps_sq8: f64,
     recall: f64,
+    /// recall@10 of the SQ8 tier against ground truth.
+    recall_sq8: f64,
+    /// recall@10 of the SQ8 tier against the exact f32 tier's answers — the
+    /// quantization-loss metric the CI gate watches.
+    sq8_vs_exact: f64,
     avg_ndis: f64,
     avg_npred: f64,
     avg_npred_evaluated: f64,
@@ -91,6 +103,24 @@ fn main() {
     let mut csr_idx = nested_idx.clone();
     let csr_bytes = csr_idx.compact().memory_bytes();
     let nested_bytes = nested_idx.memory_bytes();
+
+    // The SQ8 serving tier: same CSR graph, traversal over quantized codes,
+    // exact top-`rerank_k` refinement. Bytes/row below compares the
+    // quantized traversal tier (codes + codebook + norms) to the f32 rows.
+    let rerank_k = 32;
+    let mut sq8_idx = csr_idx.clone();
+    let t0q = std::time::Instant::now();
+    let sq8_store_bytes = sq8_idx.quantize(rerank_k).memory_bytes();
+    let f32_store_bytes = ds.vectors.memory_bytes();
+    let bytes_per_row_f32 = f32_store_bytes as f64 / n.max(1) as f64;
+    let bytes_per_row_sq8 = sq8_store_bytes as f64 / n.max(1) as f64;
+    let sq8_bytes_ratio = bytes_per_row_sq8 / bytes_per_row_f32;
+    let kernel = acorn_hnsw::kernels::kernel_path().name();
+    println!(
+        "SQ8 tier trained in {:.1?} (rerank_k = {rerank_k}): {bytes_per_row_f32:.0} B/row f32 -> \
+         {bytes_per_row_sq8:.0} B/row sq8 ({sq8_bytes_ratio:.2}x), distance kernels: {kernel}",
+        t0q.elapsed()
+    );
     println!(
         "compacted to CSR in {:.1?}: {:.1} MB nested -> {:.1} MB CSR ({:.2}x smaller)",
         t0.elapsed(),
@@ -115,6 +145,9 @@ fn main() {
             "npred_cached",
             "hit%",
             "p50/p99 us",
+            "QPS sq8",
+            "sq8 recall",
+            "sq8=f32",
         ],
     );
     let mut bands_json = Vec::new();
@@ -131,7 +164,7 @@ fn main() {
         // count below and faults pages in; the measured passes reflect
         // steady-state serving.
         let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
-        for idx in [&nested_idx, &csr_idx] {
+        for idx in [&nested_idx, &csr_idx, &sq8_idx] {
             for strategy in [PredicateStrategy::Adaptive, PredicateStrategy::Interpreted] {
                 let _ = QueryEngine::new(idx)
                     .with_threads(max_threads)
@@ -150,6 +183,7 @@ fn main() {
             let nested_out = run(&nested_idx, PredicateStrategy::Adaptive);
             let csr_out = run(&csr_idx, PredicateStrategy::Adaptive);
             let interp_out = run(&csr_idx, PredicateStrategy::Interpreted);
+            let sq8_out = run(&sq8_idx, PredicateStrategy::Adaptive);
             let ids = |out: &acorn_core::engine::BatchOutput| -> Vec<Vec<u32>> {
                 out.results.iter().map(|r| r.iter().map(|x| x.id).collect()).collect()
             };
@@ -160,15 +194,29 @@ fn main() {
                 ids(&interp_out),
                 "compiled+memoized and interpreted predicates must answer identically"
             );
+            let sq8_ids = ids(&sq8_out);
             let denom = nq.max(1) as f64;
             let lat = csr_out.latency_summary();
             let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+            // The quantization-loss metric: how much of the exact tier's
+            // top-k the SQ8 tier reproduces (ids, order-insensitive).
+            let sq8_vs_exact = {
+                let mut acc = 0.0f64;
+                for (s, e) in sq8_ids.iter().zip(&csr_ids) {
+                    let hit = s.iter().filter(|id| e.contains(id)).count();
+                    acc += hit as f64 / e.len().max(1) as f64;
+                }
+                acc / sq8_ids.len().max(1) as f64
+            };
             let cell = Cell {
                 threads,
                 qps_nested: nested_out.qps,
                 qps_csr: csr_out.qps,
                 qps_interp: interp_out.qps,
+                qps_sq8: sq8_out.qps,
                 recall: workload_recall(&csr_ids, &truth, k),
+                recall_sq8: workload_recall(&sq8_ids, &truth, k),
+                sq8_vs_exact,
                 avg_ndis: csr_out.stats.ndis as f64 / denom,
                 avg_npred: csr_out.stats.npred as f64 / denom,
                 avg_npred_evaluated: csr_out.stats.npred_evaluated() as f64 / denom,
@@ -192,6 +240,9 @@ fn main() {
                 format!("{:.1}", cell.avg_npred_cached),
                 format!("{:.0}", 100.0 * cell.avg_npred_cached / cell.avg_npred.max(1.0)),
                 format!("{:.0}/{:.0}", cell.lat_p50_us, cell.lat_p99_us),
+                format!("{:.0}", cell.qps_sq8),
+                format!("{:.4}", cell.recall_sq8),
+                format!("{:.4}", cell.sq8_vs_exact),
             ]);
             cells.push(cell);
         }
@@ -207,6 +258,8 @@ fn main() {
     let mut csr_ratios = Vec::new();
     let mut memo_ratios = Vec::new();
     let mut npred_ratios = Vec::new();
+    let mut sq8_qps_ratios = Vec::new();
+    let mut sq8_vs_exact_min = f64::INFINITY;
     for (_, _, cells) in &bands_json {
         let single = cells.iter().find(|c| c.threads == 1).map(|c| c.qps_csr).unwrap_or(0.0);
         let multi =
@@ -221,6 +274,10 @@ fn main() {
             if c.qps_interp > 0.0 {
                 memo_ratios.push(c.qps_csr / c.qps_interp);
             }
+            if c.qps_csr > 0.0 {
+                sq8_qps_ratios.push(c.qps_sq8 / c.qps_csr);
+            }
+            sq8_vs_exact_min = sq8_vs_exact_min.min(c.sq8_vs_exact);
         }
         // Stats are thread-invariant; use the single-thread cell.
         if let Some(c) = cells.iter().find(|c| c.threads == 1) {
@@ -234,6 +291,10 @@ fn main() {
     let csr_over_nested = avg(&csr_ratios);
     let memo_over_interp = avg(&memo_ratios);
     let npred_ratio = avg(&npred_ratios);
+    let sq8_over_f32 = avg(&sq8_qps_ratios);
+    if !sq8_vs_exact_min.is_finite() {
+        sq8_vs_exact_min = 0.0;
+    }
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     println!("\nbest multi-thread speedup over 1 thread (avg across bands): {avg_speedup:.2}x");
     println!("CSR over nested QPS (avg across bands x threads): {csr_over_nested:.2}x");
@@ -242,6 +303,10 @@ fn main() {
         "evaluated npred, memoized / interpreted (avg across bands): {npred_ratio:.3} \
          ({:.1}x reduction)",
         if npred_ratio > 0.0 { 1.0 / npred_ratio } else { f64::INFINITY }
+    );
+    println!(
+        "SQ8 over f32 QPS (avg across bands x threads): {sq8_over_f32:.2}x, \
+         worst sq8-vs-exact recall@{k}: {sq8_vs_exact_min:.4}"
     );
     println!("available cores: {cores}");
 
@@ -258,6 +323,13 @@ fn main() {
         npred_ratio,
         nested_bytes,
         csr_bytes,
+        kernel,
+        rerank_k,
+        bytes_per_row_f32,
+        bytes_per_row_sq8,
+        sq8_bytes_ratio,
+        sq8_over_f32,
+        sq8_vs_exact_min,
         bands: &bands_json,
     });
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hybrid.json");
@@ -288,6 +360,35 @@ fn main() {
         }
         println!("npred ratio guard passed: {npred_ratio:.3} <= {max:.3}");
     }
+
+    // CI guard 3: quantized segments must reproduce the exact tier's top-k
+    // almost perfectly in every band (the exact rerank pass is what makes
+    // this attainable at SQ8's memory footprint).
+    if let Ok(min) = std::env::var("ACORN_BENCH_MIN_SQ8_RECALL") {
+        let min: f64 = min.parse().expect("ACORN_BENCH_MIN_SQ8_RECALL must be a float");
+        if sq8_vs_exact_min < min {
+            eprintln!(
+                "FAIL: worst-band SQ8 recall vs exact {sq8_vs_exact_min:.4} is below the \
+                 required {min:.4}"
+            );
+            std::process::exit(1);
+        }
+        println!("SQ8 recall guard passed: {sq8_vs_exact_min:.4} >= {min:.4}");
+    }
+
+    // CI guard 4: the quantized traversal tier must actually be small —
+    // codes + codebook + norms per row, as a fraction of the f32 rows. A
+    // deterministic structural property, no runner-noise slack needed.
+    if let Ok(max) = std::env::var("ACORN_BENCH_MAX_SQ8_BYTES_RATIO") {
+        let max: f64 = max.parse().expect("ACORN_BENCH_MAX_SQ8_BYTES_RATIO must be a float");
+        if sq8_bytes_ratio > max {
+            eprintln!(
+                "FAIL: SQ8 bytes/row ratio {sq8_bytes_ratio:.3} exceeds the allowed {max:.3}"
+            );
+            std::process::exit(1);
+        }
+        println!("SQ8 bytes/row guard passed: {sq8_bytes_ratio:.3} <= {max:.3}");
+    }
 }
 
 /// Everything the JSON renderer needs (bundled to keep clippy's argument
@@ -305,6 +406,13 @@ struct JsonHeader<'a> {
     npred_ratio: f64,
     nested_bytes: usize,
     csr_bytes: usize,
+    kernel: &'a str,
+    rerank_k: usize,
+    bytes_per_row_f32: f64,
+    bytes_per_row_sq8: f64,
+    sq8_bytes_ratio: f64,
+    sq8_over_f32: f64,
+    sq8_vs_exact_min: f64,
     bands: &'a [(f64, f64, Vec<Cell>)],
 }
 
@@ -325,6 +433,14 @@ fn render_json(h: &JsonHeader<'_>) -> String {
     let _ = writeln!(s, "  \"predicate_strategies\": [\"interpreted\", \"adaptive\"],");
     let _ = writeln!(s, "  \"index_bytes_nested\": {},", h.nested_bytes);
     let _ = writeln!(s, "  \"index_bytes_csr\": {},", h.csr_bytes);
+    let _ = writeln!(s, "  \"vector_tiers\": [\"f32\", \"sq8\"],");
+    let _ = writeln!(s, "  \"kernel_path\": \"{}\",", h.kernel);
+    let _ = writeln!(s, "  \"sq8_rerank_k\": {},", h.rerank_k);
+    let _ = writeln!(s, "  \"bytes_per_row_f32\": {:.1},", h.bytes_per_row_f32);
+    let _ = writeln!(s, "  \"bytes_per_row_sq8\": {:.1},", h.bytes_per_row_sq8);
+    let _ = writeln!(s, "  \"sq8_bytes_ratio\": {:.4},", h.sq8_bytes_ratio);
+    let _ = writeln!(s, "  \"sq8_over_f32_qps_avg\": {:.3},", h.sq8_over_f32);
+    let _ = writeln!(s, "  \"sq8_recall_vs_exact_min\": {:.4},", h.sq8_vs_exact_min);
     let _ = writeln!(s, "  \"csr_over_nested_qps_avg\": {:.3},", h.csr_over_nested);
     let _ = writeln!(s, "  \"memo_over_interp_qps_avg\": {:.3},", h.memo_over_interp);
     let _ = writeln!(s, "  \"npred_evaluated_ratio_avg\": {:.4},", h.npred_ratio);
@@ -343,7 +459,8 @@ fn render_json(h: &JsonHeader<'_>) -> String {
                  \"memo_over_interp_qps\": {:.3}, \"recall_at_10\": {:.4}, \"avg_ndis\": {:.1}, \
                  \"avg_npred\": {:.1}, \"npred_evaluated\": {:.1}, \"npred_cached\": {:.1}, \
                  \"npred_evaluated_interp\": {:.1}, \"lat_p50_us\": {:.1}, \
-                 \"lat_p99_us\": {:.1}, \"lat_p999_us\": {:.1}}}",
+                 \"lat_p99_us\": {:.1}, \"lat_p999_us\": {:.1}, \"qps_sq8\": {:.1}, \
+                 \"recall_sq8_at_10\": {:.4}, \"sq8_recall_vs_exact\": {:.4}}}",
                 c.threads,
                 c.qps_csr,
                 c.qps_nested,
@@ -359,6 +476,9 @@ fn render_json(h: &JsonHeader<'_>) -> String {
                 c.lat_p50_us,
                 c.lat_p99_us,
                 c.lat_p999_us,
+                c.qps_sq8,
+                c.recall_sq8,
+                c.sq8_vs_exact,
             );
             let _ = writeln!(s, "{}", if ci + 1 < cells.len() { "," } else { "" });
         }

@@ -195,7 +195,7 @@ fn main() {
     let mut buf = Vec::new();
     idx.save(&mut buf).unwrap();
     let mut loaded = SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap();
-    println!("serialized {} bytes (format v4), reloaded", buf.len());
+    println!("serialized {} bytes (format v5), reloaded", buf.len());
     for q in &queries {
         assert_eq!(
             pairs(&idx.search(q, k, efs)),

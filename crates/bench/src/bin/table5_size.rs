@@ -8,7 +8,11 @@
 //! The extra "ACORN-gamma CSR" column reports the same ACORN-γ graph after
 //! `compact()`: one flat offsets/targets arena per level instead of nested
 //! `Vec`s, which removes the per-list headers and allocator slack that
-//! inflate the build-time layout.
+//! inflate the build-time layout. The "CSR+SQ8" column swaps the f32 rows
+//! for the quantized traversal tier (codes + codebook + norms) — what a
+//! frozen segment serves from under
+//! [`QuantizationPolicy`](acorn_core::QuantizationPolicy), with exact rows
+//! demoted to the rerank tier.
 
 use acorn_baselines::stitched_vamana::StitchedParams;
 use acorn_baselines::vamana::VamanaParams;
@@ -33,6 +37,7 @@ fn run(ds: &HybridDataset, t: &mut Table) {
     let mut acorn_g =
         AcornIndex::build(ds.vectors.clone(), acorn_params.clone(), AcornVariant::Gamma);
     let acorn_g_csr_bytes = acorn_g.compact().memory_bytes();
+    let sq8_bytes = acorn_g.quantize(32).memory_bytes();
     let acorn_1 = AcornIndex::build(ds.vectors.clone(), acorn_params, AcornVariant::One);
     let hnsw = HnswIndex::build(ds.vectors.clone(), hnsw_params);
 
@@ -57,6 +62,7 @@ fn run(ds: &HybridDataset, t: &mut Table) {
         ds.name.clone(),
         mb(vec_bytes + acorn_g.memory_bytes()),
         mb(vec_bytes + acorn_g_csr_bytes),
+        mb(sq8_bytes + acorn_g_csr_bytes),
         mb(vec_bytes + acorn_1.memory_bytes()),
         mb(vec_bytes + hnsw.graph().memory_bytes()),
         mb(vec_bytes),
@@ -74,6 +80,7 @@ fn main() {
             "dataset",
             "ACORN-gamma",
             "ACORN-gamma CSR",
+            "CSR+SQ8",
             "ACORN-1",
             "HNSW",
             "Flat",

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use acorn_hnsw::heap::Neighbor;
 use acorn_hnsw::{
     CsrGraph, GraphView, LayeredGraph, LevelSampler, ScratchPool, SearchScratch, SearchStats,
-    VectorStore,
+    Sq8Store, VectorData, VectorStore,
 };
 use acorn_predicate::{
     estimate_selectivity, estimate_selectivity_seeding, AttrStore, BitmapFilter, CompiledFilter,
@@ -51,6 +51,18 @@ pub enum PredicateStrategy {
     Adaptive,
 }
 
+/// The SQ8 traversal tier of a quantized (frozen) index: graph search runs
+/// over the codes, and the retained exact rows in `AcornIndex::vecs` refine
+/// the top `rerank_k` candidates afterwards.
+#[derive(Debug, Clone)]
+struct QuantizedTier {
+    store: Sq8Store,
+    /// How many quantized candidates get exact-distance refinement per
+    /// query. Clamped up to `k` at query time, so reported distances are
+    /// always exact f32 distances.
+    rerank_k: usize,
+}
+
 /// An ACORN-γ or ACORN-1 index over a shared vector store.
 #[derive(Debug, Clone)]
 pub struct AcornIndex {
@@ -62,6 +74,9 @@ pub struct AcornIndex {
     /// present. Built by [`compact`](Self::compact); invalidated by
     /// [`insert`](Self::insert).
     csr: Option<CsrGraph>,
+    /// SQ8 serving tier built by [`quantize`](Self::quantize); invalidated
+    /// by [`insert`](Self::insert) like the CSR cache.
+    quant: Option<QuantizedTier>,
     sampler: LevelSampler,
     scratch: SearchScratch,
     /// Pool of query scratches backing [`search`](Self::search) and external
@@ -114,6 +129,7 @@ impl AcornIndex {
             pool: ScratchPool::new(),
             graph: LayeredGraph::with_capacity(n),
             csr: None,
+            quant: None,
             vecs,
             params,
             variant,
@@ -167,6 +183,7 @@ impl AcornIndex {
             pool: ScratchPool::new(),
             graph,
             csr: None,
+            quant: None,
             vecs,
             params,
             variant,
@@ -218,6 +235,43 @@ impl AcornIndex {
     /// called since the last insert.
     pub fn csr(&self) -> Option<&CsrGraph> {
         self.csr.as_ref()
+    }
+
+    /// Train an SQ8 codebook over the owned vectors and switch traversal to
+    /// the quantized tier: graph search computes asymmetric u8 distances,
+    /// then the top `max(rerank_k, k)` candidates are refined with exact f32
+    /// distances from the retained rows, so reported distances are always
+    /// exact. Idempotent until the next [`insert`](Self::insert), which
+    /// invalidates the tier (active segments never serve quantized).
+    pub fn quantize(&mut self, rerank_k: usize) -> &Sq8Store {
+        if self.quant.is_none() {
+            self.quant = Some(QuantizedTier { store: Sq8Store::train(&self.vecs), rerank_k });
+        }
+        &self.quant.as_ref().expect("just populated").store
+    }
+
+    /// [`quantize`](Self::quantize) with a pre-trained codebook (serialize
+    /// v5 load path): rows are re-encoded deterministically against the
+    /// stored per-dimension `mins`/`steps`.
+    ///
+    /// # Panics
+    /// Panics if the codebook lengths do not match the store dimension.
+    pub fn quantize_with_codebook(&mut self, mins: Vec<f32>, steps: Vec<f32>, rerank_k: usize) {
+        self.quant = Some(QuantizedTier {
+            store: Sq8Store::from_codebook(mins, steps, &self.vecs),
+            rerank_k,
+        });
+    }
+
+    /// The SQ8 serving tier, if [`quantize`](Self::quantize) has been called
+    /// since the last insert.
+    pub fn quantized(&self) -> Option<&Sq8Store> {
+        self.quant.as_ref().map(|q| &q.store)
+    }
+
+    /// The exact-refinement depth of the quantized tier, if any.
+    pub fn rerank_k(&self) -> Option<usize> {
+        self.quant.as_ref().map(|q| q.rerank_k)
     }
 
     /// The shared vector store.
@@ -297,6 +351,7 @@ impl AcornIndex {
         assert!((id as usize) < self.vecs.len(), "id not present in vector store");
 
         self.csr = None; // mutation invalidates the frozen snapshot
+        self.quant = None; // …and the quantized serving tier
         let level = self.sampler.sample();
         let prev_entry = self.graph.entry_point();
         let prev_max = self.graph.max_level();
@@ -322,7 +377,7 @@ impl AcornIndex {
         let mut entries = vec![Neighbor::new(vecs.distance_to(metric, entry, q), entry)];
         for lev in ((level + 1)..=prev_max).rev() {
             let found = acorn_search_layer(
-                &vecs,
+                &*vecs,
                 &self.graph,
                 metric,
                 q,
@@ -345,7 +400,7 @@ impl AcornIndex {
         let ef = self.params.ef_construction.max(budget);
         for lev in (0..=level.min(prev_max)).rev() {
             let candidates = acorn_search_layer(
-                &vecs,
+                &*vecs,
                 &self.graph,
                 metric,
                 q,
@@ -472,16 +527,51 @@ impl AcornIndex {
         scratch: &mut SearchScratch,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
-        match &self.csr {
-            Some(csr) => self.search_filtered_on(csr, query, filter, k, efs, scratch, stats),
-            None => self.search_filtered_on(&self.graph, query, filter, k, efs, scratch, stats),
+        let mut found = match (&self.quant, &self.csr) {
+            (Some(q), Some(csr)) => {
+                self.search_filtered_on(&q.store, csr, query, filter, k, efs, scratch, stats)
+            }
+            (Some(q), None) => self.search_filtered_on(
+                &q.store,
+                &self.graph,
+                query,
+                filter,
+                k,
+                efs,
+                scratch,
+                stats,
+            ),
+            (None, Some(csr)) => {
+                self.search_filtered_on(&*self.vecs, csr, query, filter, k, efs, scratch, stats)
+            }
+            (None, None) => self.search_filtered_on(
+                &*self.vecs,
+                &self.graph,
+                query,
+                filter,
+                k,
+                efs,
+                scratch,
+                stats,
+            ),
+        };
+        match &self.quant {
+            Some(q) => self.rerank_exact(query, found, k, q.rerank_k, scratch, stats),
+            None => {
+                found.truncate(k);
+                found
+            }
         }
     }
 
-    /// Algorithm 2 over any [`GraphView`] layout (nested or CSR).
+    /// Algorithm 2 over any [`GraphView`] layout (nested or CSR) and any
+    /// [`VectorData`] tier (exact f32 or SQ8 codes). Returns the full
+    /// bottom-level beam (up to `max(efs, k)` results) so a quantized caller
+    /// can rerank before truncating to `k`.
     #[allow(clippy::too_many_arguments)]
-    fn search_filtered_on<G: GraphView, F: NodeFilter>(
+    fn search_filtered_on<V: VectorData + ?Sized, G: GraphView, F: NodeFilter>(
         &self,
+        vecs: &V,
         graph: &G,
         query: &[f32],
         filter: &F,
@@ -498,13 +588,13 @@ impl AcornIndex {
         let mode = self.lookup_mode();
         let m = self.params.m;
 
-        let mut entries = vec![Neighbor::new(self.vecs.distance_to(metric, entry, query), entry)];
+        let mut entries = vec![Neighbor::new(vecs.distance_to(metric, entry, query), entry)];
         stats.ndis += 1;
 
         // Stage 1 + upper predicate-subgraph traversal: ef = 1 per level.
         for lev in (1..=graph.max_level()).rev() {
             let found = acorn_search_layer(
-                &self.vecs, graph, metric, query, filter, &entries, 1, lev, m, mode, scratch, stats,
+                vecs, graph, metric, query, filter, &entries, 1, lev, m, mode, scratch, stats,
             );
             if !found.is_empty() {
                 entries = found;
@@ -514,11 +604,46 @@ impl AcornIndex {
 
         // Bottom level with the full beam.
         let ef = efs.max(k);
-        let mut found = acorn_search_layer(
-            &self.vecs, graph, metric, query, filter, &entries, ef, 0, m, mode, scratch, stats,
+        acorn_search_layer(
+            vecs, graph, metric, query, filter, &entries, ef, 0, m, mode, scratch, stats,
+        )
+    }
+
+    /// Refine quantized candidates with exact distances: keep the top
+    /// `max(rerank_k, k)` of the SQ8 beam, recompute their distances from
+    /// the retained f32 rows, re-sort, and truncate to `k`. Because the
+    /// refinement depth never drops below `k`, every reported distance is
+    /// bit-identical to the exact f32 kernel's output, which also keeps
+    /// cross-segment merges comparable when only some segments are
+    /// quantized.
+    fn rerank_exact(
+        &self,
+        query: &[f32],
+        mut cands: Vec<Neighbor>,
+        k: usize,
+        rerank_k: usize,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        cands.truncate(rerank_k.max(k));
+        scratch.expansion.clear();
+        scratch.expansion.extend(cands.iter().map(|n| n.id));
+        self.vecs.distances_batch(
+            self.params.metric,
+            query,
+            &scratch.expansion,
+            &mut scratch.dist_buf,
         );
-        found.truncate(k);
-        found
+        stats.ndis += scratch.expansion.len() as u64;
+        let mut out: Vec<Neighbor> = scratch
+            .expansion
+            .iter()
+            .zip(&scratch.dist_buf)
+            .map(|(&id, &d)| Neighbor::new(d, id))
+            .collect();
+        out.sort_unstable();
+        out.truncate(k);
+        out
     }
 
     /// Exact pre-filtered scan: the fallback for highly selective queries

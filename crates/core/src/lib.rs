@@ -59,7 +59,9 @@ pub use engine::{BatchOutput, QueryEngine, SegmentedQueryEngine};
 pub use index::{AcornIndex, PredicateStrategy, MATERIALIZE_BELOW_SELECTIVITY};
 pub use params::{AcornParams, AcornVariant};
 pub use prune::PruneStrategy;
-pub use segment::{GlobalNeighbor, MergeOutcome, MergePolicy, SegmentedAcornIndex};
+pub use segment::{
+    GlobalNeighbor, MergeOutcome, MergePolicy, QuantizationPolicy, SegmentedAcornIndex,
+};
 pub use snapshot::{IndexReader, SegmentSnapshot, SegmentView};
 
 pub use acorn_hnsw::{CsrGraph, GraphView, Neighbor, ScratchPool, SearchScratch, SearchStats};

@@ -17,7 +17,7 @@
 //! `passes` the same way.
 
 use acorn_hnsw::heap::{Neighbor, TopK};
-use acorn_hnsw::{GraphView, Metric, SearchScratch, SearchStats, VectorStore, VisitedSet};
+use acorn_hnsw::{GraphView, Metric, SearchScratch, SearchStats, VectorData, VisitedSet};
 use acorn_predicate::NodeFilter;
 
 use crate::lookup;
@@ -75,9 +75,13 @@ fn get_neighbors<G: GraphView, F: NodeFilter>(
 /// expanded but never reported. Returns an empty vector when no passing node
 /// is reachable (the caller then drops to the next level with its previous
 /// entry point, per stage 1 of §6.3.2).
+///
+/// Generic over [`VectorData`]: the same traversal serves the exact f32 tier
+/// and SQ8-quantized frozen segments (whose distances are then refined by an
+/// exact rerank pass in `AcornIndex::search_filtered`).
 #[allow(clippy::too_many_arguments)]
-pub fn acorn_search_layer<G: GraphView, F: NodeFilter>(
-    vecs: &VectorStore,
+pub fn acorn_search_layer<V: VectorData + ?Sized, G: GraphView, F: NodeFilter>(
+    vecs: &V,
     graph: &G,
     metric: Metric,
     query: &[f32],
@@ -151,7 +155,7 @@ pub fn acorn_search_layer<G: GraphView, F: NodeFilter>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use acorn_hnsw::LayeredGraph;
+    use acorn_hnsw::{LayeredGraph, VectorStore};
     use acorn_predicate::{AllPass, BitmapFilter, Bitset};
 
     /// A line of points 0..6 at x = 0..6, chained bidirectionally, level 0.

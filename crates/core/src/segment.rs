@@ -133,6 +133,42 @@ impl Default for MergePolicy {
     }
 }
 
+/// How frozen segments store their vector data.
+///
+/// With `sq8_frozen` set, every segment sealed by
+/// [`freeze`](SegmentedAcornIndex::freeze) (or rebuilt by a merge) trains an
+/// [`Sq8Store`](acorn_hnsw::Sq8Store) over its rows and traverses the graph
+/// on the quantized codes (~4x smaller than f32); the exact f32 rows are
+/// retained and the top `rerank_k` candidates of every query are re-scored
+/// against them, so reported distances are always exact-kernel f32 values.
+/// The active segment always stays f32 — codebooks are only trained at seal
+/// time, when the row set is final.
+///
+/// Off by default: quantization trades a small amount of traversal recall
+/// (recovered by the rerank pass) for memory, and the repo's bit-exactness
+/// oracles compare against unquantized builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantizationPolicy {
+    /// Quantize segments to SQ8 codes when they are sealed or merge-rebuilt.
+    pub sq8_frozen: bool,
+    /// How many of the best quantized candidates each query re-scores with
+    /// exact f32 rows (the effective depth is `max(rerank_k, k)`).
+    pub rerank_k: usize,
+}
+
+impl Default for QuantizationPolicy {
+    fn default() -> Self {
+        Self { sq8_frozen: false, rerank_k: 32 }
+    }
+}
+
+impl QuantizationPolicy {
+    /// SQ8 quantization with the given exact-rerank depth.
+    pub fn sq8(rerank_k: usize) -> Self {
+        Self { sq8_frozen: true, rerank_k }
+    }
+}
+
 /// What a [`merge`](SegmentedAcornIndex::merge) /
 /// [`compact_all`](SegmentedAcornIndex::compact_all) call did.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -231,6 +267,7 @@ impl SegmentedAcornIndex {
             active_view: None,
             next_global: 0,
             policy: MergePolicy::default(),
+            quant: QuantizationPolicy::default(),
             epoch: 0,
             next_seg_id: 0,
         };
@@ -240,6 +277,7 @@ impl SegmentedAcornIndex {
             variant,
             dim,
             policy: MergePolicy::default(),
+            quant: QuantizationPolicy::default(),
             next_global: 0,
             frozen: Vec::new(),
             active: None,
@@ -253,6 +291,7 @@ impl SegmentedAcornIndex {
 
     /// Reassemble a segmented index from deserialized parts (used by
     /// `SegmentedAcornIndex::load`; not part of the construction API).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_loaded_parts(
         params: AcornParams,
         variant: AcornVariant,
@@ -261,6 +300,7 @@ impl SegmentedAcornIndex {
         active: RawSegment,
         next_global: u64,
         policy: MergePolicy,
+        quant: QuantizationPolicy,
     ) -> Self {
         let frozen: Vec<FrozenSeg> = frozen
             .into_iter()
@@ -288,6 +328,7 @@ impl SegmentedAcornIndex {
             active_view: active_view.clone(),
             next_global,
             policy: policy.clone(),
+            quant,
             epoch: 0,
             next_seg_id,
         };
@@ -297,6 +338,7 @@ impl SegmentedAcornIndex {
             variant,
             dim,
             policy,
+            quant,
             next_global,
             frozen: pending.frozen.iter().map(FrozenSeg::view).collect(),
             active: active_view,
@@ -321,6 +363,23 @@ impl SegmentedAcornIndex {
     /// The merge policy in force.
     pub fn policy(&self) -> MergePolicy {
         self.shared.pending().policy.clone()
+    }
+
+    /// Replace the quantization policy (builder style). Publishes a new
+    /// epoch. Applies to segments sealed *after* the call; segments already
+    /// frozen keep their encoding until a merge rebuilds them.
+    pub fn with_quantization(self, quant: QuantizationPolicy) -> Self {
+        {
+            let mut p = self.shared.pending();
+            p.quant = quant;
+            self.shared.publish(&mut p);
+        }
+        self
+    }
+
+    /// The quantization policy in force.
+    pub fn quantization(&self) -> QuantizationPolicy {
+        self.shared.pending().quant
     }
 
     /// Construction parameters shared by every segment.
@@ -528,6 +587,9 @@ impl SegmentedAcornIndex {
             ActiveSegment::new(shared.dim, shared.params.clone(), shared.variant),
         );
         sealed.index.compact();
+        if p.quant.sq8_frozen {
+            sealed.index.quantize(p.quant.rerank_k);
+        }
         p.frozen.push(FrozenSeg {
             id: p.next_seg_id,
             sealed: Arc::new(SealedSegment { index: sealed.index, global_ids: sealed.global_ids }),
@@ -750,7 +812,7 @@ pub(crate) fn run_merge(shared: &SharedState, select_all: bool) -> MergeOutcome 
     let _serialized = shared.maintenance_lock.lock().unwrap_or_else(PoisonError::into_inner);
 
     // Phase 1: capture.
-    let (runs, bytes_before) = {
+    let (runs, quant, bytes_before) = {
         let p = shared.pending();
         let bytes_before = pending_bytes(&p);
         let is_candidate = |s: &FrozenSeg| {
@@ -776,7 +838,7 @@ pub(crate) fn run_merge(shared: &SharedState, select_all: bool) -> MergeOutcome 
         }
         // A lone candidate with no dead rows gains nothing from a rebuild.
         runs.retain(|r| r.len() >= 2 || r.iter().any(|c| c.tombstones.count() > 0));
-        (runs, bytes_before)
+        (runs, p.quant, bytes_before)
     };
     if runs.is_empty() {
         return MergeOutcome { bytes_before, bytes_after: bytes_before, ..Default::default() };
@@ -816,6 +878,12 @@ pub(crate) fn run_merge(shared: &SharedState, select_all: bool) -> MergeOutcome 
         // seed, same insertion order => an identical graph.
         let mut index = AcornIndex::build(Arc::new(store), shared.params.clone(), shared.variant);
         index.compact();
+        // Merge products are sealed segments: apply the quantization policy
+        // captured in phase 1 (a policy change mid-rebuild lands on the
+        // *next* merge, which is fine — encodings converge, never diverge).
+        if quant.sq8_frozen {
+            index.quantize(quant.rerank_k);
+        }
         rebuilt.push(Some((index, global_ids)));
     }
 

@@ -41,6 +41,24 @@
 //! with `InvalidData` instead of a giant allocation (the same guard
 //! philosophy as the v3 neighbor-list check).
 //!
+//! ## Format v5 — quantized segments
+//!
+//! v5 extends v4 in two places. The top-level manifest carries the
+//! [`QuantizationPolicy`] right after the [`MergePolicy`] (`sq8_frozen u8 |
+//! rerank_k u64`), and every segment block now *leads* with an encoding tag:
+//!
+//! ```text
+//! encoding u8 (0 = f32, 1 = sq8)
+//! | if sq8: rerank_k u64 | mins [f32; dim] | steps [f32; dim]
+//! | n u64 | global_ids ... (the v4 block, unchanged)
+//! ```
+//!
+//! Only the *codebook* of a quantized segment is persisted — codes are
+//! re-derived from the (always embedded) exact f32 rows on load, which is
+//! deterministic and keeps quantization nearly free on disk. v4 files load
+//! unchanged (policy off, every segment f32); [`SegmentSnapshot::save_compat_v4`]
+//! writes a v4 file for older readers as long as nothing is quantized.
+//!
 //! [`CsrGraph`]: acorn_hnsw::CsrGraph
 
 use std::io::{self, Read, Write};
@@ -52,12 +70,18 @@ use acorn_predicate::Bitset;
 use crate::index::AcornIndex;
 use crate::params::{AcornParams, AcornVariant};
 use crate::prune::PruneStrategy;
-use crate::segment::{MergePolicy, RawSegment, SegmentedAcornIndex};
+use crate::segment::{MergePolicy, QuantizationPolicy, RawSegment, SegmentedAcornIndex};
 use crate::snapshot::SegmentSnapshot;
 
 const MAGIC: &[u8; 4] = b"ACRN";
 const VERSION: u32 = 3;
-const SEGMENTED_VERSION: u32 = 4;
+/// Legacy segmented format: no quantization policy, untagged f32 segments.
+const SEGMENTED_V4: u32 = 4;
+/// Current segmented format: quantization policy + per-segment encoding tag.
+const SEGMENTED_VERSION: u32 = 5;
+/// Per-segment encoding tags (v5).
+const ENC_F32: u8 = 0;
+const ENC_SQ8: u8 = 1;
 /// Upper bound on a plausible vector dimensionality; a corrupt `dim` above
 /// this fails cleanly instead of sizing row buffers from garbage.
 const MAX_DIM: usize = 1 << 20;
@@ -208,7 +232,7 @@ impl AcornIndex {
         }
         match get_u32(r)? {
             VERSION => {}
-            SEGMENTED_VERSION => {
+            SEGMENTED_V4 | SEGMENTED_VERSION => {
                 return Err(bad("this is a segmented index file; use SegmentedAcornIndex::load"))
             }
             _ => return Err(bad("unsupported ACORN index version")),
@@ -253,14 +277,38 @@ impl AcornIndex {
     }
 }
 
-/// One v4 segment block: manifest (row count, global ids, tombstones),
-/// vector data, then the embedded v3 index blob (self-delimiting).
+/// One segment block: the v5 encoding tag (+ codebook when quantized), then
+/// the manifest (row count, global ids, tombstones), vector data, and the
+/// embedded v3 index blob (self-delimiting). `tagged` is false when writing
+/// the legacy v4 layout, which has no tag byte and cannot carry a quantized
+/// segment.
 fn put_segment(
     w: &mut impl Write,
     global_ids: &[u64],
     tombstones: &Bitset,
     index: &AcornIndex,
+    tagged: bool,
 ) -> io::Result<()> {
+    if tagged {
+        match index.quantized() {
+            Some(sq) => {
+                w.write_all(&[ENC_SQ8])?;
+                put_u64(w, index.rerank_k().unwrap_or(0) as u64)?;
+                for &m in sq.mins() {
+                    w.write_all(&m.to_le_bytes())?;
+                }
+                for &s in sq.steps() {
+                    w.write_all(&s.to_le_bytes())?;
+                }
+            }
+            None => w.write_all(&[ENC_F32])?,
+        }
+    } else if index.quantized().is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "quantized segments cannot be written in the v4 compatibility format",
+        ));
+    }
     put_u64(w, global_ids.len() as u64)?;
     for &gid in global_ids {
         put_u64(w, gid)?;
@@ -288,7 +336,38 @@ fn get_segment(
     next_global: u64,
     expected_variant: AcornVariant,
     expected_params: &AcornParams,
+    tagged: bool,
 ) -> io::Result<RawSegment> {
+    // v5 blocks lead with the encoding tag (and, for SQ8, the codebook the
+    // codes are re-derived from); v4 blocks are always plain f32.
+    let mut codebook: Option<(usize, Vec<f32>, Vec<f32>)> = None;
+    if tagged {
+        match get_u8(r)? {
+            ENC_F32 => {}
+            ENC_SQ8 => {
+                let rerank_k = get_u64(r)? as usize;
+                let mut read_f32s = |count: usize| -> io::Result<Vec<f32>> {
+                    let mut out = Vec::with_capacity(count);
+                    let mut b = [0u8; 4];
+                    for _ in 0..count {
+                        r.read_exact(&mut b)?;
+                        out.push(f32::from_le_bytes(b));
+                    }
+                    Ok(out)
+                };
+                let mins = read_f32s(dim)?;
+                let steps = read_f32s(dim)?;
+                if mins.iter().any(|m| !m.is_finite())
+                    || steps.iter().any(|s| !s.is_finite() || *s <= 0.0)
+                {
+                    return Err(bad("invalid SQ8 codebook in segment block"));
+                }
+                codebook = Some((rerank_k, mins, steps));
+            }
+            _ => return Err(bad("unknown segment encoding tag")),
+        }
+    }
+
     let n = get_u64(r)? as usize;
 
     let mut global_ids = Vec::new();
@@ -326,25 +405,51 @@ fn get_segment(
     // The embedded blob carries its own node count; AcornIndex::load
     // rejects it unless it matches the store we just rebuilt from the
     // manifest — the row-count corruption guard.
-    let index = AcornIndex::load(r, Arc::new(store))?;
+    let mut index = AcornIndex::load(r, Arc::new(store))?;
     if index.len() != global_ids.len() {
         return Err(bad("segment manifest row count disagrees with the vector store"));
     }
     if index.variant() != expected_variant || index.params() != expected_params {
         return Err(bad("embedded segment header disagrees with the segmented index header"));
     }
+    if let Some((rerank_k, mins, steps)) = codebook {
+        // Re-encode the embedded exact rows against the persisted codebook:
+        // deterministic, so the loaded segment answers bit-identically to
+        // the one that was saved.
+        index.quantize_with_codebook(mins, steps, rerank_k);
+    }
     Ok(RawSegment { index, global_ids, tombstones })
 }
 
 impl SegmentSnapshot {
     /// Serialize this snapshot — manifest, tombstones, vectors, and
-    /// per-segment graphs — to `w` (format v4). A snapshot is immutable, so
+    /// per-segment graphs — to `w` (format v5). A snapshot is immutable, so
     /// the bytes are consistent *as of this epoch* no matter how many
     /// inserts, deletes, or background merges land while the write is in
     /// flight; saving the same snapshot twice yields identical bytes.
     pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        self.save_version(w, SEGMENTED_VERSION)
+    }
+
+    /// Serialize this snapshot in the legacy v4 layout for older readers.
+    ///
+    /// # Errors
+    /// Returns `InvalidInput` when the snapshot cannot be represented in
+    /// v4 — the quantization policy is on, or any segment holds SQ8 codes.
+    pub fn save_compat_v4(&self, w: &mut impl Write) -> io::Result<()> {
+        if self.quantization().sq8_frozen {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "the SQ8 quantization policy cannot be represented in the v4 format",
+            ));
+        }
+        self.save_version(w, SEGMENTED_V4)
+    }
+
+    fn save_version(&self, w: &mut impl Write, version: u32) -> io::Result<()> {
+        let tagged = version >= SEGMENTED_VERSION;
         w.write_all(MAGIC)?;
-        put_u32(w, SEGMENTED_VERSION)?;
+        put_u32(w, version)?;
         put_header(w, self.variant(), self.params())?;
         put_u64(w, self.dim() as u64)?;
         put_u64(w, self.next_global_id())?;
@@ -352,18 +457,26 @@ impl SegmentSnapshot {
         put_u64(w, policy.min_rows as u64)?;
         w.write_all(&policy.max_tombstone_fraction.to_le_bytes())?;
         put_u64(w, policy.active_max_rows as u64)?;
+        if tagged {
+            let quant = self.quantization();
+            w.write_all(&[quant.sq8_frozen as u8])?;
+            put_u64(w, quant.rerank_k as u64)?;
+        }
         put_u64(w, self.frozen_segments().len() as u64)?;
         for seg in self.frozen_segments() {
-            put_segment(w, seg.global_ids(), seg.tombstones(), seg.index())?;
+            put_segment(w, seg.global_ids(), seg.tombstones(), seg.index(), tagged)?;
         }
         match self.active_segment() {
-            Some(seg) => put_segment(w, seg.global_ids(), seg.tombstones(), seg.index()),
+            Some(seg) => put_segment(w, seg.global_ids(), seg.tombstones(), seg.index(), tagged),
             None => {
                 // No published active view (empty or just sealed): write the
                 // block an empty active segment would produce — zero rows,
                 // then a fresh empty index blob carrying the expected
                 // header — so the on-disk layout is invariant to whether the
                 // writer happened to have an unsealed row in flight.
+                if tagged {
+                    w.write_all(&[ENC_F32])?;
+                }
                 put_u64(w, 0)?;
                 AcornIndex::new(
                     Arc::new(VectorStore::new(self.dim())),
@@ -377,7 +490,7 @@ impl SegmentSnapshot {
 }
 
 impl SegmentedAcornIndex {
-    /// Serialize the whole segmented index to `w` (format v4) by saving the
+    /// Serialize the whole segmented index to `w` (format v5) by saving the
     /// currently published [`SegmentSnapshot`] — see
     /// [`SegmentSnapshot::save`] for the snapshot-consistency guarantee. A
     /// loaded index resumes serving from CSR and accepting writes
@@ -386,7 +499,16 @@ impl SegmentedAcornIndex {
         self.snapshot().save(w)
     }
 
-    /// Load an index previously written by [`save`](Self::save).
+    /// Serialize in the legacy v4 layout for older readers; errors with
+    /// `InvalidInput` when quantization is in play (see
+    /// [`SegmentSnapshot::save_compat_v4`]).
+    pub fn save_compat_v4(&self, w: &mut impl Write) -> io::Result<()> {
+        self.snapshot().save_compat_v4(w)
+    }
+
+    /// Load an index previously written by [`save`](Self::save) — the
+    /// current v5 format or the legacy v4 one (which loads with the
+    /// quantization policy off and every segment f32).
     ///
     /// # Errors
     /// Returns `InvalidData` on magic/version mismatch, inconsistent
@@ -402,13 +524,14 @@ impl SegmentedAcornIndex {
         if &magic != MAGIC {
             return Err(bad("not an ACORN index file"));
         }
-        match get_u32(r)? {
-            SEGMENTED_VERSION => {}
+        let tagged = match get_u32(r)? {
+            SEGMENTED_VERSION => true,
+            SEGMENTED_V4 => false,
             VERSION => {
                 return Err(bad("this is a plain (non-segmented) index file; use AcornIndex::load"))
             }
             _ => return Err(bad("unsupported ACORN index version")),
-        }
+        };
         let (variant, params) = get_header(r)?;
         // `AcornParams::validate` panics; a corrupt file must error instead.
         if params.m < 2
@@ -433,6 +556,16 @@ impl SegmentedAcornIndex {
         }
         let active_max_rows = get_u64(r)? as usize;
         let policy = MergePolicy { min_rows, max_tombstone_fraction, active_max_rows };
+        let quant = if tagged {
+            let sq8_frozen = match get_u8(r)? {
+                0 => false,
+                1 => true,
+                _ => return Err(bad("invalid quantization policy flag")),
+            };
+            QuantizationPolicy { sq8_frozen, rerank_k: get_u64(r)? as usize }
+        } else {
+            QuantizationPolicy::default()
+        };
 
         // Every segment was built from the top-level configuration (with the
         // ACORN-1 override applied by `AcornIndex::new`); reconstruct that
@@ -445,7 +578,7 @@ impl SegmentedAcornIndex {
         let nseg = get_u64(r)? as usize;
         let mut frozen = Vec::new();
         for _ in 0..nseg {
-            let seg = get_segment(r, dim, next_global, variant, &expected_params)?;
+            let seg = get_segment(r, dim, next_global, variant, &expected_params, tagged)?;
             if seg.global_ids.is_empty() {
                 return Err(bad("frozen segments must not be empty"));
             }
@@ -454,7 +587,12 @@ impl SegmentedAcornIndex {
         if frozen.windows(2).any(|w| w[0].global_ids[0] >= w[1].global_ids[0]) {
             return Err(bad("frozen segments must be ascending by first global id"));
         }
-        let active = get_segment(r, dim, next_global, variant, &expected_params)?;
+        let active = get_segment(r, dim, next_global, variant, &expected_params, tagged)?;
+        if active.index.quantized().is_some() {
+            // Codebooks are only ever trained at seal time; a quantized
+            // active segment could not absorb inserts.
+            return Err(bad("the active segment must not be quantized"));
+        }
 
         // Global ids must be owned by exactly one segment: a duplicated id
         // would surface twice from one top-k merge and make deletes only
@@ -491,6 +629,7 @@ impl SegmentedAcornIndex {
             active,
             next_global,
             policy,
+            quant,
         ))
     }
 }
@@ -638,9 +777,13 @@ mod tests {
         (idx, vecs)
     }
 
-    /// Bytes before the first frozen segment block of a v4 file: magic 4 +
-    /// version 4 + header 59 + dim 8 + next_global 8 + policy 24 + nseg 8.
-    const SEG_HEADER_BYTES: usize = 115;
+    /// Bytes before the first frozen segment block of a v5 file: magic 4 +
+    /// version 4 + header 59 + dim 8 + next_global 8 + policy 24 + quant 9
+    /// + nseg 8.
+    const SEG_HEADER_BYTES: usize = 124;
+    /// Offset of the fixture's first frozen segment's row count `n`: the
+    /// block leads with its 1-byte encoding tag (f32 here, so no codebook).
+    const SEG_N_OFF: usize = SEG_HEADER_BYTES + 1;
 
     #[test]
     fn segmented_roundtrip_preserves_answers_and_accepts_writes() {
@@ -683,7 +826,7 @@ mod tests {
         idx.save(&mut buf).unwrap();
         // First frozen segment's n: an absurd value must error (EOF while
         // reading the manifest), never attempt a proportional allocation.
-        buf[SEG_HEADER_BYTES..SEG_HEADER_BYTES + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        buf[SEG_N_OFF..SEG_N_OFF + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         let err = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap_err();
         assert!(
             err.kind() == std::io::ErrorKind::InvalidData
@@ -698,7 +841,7 @@ mod tests {
         let mut buf = Vec::new();
         idx.save(&mut buf).unwrap();
         // First gid (value 0) -> 5: now >= the second gid (1).
-        let off = SEG_HEADER_BYTES + 8;
+        let off = SEG_N_OFF + 8;
         buf[off..off + 8].copy_from_slice(&5u64.to_le_bytes());
         let err = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("strictly ascending"), "unexpected: {err}");
@@ -711,7 +854,7 @@ mod tests {
         idx.save(&mut buf).unwrap();
         // Frozen segment: n = 100 -> 2 tombstone words, valid bits 0..36 of
         // the last word. Set bits 40..48.
-        let words_off = SEG_HEADER_BYTES + 8 + 100 * 8;
+        let words_off = SEG_N_OFF + 8 + 100 * 8;
         buf[words_off + 8 + 5] = 0xFF;
         let err = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("beyond the segment's row count"), "unexpected: {err}");
@@ -725,7 +868,7 @@ mod tests {
         // Frozen segment: gids 0..100. Rewrite the last one (99 -> 149):
         // still strictly ascending within the segment and < next_global
         // (160), but 149 is also owned by the active segment (100..160).
-        let off = SEG_HEADER_BYTES + 8 + 99 * 8;
+        let off = SEG_N_OFF + 8 + 99 * 8;
         buf[off..off + 8].copy_from_slice(&149u64.to_le_bytes());
         let err = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("more than one segment"), "unexpected: {err}");
@@ -742,7 +885,7 @@ mod tests {
         // segment, below next_global, no duplicate), but the frozen range
         // [0, 170] now straddles the active range [100, 159].
         buf[75..83].copy_from_slice(&200u64.to_le_bytes());
-        let off = SEG_HEADER_BYTES + 8 + 99 * 8;
+        let off = SEG_N_OFF + 8 + 99 * 8;
         buf[off..off + 8].copy_from_slice(&170u64.to_le_bytes());
         let err = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("ranges overlap"), "unexpected: {err}");
@@ -757,7 +900,7 @@ mod tests {
         // (n = 100, dim = 8): 8 + 800 gid bytes + 16 tombstone bytes +
         // 3200 vector bytes. Its metric byte sits 8 (magic + version) + 1
         // (variant) + 32 (four u64 params) further in; flip L2 -> IP.
-        let blob = SEG_HEADER_BYTES + 8 + 800 + 16 + 3200;
+        let blob = SEG_N_OFF + 8 + 800 + 16 + 3200;
         let metric = blob + 8 + 1 + 32;
         assert_eq!(buf[metric], 0, "expected the L2 metric tag at the computed offset");
         buf[metric] = 1;
@@ -799,6 +942,90 @@ mod tests {
                 "truncation at {cut} must error"
             );
         }
+    }
+
+    /// The segmented fixture with SQ8 quantization on: the frozen segment
+    /// traverses codes, the active segment stays f32.
+    fn quantized_fixture() -> crate::SegmentedAcornIndex {
+        let mut rng = StdRng::seed_from_u64(77);
+        let vecs: Vec<Vec<f32>> =
+            (0..160).map(|_| (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let params =
+            AcornParams { m: 8, gamma: 4, m_beta: 16, ef_construction: 32, ..Default::default() };
+        let mut idx = crate::SegmentedAcornIndex::new(8, params, AcornVariant::Gamma)
+            .with_quantization(QuantizationPolicy::sq8(16));
+        for v in &vecs[..100] {
+            idx.insert(v);
+        }
+        idx.freeze();
+        for v in &vecs[100..] {
+            idx.insert(v);
+        }
+        idx
+    }
+
+    #[test]
+    fn quantized_roundtrip_is_bit_identical_and_stays_quantized() {
+        let idx = quantized_fixture();
+        assert!(idx.snapshot().frozen_segments()[0].is_quantized(), "fixture must quantize");
+
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        let loaded = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.quantization(), QuantizationPolicy::sq8(16));
+        let snap = loaded.snapshot();
+        assert!(snap.frozen_segments()[0].is_quantized(), "loaded segment must stay SQ8");
+        assert!(snap.active_segment().is_some_and(|s| !s.is_quantized()));
+
+        // Codes are re-derived from the persisted codebook + exact rows, so
+        // the loaded index answers bit-identically (ids *and* distances).
+        let q = vec![0.2; 8];
+        let a: Vec<(u64, f32)> = idx.search(&q, 10, 64).iter().map(|n| (n.id, n.dist)).collect();
+        let b: Vec<(u64, f32)> = loaded.search(&q, 10, 64).iter().map(|n| (n.id, n.dist)).collect();
+        assert_eq!(a, b, "loaded quantized index must answer identically");
+    }
+
+    #[test]
+    fn v4_compat_file_roundtrips_and_quantized_refuses_downgrade() {
+        let (idx, _) = segmented_fixture();
+        let mut v4 = Vec::new();
+        idx.save_compat_v4(&mut v4).unwrap();
+        // The v4 body is 9 header bytes + one tag byte per segment smaller.
+        let mut v5 = Vec::new();
+        idx.save(&mut v5).unwrap();
+        assert_eq!(v4.len() + 9 + 2, v5.len());
+
+        let loaded = crate::SegmentedAcornIndex::load(&mut v4.as_slice()).unwrap();
+        assert_eq!(loaded.quantization(), QuantizationPolicy::default());
+        assert!(!loaded.quantization().sq8_frozen, "v4 files load with quantization off");
+        let q = vec![0.2; 8];
+        let a: Vec<(u64, f32)> = idx.search(&q, 10, 64).iter().map(|n| (n.id, n.dist)).collect();
+        let b: Vec<(u64, f32)> = loaded.search(&q, 10, 64).iter().map(|n| (n.id, n.dist)).collect();
+        assert_eq!(a, b, "v4-loaded index must answer identically");
+
+        let err = quantized_fixture().save_compat_v4(&mut Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn load_rejects_corrupt_codebook_and_unknown_encoding_tag() {
+        let idx = quantized_fixture();
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+
+        // The frozen block leads with tag 1 | rerank_k u64 | mins [f32; 8]:
+        // poison the first step (offset tag 1 + 8 + 32) with 0.0.
+        let mut bad_steps = buf.clone();
+        let step0 = SEG_HEADER_BYTES + 1 + 8 + 32;
+        bad_steps[step0..step0 + 4].copy_from_slice(&0f32.to_le_bytes());
+        let err = crate::SegmentedAcornIndex::load(&mut bad_steps.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("codebook"), "unexpected: {err}");
+
+        let mut bad_tag = buf;
+        bad_tag[SEG_HEADER_BYTES] = 7;
+        let err = crate::SegmentedAcornIndex::load(&mut bad_tag.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("encoding tag"), "unexpected: {err}");
     }
 
     #[test]

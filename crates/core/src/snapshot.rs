@@ -36,7 +36,7 @@ use acorn_predicate::{
 
 use crate::index::{AcornIndex, PredicateStrategy, MATERIALIZE_BELOW_SELECTIVITY};
 use crate::params::{AcornParams, AcornVariant};
-use crate::segment::{GlobalNeighbor, MergePolicy};
+use crate::segment::{GlobalNeighbor, MergePolicy, QuantizationPolicy};
 
 /// The immutable payload of one sealed segment generation: the per-segment
 /// ACORN index and its sorted local → global id map. Shared by every
@@ -113,12 +113,20 @@ impl SegmentView {
     }
 
     /// Bytes held by this segment: the served graph layout, the vector
-    /// data, the id map, and the tombstone words.
+    /// data (quantized codes + codebook included, when present), the id
+    /// map, and the tombstone words.
     pub fn memory_bytes(&self) -> usize {
         self.sealed.index.serving_memory_bytes()
             + self.sealed.index.vectors().memory_bytes()
+            + self.sealed.index.quantized().map_or(0, acorn_hnsw::Sq8Store::memory_bytes)
             + self.sealed.global_ids.len() * std::mem::size_of::<u64>()
             + self.tombstones.memory_bytes()
+    }
+
+    /// True when this segment traverses SQ8 codes (with exact rerank)
+    /// rather than raw f32 rows.
+    pub fn is_quantized(&self) -> bool {
+        self.sealed.index.quantized().is_some()
     }
 
     /// Remap a per-segment result list to global ids. Input is ascending by
@@ -230,6 +238,7 @@ pub struct SegmentSnapshot {
     pub(crate) variant: AcornVariant,
     pub(crate) dim: usize,
     pub(crate) policy: MergePolicy,
+    pub(crate) quant: QuantizationPolicy,
     pub(crate) next_global: u64,
     /// Sealed read-optimized segments, ascending by first global id.
     pub(crate) frozen: Vec<SegmentView>,
@@ -263,6 +272,14 @@ impl SegmentSnapshot {
     /// The merge policy in force at this epoch.
     pub fn policy(&self) -> &MergePolicy {
         &self.policy
+    }
+
+    /// The quantization policy in force at this epoch. Individual segments
+    /// may still be unquantized (sealed before the policy was set, or
+    /// quantized before it was cleared) — check
+    /// [`SegmentView::is_quantized`] per segment.
+    pub fn quantization(&self) -> QuantizationPolicy {
+        self.quant
     }
 
     /// The next global id the writer would assign at this epoch (also the
@@ -608,6 +625,7 @@ pub(crate) struct Pending {
     pub(crate) active_view: Option<SegmentView>,
     pub(crate) next_global: u64,
     pub(crate) policy: MergePolicy,
+    pub(crate) quant: QuantizationPolicy,
     pub(crate) epoch: u64,
     pub(crate) next_seg_id: u64,
 }
@@ -695,6 +713,7 @@ impl SharedState {
             variant: self.variant,
             dim: self.dim,
             policy: p.policy.clone(),
+            quant: p.quant,
             next_global: p.next_global,
             frozen: p.frozen.iter().map(FrozenSeg::view).collect(),
             active: p.active_view.clone(),

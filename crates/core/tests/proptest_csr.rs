@@ -78,14 +78,14 @@ proptest! {
             s_nested.begin(n);
             let mut st_nested = SearchStats::default();
             let a = acorn_search_layer(
-                &vecs, g, Metric::L2, &q, &filter, &entries, ef, 0, 8, mode,
+                &*vecs, g, Metric::L2, &q, &filter, &entries, ef, 0, 8, mode,
                 &mut s_nested, &mut st_nested,
             );
             let mut s_csr = SearchScratch::new(n);
             s_csr.begin(n);
             let mut st_csr = SearchStats::default();
             let b = acorn_search_layer(
-                &vecs, &csr, Metric::L2, &q, &filter, &entries, ef, 0, 8, mode,
+                &*vecs, &csr, Metric::L2, &q, &filter, &entries, ef, 0, 8, mode,
                 &mut s_csr, &mut st_csr,
             );
             prop_assert_eq!(pairs(&a), pairs(&b), "results differ under {:?}", mode);

@@ -118,7 +118,7 @@ proptest! {
             let mut stats = SearchStats::default();
             scratch.begin(n);
             let plain = acorn_search_layer(
-                &vecs, graph, Metric::L2, &q, &filter, &entries, 10, 0, 8, mode,
+                &*vecs, graph, Metric::L2, &q, &filter, &entries, 10, 0, 8, mode,
                 &mut scratch, &mut stats,
             );
 
@@ -128,7 +128,7 @@ proptest! {
             let mut stats2 = SearchStats::default();
             scratch.begin(n);
             let memoized = acorn_search_layer(
-                &vecs, graph, Metric::L2, &q, &memoized_filter, &entries, 10, 0, 8, mode,
+                &*vecs, graph, Metric::L2, &q, &memoized_filter, &entries, 10, 0, 8, mode,
                 &mut scratch, &mut stats2,
             );
 

@@ -250,11 +250,11 @@ proptest! {
             s1.begin(n);
             s2.begin(n);
             let a = acorn_search_layer(
-                seg.index().vectors(), seg.index().graph(), Metric::L2, &q, &filter,
+                &**seg.index().vectors(), seg.index().graph(), Metric::L2, &q, &filter,
                 &entries, 8, 0, 8, mode, &mut s1, &mut st1,
             );
             let b = acorn_search_layer(
-                &vecs, rebuilt.graph(), Metric::L2, &q, &filter,
+                &*vecs, rebuilt.graph(), Metric::L2, &q, &filter,
                 &entries, 8, 0, 8, mode, &mut s2, &mut st2,
             );
             let pa: Vec<(u32, f32)> = a.iter().map(|x| (x.id, x.dist)).collect();

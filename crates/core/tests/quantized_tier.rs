@@ -1,0 +1,190 @@
+//! Tests for the SQ8 vector tier at the `acorn-core` level: exact rerank
+//! makes every reported distance bit-identical to the f32 kernel value, the
+//! segmented index applies [`QuantizationPolicy`] at seal and merge time
+//! (never to the active segment), and the quantized traversal tier stays
+//! within the bytes/row budget the benches gate on.
+
+use std::sync::Arc;
+
+use acorn_core::{
+    AcornIndex, AcornParams, AcornVariant, PredicateStrategy, QuantizationPolicy,
+    SegmentedAcornIndex,
+};
+use acorn_hnsw::{Metric, SearchScratch, VectorStore};
+use acorn_predicate::{AttrStore, Predicate};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 8;
+
+fn params(seed: u64) -> AcornParams {
+    AcornParams { m: 8, gamma: 4, m_beta: 16, ef_construction: 32, seed, ..Default::default() }
+}
+
+fn random_store(n: usize, seed: u64) -> (Arc<VectorStore>, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = VectorStore::with_capacity(DIM, n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        store.push(&v);
+        labels.push(rng.gen_range(0..4));
+    }
+    (Arc::new(store), labels)
+}
+
+fn query(rng: &mut StdRng) -> Vec<f32> {
+    (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Exact rerank means the quantized tier never reports an approximate
+    /// number: every neighbor's distance is bit-identical to the exact f32
+    /// kernel distance between the query and that row — for pure and hybrid
+    /// search, at every rerank depth, on any seed.
+    #[test]
+    fn quantized_distances_are_bit_exact(
+        seed in 0u64..u64::MAX,
+        n in 150usize..400,
+        rerank_k in 1usize..64,
+    ) {
+        let (vecs, labels) = random_store(n, seed);
+        let mut idx = AcornIndex::build(vecs.clone(), params(seed), AcornVariant::Gamma);
+        idx.quantize(rerank_k);
+        prop_assert!(idx.quantized().is_some());
+        let attrs = AttrStore::builder().add_int("label", labels.clone()).build();
+        let field = attrs.field("label").unwrap();
+        let mut scratch = SearchScratch::new(n);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xACC3);
+        for _ in 0..3 {
+            let q = query(&mut rng);
+            let out = idx.search(&q, 10, 48);
+            prop_assert!(!out.is_empty());
+            for nb in &out {
+                let exact = Metric::L2.distance(vecs.get(nb.id), &q);
+                prop_assert_eq!(
+                    nb.dist.to_bits(), exact.to_bits(),
+                    "pure search id {} reported {} vs exact {}", nb.id, nb.dist, exact
+                );
+            }
+            let pred = Predicate::Equals { field, value: rng.gen_range(0..4) };
+            let (hout, _) = idx.hybrid_search_with(
+                &q, &pred, &attrs, 10, 48, &mut scratch, PredicateStrategy::Adaptive,
+            );
+            for nb in &hout {
+                prop_assert_eq!(labels[nb.id as usize], match &pred {
+                    Predicate::Equals { value, .. } => *value,
+                    _ => unreachable!(),
+                });
+                let exact = Metric::L2.distance(vecs.get(nb.id), &q);
+                prop_assert_eq!(
+                    nb.dist.to_bits(), exact.to_bits(),
+                    "hybrid id {} reported {} vs exact {}", nb.id, nb.dist, exact
+                );
+            }
+        }
+    }
+
+    /// The segmented index applies the policy exactly where documented:
+    /// sealing quantizes, merging re-quantizes the rebuilt segment, and the
+    /// active segment always serves f32. Global results keep bit-exact
+    /// distances throughout.
+    #[test]
+    fn policy_applies_at_seal_and_merge_never_to_active(
+        seed in 0u64..u64::MAX,
+        n0 in 120usize..250,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx = SegmentedAcornIndex::new(DIM, params(seed), AcornVariant::Gamma)
+            .with_quantization(QuantizationPolicy::sq8(16));
+        prop_assert_eq!(idx.quantization(), QuantizationPolicy::sq8(16));
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        let insert = |idx: &mut SegmentedAcornIndex, rng: &mut StdRng, rows: &mut Vec<Vec<f32>>| {
+            let v: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            idx.insert(&v);
+            rows.push(v);
+        };
+        for _ in 0..n0 {
+            insert(&mut idx, &mut rng, &mut rows);
+        }
+        idx.freeze();
+        for _ in 0..40 {
+            insert(&mut idx, &mut rng, &mut rows);
+        }
+        idx.freeze();
+        // Rows inserted after the second freeze stay in the (f32) active
+        // segment.
+        for _ in 0..20 {
+            insert(&mut idx, &mut rng, &mut rows);
+        }
+        let frozen = idx.frozen_segments();
+        prop_assert_eq!(frozen.len(), 2);
+        for seg in &frozen {
+            prop_assert!(seg.is_quantized(), "sealing must quantize under the policy");
+            prop_assert_eq!(seg.index().rerank_k(), Some(16));
+        }
+
+        let check = |idx: &SegmentedAcornIndex, rng: &mut StdRng| -> Result<(), TestCaseError> {
+            let q = query(rng);
+            let out = idx.search(&q, 10, 48);
+            prop_assert!(!out.is_empty());
+            for nb in &out {
+                let exact = Metric::L2.distance(&rows[nb.id as usize], &q);
+                prop_assert_eq!(
+                    nb.dist.to_bits(), exact.to_bits(),
+                    "segmented id {} reported {} vs exact {}", nb.id, nb.dist, exact
+                );
+            }
+            Ok(())
+        };
+        check(&idx, &mut rng)?;
+
+        // A merge rebuilds the two frozen segments into one; the rebuilt
+        // segment must come back quantized without anyone re-asking.
+        prop_assert!(idx.merge().segments_merged > 0);
+        let frozen = idx.frozen_segments();
+        prop_assert_eq!(frozen.len(), 1);
+        prop_assert!(frozen[0].is_quantized(), "merge must re-apply the policy");
+        check(&idx, &mut rng)?;
+    }
+}
+
+/// The traversal tier's footprint: codes + codebook + norms must come in at
+/// no more than 0.45x the exact f32 rows (the CI bytes/row gate); at dim 8
+/// the structural ratio is (8 + 4)/32 = 0.375 plus the constant codebook.
+#[test]
+fn quantized_tier_fits_bytes_budget() {
+    let (vecs, _) = random_store(600, 7);
+    let mut idx = AcornIndex::build(vecs.clone(), params(7), AcornVariant::Gamma);
+    let sq8_bytes = idx.quantize(32).memory_bytes();
+    let f32_bytes = vecs.memory_bytes();
+    let ratio = sq8_bytes as f64 / f32_bytes as f64;
+    assert!(ratio <= 0.45, "sq8 tier is {ratio:.3}x the f32 rows (budget 0.45x)");
+}
+
+/// Fixed-seed recall floor: the quantized tier with exact rerank keeps
+/// top-10 answers close to the exact tier's. The full 0.98 floor across
+/// selectivity bands is gated in the benches; this is the fast in-tree
+/// canary for gross codec or rerank regressions.
+#[test]
+fn quantized_recall_tracks_exact_tier() {
+    let (vecs, _) = random_store(600, 11);
+    let exact = AcornIndex::build(vecs.clone(), params(11), AcornVariant::Gamma);
+    let mut quant = exact.clone();
+    quant.quantize(32);
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let (mut hits, mut total) = (0usize, 0usize);
+    for _ in 0..32 {
+        let q = query(&mut rng);
+        let e = exact.search(&q, 10, 64);
+        let s = quant.search(&q, 10, 64);
+        let eids: Vec<u32> = e.iter().map(|n| n.id).collect();
+        hits += s.iter().filter(|n| eids.contains(&n.id)).count();
+        total += eids.len();
+    }
+    let recall = hits as f64 / total as f64;
+    assert!(recall >= 0.95, "quantized top-10 overlap {recall:.3} < 0.95 vs exact");
+}

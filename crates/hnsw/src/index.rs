@@ -163,7 +163,7 @@ impl HnswIndex {
         let mut ep = Neighbor::new(vecs.distance_to(metric, entry, q), entry);
         if prev_max > level {
             ep = greedy_descend(
-                &vecs,
+                &*vecs,
                 &self.graph,
                 metric,
                 q,
@@ -179,7 +179,7 @@ impl HnswIndex {
         let mut entries = vec![ep];
         for lev in (0..=top).rev() {
             let candidates = search_layer(
-                &vecs,
+                &*vecs,
                 &self.graph,
                 metric,
                 q,
@@ -277,7 +277,7 @@ impl HnswIndex {
         stats.ndis += 1;
         if graph.max_level() > 0 {
             ep = greedy_descend(
-                &self.vecs,
+                &*self.vecs,
                 graph,
                 metric,
                 query,
@@ -291,7 +291,7 @@ impl HnswIndex {
         scratch.visited.reset();
         let ef = efs.max(k);
         let mut found =
-            search_layer(&self.vecs, graph, metric, query, &[ep], ef, 0, scratch, stats);
+            search_layer(&*self.vecs, graph, metric, query, &[ep], ef, 0, scratch, stats);
         found.truncate(k);
         found
     }

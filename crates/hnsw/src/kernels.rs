@@ -1,0 +1,412 @@
+//! Explicit SIMD distance kernels with runtime dispatch.
+//!
+//! The ACORN paper's cost model (§5, Table 3) makes distance computations
+//! the dominant term in filtered-ANN serving, so this module gives the two
+//! storage backends ([`VectorStore`](crate::VectorStore) and
+//! [`Sq8Store`](crate::Sq8Store)) hand-written `std::arch` AVX2/FMA kernels
+//! instead of relying on autovectorization. Dispatch happens once per
+//! process: [`kernel_path`] probes `is_x86_feature_detected!` (and the
+//! `ACORN_FORCE_SCALAR` environment variable) on first use and caches the
+//! verdict, so the per-call overhead is one relaxed load and a predictable
+//! branch.
+//!
+//! Rules of the road:
+//!
+//! * Every kernel has a portable scalar twin (`*_scalar`) that is the
+//!   reference semantics; the SIMD variants may differ only by floating-point
+//!   reassociation/FMA contraction (bounded, ULP-scale error — property
+//!   tests in `tests/proptest_kernels.rs` enforce this).
+//! * `ACORN_FORCE_SCALAR=1` pins the scalar path for A/B debugging and for
+//!   the forced-scalar CI leg. Any other value (or unset) means "auto".
+//! * This module contains the only `unsafe` distance code in the workspace;
+//!   each `unsafe` block is reachable only after the matching
+//!   `is_x86_feature_detected!` probe succeeded.
+
+/// Which kernel implementation the process dispatched to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Portable scalar loops (reference semantics).
+    Scalar,
+    /// `std::arch` AVX2 + FMA intrinsics (x86_64 only).
+    Avx2Fma,
+}
+
+impl KernelPath {
+    /// Stable lowercase name for logs and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Avx2Fma => "avx2+fma",
+        }
+    }
+}
+
+/// The kernel path this process uses, decided once and cached.
+///
+/// Scalar is forced when `ACORN_FORCE_SCALAR=1` is set; otherwise AVX2+FMA
+/// is selected iff the CPU reports both features at runtime.
+pub fn kernel_path() -> KernelPath {
+    use std::sync::OnceLock;
+    static PATH: OnceLock<KernelPath> = OnceLock::new();
+    *PATH.get_or_init(|| {
+        if std::env::var("ACORN_FORCE_SCALAR").is_ok_and(|v| v == "1") {
+            return KernelPath::Scalar;
+        }
+        detected_path()
+    })
+}
+
+/// What the hardware supports, ignoring the `ACORN_FORCE_SCALAR` override.
+#[cfg(target_arch = "x86_64")]
+fn detected_path() -> KernelPath {
+    if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+        KernelPath::Avx2Fma
+    } else {
+        KernelPath::Scalar
+    }
+}
+
+/// Non-x86_64 targets always run the portable loops.
+#[cfg(not(target_arch = "x86_64"))]
+fn detected_path() -> KernelPath {
+    KernelPath::Scalar
+}
+
+/// True if the AVX2+FMA kernels are callable on this CPU (regardless of the
+/// `ACORN_FORCE_SCALAR` override). Lets tests compare both paths explicitly.
+pub fn simd_available() -> bool {
+    detected_path() == KernelPath::Avx2Fma
+}
+
+// ---------------------------------------------------------------------------
+// f32 kernels
+// ---------------------------------------------------------------------------
+
+/// Squared Euclidean distance (dispatched).
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if kernel_path() == KernelPath::Avx2Fma {
+        // SAFETY: Avx2Fma is only cached after is_x86_feature_detected!
+        // confirmed both avx2 and fma on this CPU.
+        return unsafe { avx2::l2_sq(a, b) };
+    }
+    l2_sq_scalar(a, b)
+}
+
+/// Dot product (dispatched).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if kernel_path() == KernelPath::Avx2Fma {
+        // SAFETY: see l2_sq — the path is cached only after feature detection.
+        return unsafe { avx2::dot(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+/// Portable squared-L2, written so the compiler can still autovectorize.
+#[inline]
+pub fn l2_sq_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let off = c * 8;
+        for lane in 0..8 {
+            let d = a[off + lane] - b[off + lane];
+            acc[lane] += d * d;
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for i in chunks * 8..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Portable dot product with an 8-lane accumulator.
+#[inline]
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let off = c * 8;
+        for lane in 0..8 {
+            acc[lane] += a[off + lane] * b[off + lane];
+        }
+    }
+    let mut sum: f32 = acc.iter().sum();
+    for i in chunks * 8..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+// ---------------------------------------------------------------------------
+// SQ8 asymmetric kernels: f32 query vs u8 codes decoded as min + c * step
+// ---------------------------------------------------------------------------
+
+/// Asymmetric squared-L2 between an f32 query and one SQ8-coded row
+/// (dispatched). `codes`, `mins`, `steps` and `q` must share one length.
+#[inline]
+pub fn sq8_l2_sq(codes: &[u8], mins: &[f32], steps: &[f32], q: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if kernel_path() == KernelPath::Avx2Fma {
+        // SAFETY: see l2_sq — the path is cached only after feature detection.
+        return unsafe { avx2::sq8_l2_sq(codes, mins, steps, q) };
+    }
+    sq8_l2_sq_scalar(codes, mins, steps, q)
+}
+
+/// Asymmetric dot product between an f32 query and one SQ8-coded row
+/// (dispatched).
+#[inline]
+pub fn sq8_dot(codes: &[u8], mins: &[f32], steps: &[f32], q: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if kernel_path() == KernelPath::Avx2Fma {
+        // SAFETY: see l2_sq — the path is cached only after feature detection.
+        return unsafe { avx2::sq8_dot(codes, mins, steps, q) };
+    }
+    sq8_dot_scalar(codes, mins, steps, q)
+}
+
+/// Portable asymmetric squared-L2 (reference semantics).
+#[inline]
+pub fn sq8_l2_sq_scalar(codes: &[u8], mins: &[f32], steps: &[f32], q: &[f32]) -> f32 {
+    debug_assert_eq!(codes.len(), q.len());
+    let mut sum = 0.0f32;
+    for d in 0..q.len() {
+        let x = mins[d] + codes[d] as f32 * steps[d];
+        let diff = q[d] - x;
+        sum += diff * diff;
+    }
+    sum
+}
+
+/// Portable asymmetric dot product (reference semantics).
+#[inline]
+pub fn sq8_dot_scalar(codes: &[u8], mins: &[f32], steps: &[f32], q: &[f32]) -> f32 {
+    debug_assert_eq!(codes.len(), q.len());
+    let mut sum = 0.0f32;
+    for d in 0..q.len() {
+        let x = mins[d] + codes[d] as f32 * steps[d];
+        sum += q[d] * x;
+    }
+    sum
+}
+
+/// The AVX2/FMA implementations. Everything in here carries
+/// `#[target_feature(enable = "avx2,fma")]` and must only be called after
+/// runtime detection; the public dispatchers above are the sole callers
+/// outside of tests.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of the 8 lanes of `v`.
+    ///
+    /// # Safety
+    /// Requires AVX2 at runtime.
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps(v, 1);
+        let lo = _mm256_castps256_ps128(v);
+        let s = _mm_add_ps(lo, hi);
+        let shuf = _mm_movehdup_ps(s);
+        let sums = _mm_add_ps(s, shuf);
+        let shuf2 = _mm_movehl_ps(shuf, sums);
+        _mm_cvtss_f32(_mm_add_ss(sums, shuf2))
+    }
+
+    /// AVX2+FMA squared-L2.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 and FMA; slices must have equal length.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let chunks = n / 8;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let off = c * 8;
+            let pa = _mm256_loadu_ps(a.as_ptr().add(off));
+            let pb = _mm256_loadu_ps(b.as_ptr().add(off));
+            let d = _mm256_sub_ps(pa, pb);
+            acc = _mm256_fmadd_ps(d, d, acc);
+        }
+        let mut sum = hsum256(acc);
+        for i in chunks * 8..n {
+            let d = a[i] - b[i];
+            sum += d * d;
+        }
+        sum
+    }
+
+    /// AVX2+FMA dot product.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 and FMA; slices must have equal length.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let chunks = n / 8;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let off = c * 8;
+            let pa = _mm256_loadu_ps(a.as_ptr().add(off));
+            let pb = _mm256_loadu_ps(b.as_ptr().add(off));
+            acc = _mm256_fmadd_ps(pa, pb, acc);
+        }
+        let mut sum = hsum256(acc);
+        for i in chunks * 8..n {
+            sum += a[i] * b[i];
+        }
+        sum
+    }
+
+    /// Decode 8 u8 codes starting at `p` into f32 lanes.
+    ///
+    /// # Safety
+    /// `p` must be valid for an 8-byte read; requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn load8_codes(p: *const u8) -> __m256 {
+        let raw = _mm_loadl_epi64(p as *const __m128i);
+        _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(raw))
+    }
+
+    /// AVX2+FMA asymmetric squared-L2 against SQ8 codes.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 and FMA; all four slices must share one
+    /// length.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sq8_l2_sq(codes: &[u8], mins: &[f32], steps: &[f32], q: &[f32]) -> f32 {
+        debug_assert_eq!(codes.len(), q.len());
+        let n = q.len();
+        let chunks = n / 8;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let off = c * 8;
+            let x = load8_codes(codes.as_ptr().add(off));
+            let mn = _mm256_loadu_ps(mins.as_ptr().add(off));
+            let st = _mm256_loadu_ps(steps.as_ptr().add(off));
+            let dec = _mm256_fmadd_ps(x, st, mn);
+            let d = _mm256_sub_ps(_mm256_loadu_ps(q.as_ptr().add(off)), dec);
+            acc = _mm256_fmadd_ps(d, d, acc);
+        }
+        let mut sum = hsum256(acc);
+        for i in chunks * 8..n {
+            let x = mins[i] + codes[i] as f32 * steps[i];
+            let d = q[i] - x;
+            sum += d * d;
+        }
+        sum
+    }
+
+    /// AVX2+FMA asymmetric dot product against SQ8 codes.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 and FMA; all four slices must share one
+    /// length.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sq8_dot(codes: &[u8], mins: &[f32], steps: &[f32], q: &[f32]) -> f32 {
+        debug_assert_eq!(codes.len(), q.len());
+        let n = q.len();
+        let chunks = n / 8;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let off = c * 8;
+            let x = load8_codes(codes.as_ptr().add(off));
+            let mn = _mm256_loadu_ps(mins.as_ptr().add(off));
+            let st = _mm256_loadu_ps(steps.as_ptr().add(off));
+            let dec = _mm256_fmadd_ps(x, st, mn);
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(q.as_ptr().add(off)), dec, acc);
+        }
+        let mut sum = hsum256(acc);
+        for i in chunks * 8..n {
+            let x = mins[i] + codes[i] as f32 * steps[i];
+            sum += q[i] * x;
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(len: usize, seed: f32) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37 + seed).sin()).collect();
+        let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.71 - seed).cos()).collect();
+        (a, b)
+    }
+
+    fn close(x: f32, y: f32, len: usize) -> bool {
+        // FMA contraction + reassociation error grows with length; allow a
+        // few ULPs per accumulated term.
+        let tol = 1e-5 * (len.max(1) as f32) * (1.0 + x.abs().max(y.abs()));
+        (x - y).abs() <= tol
+    }
+
+    #[test]
+    fn dispatched_matches_scalar_all_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 128] {
+            let (a, b) = vecs(len, 0.3);
+            assert!(close(l2_sq(&a, &b), l2_sq_scalar(&a, &b), len), "l2 len={len}");
+            assert!(close(dot(&a, &b), dot_scalar(&a, &b), len), "dot len={len}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_matches_scalar_when_available() {
+        if !simd_available() {
+            return;
+        }
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 128] {
+            let (a, b) = vecs(len, 1.7);
+            // SAFETY: guarded by simd_available().
+            let (sl2, sdot) = unsafe { (avx2::l2_sq(&a, &b), avx2::dot(&a, &b)) };
+            assert!(close(sl2, l2_sq_scalar(&a, &b), len), "l2 len={len}");
+            assert!(close(sdot, dot_scalar(&a, &b), len), "dot len={len}");
+        }
+    }
+
+    #[test]
+    fn sq8_kernels_match_scalar() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 128] {
+            let (q, _) = vecs(len, 2.2);
+            let codes: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+            let mins: Vec<f32> = (0..len).map(|i| -1.0 - (i % 3) as f32 * 0.1).collect();
+            let steps: Vec<f32> = (0..len).map(|i| 0.007 + (i % 5) as f32 * 1e-3).collect();
+            let want_l2 = sq8_l2_sq_scalar(&codes, &mins, &steps, &q);
+            let want_dot = sq8_dot_scalar(&codes, &mins, &steps, &q);
+            assert!(close(sq8_l2_sq(&codes, &mins, &steps, &q), want_l2, len), "l2 len={len}");
+            assert!(close(sq8_dot(&codes, &mins, &steps, &q), want_dot, len), "dot len={len}");
+            #[cfg(target_arch = "x86_64")]
+            if simd_available() {
+                // SAFETY: guarded by simd_available().
+                let (sl2, sdot) = unsafe {
+                    (
+                        avx2::sq8_l2_sq(&codes, &mins, &steps, &q),
+                        avx2::sq8_dot(&codes, &mins, &steps, &q),
+                    )
+                };
+                assert!(close(sl2, want_l2, len), "avx2 sq8 l2 len={len}");
+                assert!(close(sdot, want_dot, len), "avx2 sq8 dot len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_path_is_stable_and_named() {
+        let p = kernel_path();
+        assert_eq!(p, kernel_path(), "dispatch must be cached");
+        assert!(matches!(p.name(), "scalar" | "avx2+fma"));
+    }
+}

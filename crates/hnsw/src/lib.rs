@@ -9,8 +9,12 @@
 //! Yashunin, 2018) together with the shared low-level infrastructure that the
 //! ACORN indices and the graph-based baselines are built on:
 //!
-//! * [`vecs`] — flat vector storage and distance kernels ([`VectorStore`],
-//!   [`Metric`]).
+//! * [`vecs`] — flat vector storage and the pluggable [`VectorData`]
+//!   abstraction ([`VectorStore`], [`Metric`]).
+//! * [`kernels`] — explicit AVX2/FMA distance kernels with runtime dispatch
+//!   and a portable scalar fallback.
+//! * [`sq8`] — the 8-bit scalar-quantized [`Sq8Store`] backend (codes +
+//!   per-dimension codebook) used by quantized frozen segments.
 //! * [`heap`] — binary-heap helpers ordered on `(distance, id)` pairs
 //!   ([`Neighbor`]).
 //! * [`visited`] — epoch-stamped visited sets reusable across queries.
@@ -35,10 +39,12 @@ pub mod csr;
 pub mod graph;
 pub mod heap;
 pub mod index;
+pub mod kernels;
 pub mod level;
 pub mod pool;
 pub mod search;
 pub mod select;
+pub mod sq8;
 pub mod stats;
 pub mod vecs;
 pub mod visited;
@@ -47,9 +53,11 @@ pub use csr::CsrGraph;
 pub use graph::{GraphView, LayeredGraph};
 pub use heap::Neighbor;
 pub use index::{HnswIndex, HnswParams};
+pub use kernels::KernelPath;
 pub use level::LevelSampler;
 pub use pool::{run_sharded, LatencySummary, PooledScratch, ScratchPool, ShardedRun};
 pub use search::SearchScratch;
+pub use sq8::Sq8Store;
 pub use stats::SearchStats;
-pub use vecs::{Metric, VectorStore};
+pub use vecs::{Metric, VectorData, VectorStore};
 pub use visited::VisitedSet;

@@ -10,7 +10,7 @@ use acorn_predicate::MemoTable;
 use crate::graph::GraphView;
 use crate::heap::{MinHeap, Neighbor, TopK};
 use crate::stats::SearchStats;
-use crate::vecs::{Metric, VectorStore};
+use crate::vecs::{Metric, VectorData};
 use crate::visited::VisitedSet;
 
 /// Reusable per-thread scratch space for graph searches.
@@ -31,7 +31,7 @@ pub struct SearchScratch {
     /// node the beam expanded).
     pub frontier: Vec<Neighbor>,
     /// Per-hood distance buffer filled by
-    /// [`VectorStore::distances_batch`] (reused allocation).
+    /// [`VectorData::distances_batch`] (reused allocation).
     pub dist_buf: Vec<f32>,
     /// Per-query predicate memo (tri-state known/pass words), recycled with
     /// the scratch through the [`ScratchPool`](crate::pool::ScratchPool).
@@ -102,9 +102,12 @@ impl SearchScratch {
 /// This is SEARCH-LAYER from the HNSW paper: a best-first expansion that
 /// stops when the closest unexpanded candidate is further than the worst of
 /// the `ef` results.
+///
+/// Generic over [`VectorData`], so the same traversal serves the exact f32
+/// tier and SQ8-quantized segments.
 #[allow(clippy::too_many_arguments)]
-pub fn search_layer<G: GraphView>(
-    vecs: &VectorStore,
+pub fn search_layer<V: VectorData + ?Sized, G: GraphView>(
+    vecs: &V,
     graph: &G,
     metric: Metric,
     query: &[f32],
@@ -161,8 +164,8 @@ pub fn search_layer<G: GraphView>(
 /// Greedy descent: at each level choose the single closest node (`ef = 1`).
 /// Returns the entry point for the next level.
 #[allow(clippy::too_many_arguments)]
-pub fn greedy_descend<G: GraphView>(
-    vecs: &VectorStore,
+pub fn greedy_descend<V: VectorData + ?Sized, G: GraphView>(
+    vecs: &V,
     graph: &G,
     metric: Metric,
     query: &[f32],
@@ -201,6 +204,7 @@ pub fn greedy_descend<G: GraphView>(
 mod tests {
     use super::*;
     use crate::graph::LayeredGraph;
+    use crate::vecs::VectorStore;
 
     /// Build a tiny single-level graph: a path 0 - 1 - 2 - 3 on a line.
     fn line_world() -> (VectorStore, LayeredGraph) {

@@ -1,0 +1,445 @@
+//! 8-bit scalar quantization (the SQ8 codec behind Milvus IVF-SQ8).
+//!
+//! Each dimension is linearly mapped to `0..=255` using a per-dimension
+//! `min`/`step` codebook trained on the dataset (`step = (max - min) / 255`,
+//! clamped away from zero). Distances are computed asymmetrically: the query
+//! stays in f32 and codes are dequantized on the fly inside the
+//! [`kernels`](crate::kernels) SQ8 kernels, which keeps the recall loss
+//! small while cutting vector memory ~4×.
+//!
+//! [`Sq8Store`] implements [`VectorData`], so it can serve as the traversal
+//! tier of a frozen segment: graph search runs over the codes, and the
+//! segment's retained exact rows refine the top candidates afterwards.
+
+use crate::kernels;
+use crate::vecs::{Metric, VectorData, VectorStore};
+
+/// Smallest permitted quantization step. A constant (or empty) dimension
+/// would otherwise train `step = 0`, making `(x - min) / step` divide by
+/// zero during encoding; clamping keeps the codec total while the decode
+/// error for such dimensions stays at most the clamp itself.
+pub const MIN_STEP: f32 = f32::EPSILON;
+
+/// A trained per-dimension scalar quantizer plus the encoded dataset.
+#[derive(Debug, Clone)]
+pub struct Sq8Store {
+    dim: usize,
+    mins: Vec<f32>,
+    steps: Vec<f32>, // (max - min) / 255, clamped to >= MIN_STEP
+    codes: Vec<u8>,
+    norms: Vec<f32>, // L2 norm of each decoded row (cosine support)
+}
+
+impl Sq8Store {
+    /// Train a codebook on `vecs` and encode every row.
+    ///
+    /// An empty store yields an identity-ish codebook (`min = 0`,
+    /// `step = MIN_STEP`) with no rows — rows can still be added later with
+    /// [`push_after_train`](Self::push_after_train). Constant dimensions get
+    /// the clamped [`MIN_STEP`] instead of a zero step.
+    pub fn train(vecs: &VectorStore) -> Self {
+        let dim = vecs.dim();
+        if vecs.is_empty() {
+            return Self {
+                dim,
+                mins: vec![0.0; dim],
+                steps: vec![MIN_STEP; dim],
+                codes: Vec::new(),
+                norms: Vec::new(),
+            };
+        }
+        let mut mins = vec![f32::INFINITY; dim];
+        let mut maxs = vec![f32::NEG_INFINITY; dim];
+        for i in 0..vecs.len() as u32 {
+            for (d, &x) in vecs.get(i).iter().enumerate() {
+                mins[d] = mins[d].min(x);
+                maxs[d] = maxs[d].max(x);
+            }
+        }
+        let steps: Vec<f32> = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| {
+                let s = (hi - lo) / 255.0;
+                if s.is_finite() {
+                    s.max(MIN_STEP)
+                } else {
+                    MIN_STEP
+                }
+            })
+            .collect();
+        let mut out = Self { dim, mins, steps, codes: Vec::new(), norms: Vec::new() };
+        out.codes.reserve(vecs.len() * dim);
+        for i in 0..vecs.len() as u32 {
+            out.push_after_train(vecs.get(i));
+        }
+        out
+    }
+
+    /// Rebuild a store from a serialized codebook by re-encoding `vecs`.
+    ///
+    /// Encoding is deterministic given the codebook, so persisting only the
+    /// tag + codebook (serialize v5) and re-encoding on load reproduces the
+    /// exact codes that were in memory at save time.
+    ///
+    /// # Panics
+    /// Panics if the codebook lengths do not match `vecs.dim()`.
+    pub fn from_codebook(mins: Vec<f32>, steps: Vec<f32>, vecs: &VectorStore) -> Self {
+        let dim = vecs.dim();
+        assert_eq!(mins.len(), dim, "codebook mins length must equal dim");
+        assert_eq!(steps.len(), dim, "codebook steps length must equal dim");
+        assert!(steps.iter().all(|s| s.is_finite() && *s > 0.0), "steps must be positive");
+        let mut out = Self { dim, mins, steps, codes: Vec::new(), norms: Vec::new() };
+        out.codes.reserve(vecs.len() * dim);
+        for i in 0..vecs.len() as u32 {
+            out.push_after_train(vecs.get(i));
+        }
+        out
+    }
+
+    /// Encode one row with the already-trained codebook and append it.
+    ///
+    /// This is the active→frozen sealing hook: a segment trains the codebook
+    /// once at seal time, and late rows (or a merge rebuild) encode against
+    /// the fixed codebook without retraining.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != dim`.
+    pub fn push_after_train(&mut self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.dim, "pushed vector has wrong dimension");
+        let id = self.len() as u32;
+        let mut norm_sq = 0.0f32;
+        for (d, &x) in v.iter().enumerate() {
+            let q = ((x - self.mins[d]) / self.steps[d]).round().clamp(0.0, 255.0);
+            self.codes.push(q as u8);
+            let dec = self.mins[d] + q * self.steps[d];
+            norm_sq += dec * dec;
+        }
+        self.norms.push(norm_sq.sqrt());
+        id
+    }
+
+    /// Extract a sub-store containing the given row ids, in order, sharing
+    /// this store's codebook (no retraining, codes are copied verbatim).
+    ///
+    /// # Panics
+    /// Panics if any id is out of bounds.
+    pub fn subset(&self, ids: &[u32]) -> Sq8Store {
+        let mut out = Self {
+            dim: self.dim,
+            mins: self.mins.clone(),
+            steps: self.steps.clone(),
+            codes: Vec::with_capacity(ids.len() * self.dim),
+            norms: Vec::with_capacity(ids.len()),
+        };
+        for &id in ids {
+            out.codes.extend_from_slice(self.codes_of(id));
+            out.norms.push(self.norms[id as usize]);
+        }
+        out
+    }
+
+    /// Number of encoded vectors.
+    pub fn len(&self) -> usize {
+        self.codes.len() / self.dim
+    }
+
+    /// True if nothing is encoded.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Per-dimension lower bounds of the codebook.
+    pub fn mins(&self) -> &[f32] {
+        &self.mins
+    }
+
+    /// Per-dimension quantization steps of the codebook.
+    pub fn steps(&self) -> &[f32] {
+        &self.steps
+    }
+
+    /// Borrow the raw codes of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn codes_of(&self, i: u32) -> &[u8] {
+        let start = i as usize * self.dim;
+        &self.codes[start..start + self.dim]
+    }
+
+    /// Bytes used by codes + codec tables + cached row norms.
+    pub fn memory_bytes(&self) -> usize {
+        self.codes.len()
+            + (self.mins.len() + self.steps.len() + self.norms.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Decode vector `i` into `out` (test/debug helper).
+    pub fn decode_into(&self, i: u32, out: &mut Vec<f32>) {
+        out.clear();
+        for (d, &c) in self.codes_of(i).iter().enumerate() {
+            out.push(self.mins[d] + c as f32 * self.steps[d]);
+        }
+    }
+
+    /// Asymmetric squared-L2 distance between an f32 query and code `i`.
+    #[inline]
+    pub fn l2_sq_to(&self, i: u32, query: &[f32]) -> f32 {
+        debug_assert_eq!(query.len(), self.dim);
+        kernels::sq8_l2_sq(self.codes_of(i), &self.mins, &self.steps, query)
+    }
+
+    /// Worst-case per-dimension quantization error (half a quantization
+    /// step), useful for error-bound tests.
+    pub fn max_step(&self) -> f32 {
+        self.steps.iter().fold(0.0f32, |a, &s| a.max(s)) * 0.5
+    }
+
+    /// Metric dispatch against one coded row, given a precomputed query norm
+    /// (only used by Cosine; pass anything otherwise).
+    #[inline]
+    fn distance_with_qnorm(&self, metric: Metric, i: u32, query: &[f32], qnorm: f32) -> f32 {
+        let codes = self.codes_of(i);
+        match metric {
+            Metric::L2 => kernels::sq8_l2_sq(codes, &self.mins, &self.steps, query),
+            Metric::InnerProduct => -kernels::sq8_dot(codes, &self.mins, &self.steps, query),
+            Metric::Cosine => {
+                let n = self.norms[i as usize];
+                if qnorm == 0.0 || n == 0.0 {
+                    return 0.0;
+                }
+                -(kernels::sq8_dot(codes, &self.mins, &self.steps, query) / (qnorm * n))
+            }
+        }
+    }
+
+    /// Prefetch is a hint; on non-x86 targets it compiles to nothing.
+    #[cfg(not(target_arch = "x86_64"))]
+    #[inline]
+    fn prefetch_row(&self, _id: u32) {}
+
+    /// Issue a prefetch for the first cache line of code row `id`. One line
+    /// covers 64 coded dimensions, so a single hint suffices for typical
+    /// embedding sizes.
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    fn prefetch_row(&self, id: u32) {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let start = id as usize * self.dim;
+        if start >= self.codes.len() {
+            return;
+        }
+        // SAFETY: `start` is in bounds (checked above) and _mm_prefetch is a
+        // pure hint with no memory effects.
+        unsafe {
+            _mm_prefetch::<_MM_HINT_T0>(self.codes.as_ptr().add(start) as *const i8);
+        }
+    }
+}
+
+impl VectorData for Sq8Store {
+    fn len(&self) -> usize {
+        Sq8Store::len(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        Sq8Store::is_empty(self)
+    }
+
+    fn dim(&self) -> usize {
+        Sq8Store::dim(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        Sq8Store::memory_bytes(self)
+    }
+
+    fn distance_to(&self, metric: Metric, i: u32, query: &[f32]) -> f32 {
+        let qnorm = if metric == Metric::Cosine { kernels::dot(query, query).sqrt() } else { 0.0 };
+        self.distance_with_qnorm(metric, i, query, qnorm)
+    }
+
+    fn distances_batch(&self, metric: Metric, query: &[f32], ids: &[u32], out: &mut Vec<f32>) {
+        /// Rows ahead to prefetch; codes are dense, so a short lead suffices.
+        const PREFETCH_AHEAD: usize = 4;
+        out.clear();
+        out.reserve(ids.len());
+        let qnorm = if metric == Metric::Cosine { kernels::dot(query, query).sqrt() } else { 0.0 };
+        for (i, &id) in ids.iter().enumerate() {
+            if let Some(&ahead) = ids.get(i + PREFETCH_AHEAD) {
+                self.prefetch_row(ahead);
+            }
+            out.push(self.distance_with_qnorm(metric, id, query, qnorm));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_store(n: usize, dim: usize, seed: u64) -> VectorStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::with_capacity(dim, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let vecs = random_store(200, 16, 1);
+        let sq = Sq8Store::train(&vecs);
+        let mut decoded = Vec::new();
+        for i in 0..vecs.len() as u32 {
+            sq.decode_into(i, &mut decoded);
+            for (d, (&orig, &dec)) in vecs.get(i).iter().zip(&decoded).enumerate() {
+                let step = sq.max_step();
+                assert!(
+                    (orig - dec).abs() <= step + 1e-5,
+                    "dim {d}: |{orig} - {dec}| > step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_distance_close_to_exact() {
+        let vecs = random_store(300, 32, 2);
+        let sq = Sq8Store::train(&vecs);
+        let q: Vec<f32> = (0..32).map(|i| (i as f32 * 0.1).sin()).collect();
+        for i in 0..vecs.len() as u32 {
+            let exact = Metric::L2.distance(vecs.get(i), &q);
+            let approx = sq.l2_sq_to(i, &q);
+            // Relative error stays small (quantization noise only).
+            assert!(
+                (exact - approx).abs() <= 0.05 * exact.max(1.0),
+                "vector {i}: exact {exact} vs sq8 {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_is_roughly_quarter_of_f32() {
+        let vecs = random_store(1000, 64, 3);
+        let sq = Sq8Store::train(&vecs);
+        let f32_bytes = VectorData::memory_bytes(&vecs);
+        assert!(sq.memory_bytes() < f32_bytes / 3, "SQ8 must save ~4x memory");
+    }
+
+    #[test]
+    fn constant_dimension_gets_clamped_step() {
+        let mut s = VectorStore::new(2);
+        s.push(&[1.0, 5.0]);
+        s.push(&[2.0, 5.0]); // dim 1 is constant: step would be 0
+        let sq = Sq8Store::train(&s);
+        assert!(sq.steps()[1] >= MIN_STEP, "constant dim must clamp, got {}", sq.steps()[1]);
+        let mut out = Vec::new();
+        sq.decode_into(0, &mut out);
+        assert!((out[1] - 5.0).abs() < 1e-6);
+        // Encoding with the clamped step must not produce NaN/inf codes.
+        assert!(sq.l2_sq_to(0, &[1.0, 5.0]).is_finite());
+    }
+
+    #[test]
+    fn empty_store_trains_without_panicking() {
+        let sq = Sq8Store::train(&VectorStore::new(4));
+        assert!(sq.is_empty());
+        assert_eq!(sq.dim(), 4);
+        assert!(sq.steps().iter().all(|&s| s >= MIN_STEP));
+        let mut sq = sq;
+        // Rows pushed after an empty train still encode (coarsely) without
+        // dividing by zero.
+        let id = sq.push_after_train(&[0.5, -0.5, 0.0, 1.0]);
+        assert_eq!(id, 0);
+        assert!(sq.l2_sq_to(0, &[0.0; 4]).is_finite());
+    }
+
+    #[test]
+    fn push_after_train_matches_train_encoding() {
+        let vecs = random_store(50, 8, 7);
+        let trained = Sq8Store::train(&vecs);
+        let mut incremental =
+            Sq8Store::from_codebook(trained.mins().to_vec(), trained.steps().to_vec(), &vecs);
+        assert_eq!(trained.len(), incremental.len());
+        for i in 0..trained.len() as u32 {
+            assert_eq!(trained.codes_of(i), incremental.codes_of(i), "row {i}");
+        }
+        let extra: Vec<f32> = (0..8).map(|d| (d as f32 * 0.3).sin()).collect();
+        let id = incremental.push_after_train(&extra);
+        assert_eq!(id as usize, vecs.len());
+        let mut dec = Vec::new();
+        incremental.decode_into(id, &mut dec);
+        for (d, (&orig, &got)) in extra.iter().zip(&dec).enumerate() {
+            let lo = trained.mins()[d];
+            let hi = lo + 255.0 * trained.steps()[d];
+            let clamped = orig.clamp(lo, hi);
+            assert!((clamped - got).abs() <= trained.max_step() * 2.0 + 1e-5, "dim {d}");
+        }
+    }
+
+    #[test]
+    fn subset_shares_codebook_and_preserves_rows() {
+        let vecs = random_store(40, 12, 9);
+        let sq = Sq8Store::train(&vecs);
+        let sub = sq.subset(&[30, 2, 2, 17]);
+        assert_eq!(sub.len(), 4);
+        assert_eq!(sub.mins(), sq.mins());
+        assert_eq!(sub.steps(), sq.steps());
+        assert_eq!(sub.codes_of(0), sq.codes_of(30));
+        assert_eq!(sub.codes_of(1), sq.codes_of(2));
+        assert_eq!(sub.codes_of(2), sq.codes_of(2));
+        assert_eq!(sub.codes_of(3), sq.codes_of(17));
+    }
+
+    #[test]
+    fn vector_data_batch_matches_distance_to() {
+        let vecs = random_store(60, 24, 11);
+        let sq = Sq8Store::train(&vecs);
+        let q: Vec<f32> = (0..24).map(|d| (d as f32 * 0.17).cos()).collect();
+        let ids: Vec<u32> = vec![59, 0, 13, 13, 42, 7];
+        for metric in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+            let mut out = vec![5.0];
+            VectorData::distances_batch(&sq, metric, &q, &ids, &mut out);
+            assert_eq!(out.len(), ids.len());
+            for (&id, &d) in ids.iter().zip(&out) {
+                assert_eq!(d, VectorData::distance_to(&sq, metric, id, &q), "{metric:?} {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn top1_neighbor_preserved_under_quantization() {
+        let vecs = random_store(500, 16, 4);
+        let sq = Sq8Store::train(&vecs);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut agree = 0;
+        for _ in 0..30 {
+            let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let exact = (0..vecs.len() as u32)
+                .min_by(|&a, &b| {
+                    Metric::L2
+                        .distance(vecs.get(a), &q)
+                        .total_cmp(&Metric::L2.distance(vecs.get(b), &q))
+                })
+                .unwrap();
+            let approx = (0..sq.len() as u32)
+                .min_by(|&a, &b| sq.l2_sq_to(a, &q).total_cmp(&sq.l2_sq_to(b, &q)))
+                .unwrap();
+            if exact == approx {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 27, "top-1 agreement too low: {agree}/30");
+    }
+}

@@ -1,11 +1,19 @@
-//! Flat vector storage and distance kernels.
+//! Flat vector storage, the [`VectorData`] abstraction, and metric dispatch.
 //!
-//! All indices in this workspace share one representation: a dense,
-//! row-major `Vec<f32>` holding `n` vectors of a fixed dimension. Keeping the
-//! data flat (rather than `Vec<Vec<f32>>`) avoids per-vector allocations and
-//! keeps distance computations cache-friendly, which matters because the
-//! ACORN paper's evaluation (and ours) treats distance computations as the
-//! dominant search cost.
+//! The default backend is a dense, row-major `Vec<f32>` holding `n` vectors
+//! of a fixed dimension. Keeping the data flat (rather than `Vec<Vec<f32>>`)
+//! avoids per-vector allocations and keeps distance computations
+//! cache-friendly, which matters because the ACORN paper's evaluation (and
+//! ours) treats distance computations as the dominant search cost.
+//!
+//! Search code does not depend on the concrete representation: both search
+//! layers are generic over [`VectorData`], so a frozen segment can swap the
+//! f32 tier for the SQ8-quantized [`Sq8Store`](crate::Sq8Store) without
+//! touching traversal logic. All distances route through the
+//! [`kernels`](crate::kernels) module, which picks AVX2/FMA or scalar code
+//! once per process.
+
+use crate::kernels;
 
 /// The distance metric used by an index.
 ///
@@ -34,44 +42,17 @@ impl Metric {
     }
 }
 
-/// Squared Euclidean distance, written so the compiler can autovectorize.
+/// Squared Euclidean distance, dispatched through
+/// [`kernels::l2_sq`](crate::kernels::l2_sq) (AVX2/FMA when available).
 #[inline]
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 8];
-    let chunks = a.len() / 8;
-    for c in 0..chunks {
-        let off = c * 8;
-        for lane in 0..8 {
-            let d = a[off + lane] - b[off + lane];
-            acc[lane] += d * d;
-        }
-    }
-    let mut sum: f32 = acc.iter().sum();
-    for i in chunks * 8..a.len() {
-        let d = a[i] - b[i];
-        sum += d * d;
-    }
-    sum
+    kernels::l2_sq(a, b)
 }
 
-/// Dot product with an 8-lane accumulator.
+/// Dot product, dispatched through [`kernels::dot`](crate::kernels::dot).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 8];
-    let chunks = a.len() / 8;
-    for c in 0..chunks {
-        let off = c * 8;
-        for lane in 0..8 {
-            acc[lane] += a[off + lane] * b[off + lane];
-        }
-    }
-    let mut sum: f32 = acc.iter().sum();
-    for i in chunks * 8..a.len() {
-        sum += a[i] * b[i];
-    }
-    sum
+    kernels::dot(a, b)
 }
 
 /// Negative cosine similarity (smaller = more similar). Returns 0 for a
@@ -85,6 +66,48 @@ pub fn neg_cosine(a: &[f32], b: &[f32]) -> f32 {
         return 0.0;
     }
     -(d / (na * nb))
+}
+
+/// A pluggable vector-storage backend.
+///
+/// Everything the search layers need from vector storage: row count and
+/// dimensionality for bookkeeping, [`memory_bytes`](VectorData::memory_bytes)
+/// for tier accounting, and the two distance entry points. Implementations
+/// decide the representation — exact f32 rows ([`VectorStore`]) or 8-bit
+/// scalar-quantized codes ([`Sq8Store`](crate::Sq8Store)) — while traversal
+/// code stays generic.
+///
+/// [`distances_batch`](VectorData::distances_batch) is the hot path: it is
+/// called once per expanded neighborhood, so backends should override the
+/// default (a `distance_to` loop) with a prefetching, kernel-dispatched
+/// implementation.
+pub trait VectorData {
+    /// Number of rows stored.
+    fn len(&self) -> usize;
+
+    /// True if no rows are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Bytes resident for this representation (rows + codec tables).
+    fn memory_bytes(&self) -> usize;
+
+    /// Distance between stored row `i` and an external query under `metric`.
+    fn distance_to(&self, metric: Metric, i: u32, query: &[f32]) -> f32;
+
+    /// Distances from `query` to every row in `ids`, written into `out`
+    /// (cleared first; `out[i]` answers `ids[i]`).
+    fn distances_batch(&self, metric: Metric, query: &[f32], ids: &[u32], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(ids.len());
+        for &id in ids {
+            out.push(self.distance_to(metric, id, query));
+        }
+    }
 }
 
 /// Dense row-major storage for `n` vectors of fixed dimension.
@@ -252,6 +275,32 @@ impl VectorStore {
             out.push(self.get(id));
         }
         out
+    }
+}
+
+impl VectorData for VectorStore {
+    fn len(&self) -> usize {
+        VectorStore::len(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        VectorStore::is_empty(self)
+    }
+
+    fn dim(&self) -> usize {
+        VectorStore::dim(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        VectorStore::memory_bytes(self)
+    }
+
+    fn distance_to(&self, metric: Metric, i: u32, query: &[f32]) -> f32 {
+        VectorStore::distance_to(self, metric, i, query)
+    }
+
+    fn distances_batch(&self, metric: Metric, query: &[f32], ids: &[u32], out: &mut Vec<f32>) {
+        VectorStore::distances_batch(self, metric, query, ids, out)
     }
 }
 

@@ -1,0 +1,138 @@
+//! Property tests for the distance-kernel layer: the dispatched (possibly
+//! SIMD) kernels must agree with the portable scalar ones on every length —
+//! including the remainder-loop edge cases around the 8-lane boundary — and
+//! the SQ8 codec's per-dimension error must stay within half a
+//! quantization step.
+
+use acorn_hnsw::kernels;
+use acorn_hnsw::sq8::Sq8Store;
+use acorn_hnsw::{Metric, VectorStore};
+use proptest::prelude::*;
+
+/// Lengths that straddle every code path: empty, sub-lane, one lane, lane
+/// + remainder, eight lanes, and a realistic embedding width.
+const LENS: [usize; 9] = [0, 1, 7, 8, 9, 63, 64, 65, 128];
+
+fn vec_of(len: usize, seed: u64, scale: f32) -> Vec<f32> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-scale..scale.max(1e-3))).collect()
+}
+
+/// FMA contraction reorders rounding, so SIMD and scalar sums may differ by
+/// a few ULPs per accumulated term; scale the tolerance with length and
+/// magnitude.
+fn close(a: f32, b: f32, len: usize, scale: f32) -> bool {
+    let tol = 1e-5 * (len.max(1) as f32) * (1.0 + scale * scale);
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dispatched f32 kernels agree with the scalar reference on every
+    /// length and magnitude.
+    #[test]
+    fn f32_kernels_match_scalar(seed in 0u64..10_000, scale in 0.1f32..100.0) {
+        for &len in &LENS {
+            let a = vec_of(len, seed, scale);
+            let b = vec_of(len, seed.wrapping_add(1), scale);
+            let (l2, l2_ref) = (kernels::l2_sq(&a, &b), kernels::l2_sq_scalar(&a, &b));
+            prop_assert!(close(l2, l2_ref, len, scale), "l2 len {len}: {l2} vs {l2_ref}");
+            let (dp, dp_ref) = (kernels::dot(&a, &b), kernels::dot_scalar(&a, &b));
+            prop_assert!(close(dp, dp_ref, len, scale), "dot len {len}: {dp} vs {dp_ref}");
+        }
+    }
+
+    /// Dispatched SQ8 kernels agree with the scalar reference on every
+    /// length (codes decoded as `min + code * step` on both paths).
+    #[test]
+    fn sq8_kernels_match_scalar(seed in 0u64..10_000, scale in 0.1f32..10.0) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for &len in &LENS {
+            let q = vec_of(len, seed, scale);
+            let codes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
+            let mins = vec_of(len, seed.wrapping_add(2), scale);
+            let steps: Vec<f32> = (0..len).map(|_| rng.gen_range(1e-6f32..0.1)).collect();
+            let (l2, l2_ref) = (
+                kernels::sq8_l2_sq(&codes, &mins, &steps, &q),
+                kernels::sq8_l2_sq_scalar(&codes, &mins, &steps, &q),
+            );
+            prop_assert!(close(l2, l2_ref, len, scale), "sq8 l2 len {len}: {l2} vs {l2_ref}");
+            let (dp, dp_ref) = (
+                kernels::sq8_dot(&codes, &mins, &steps, &q),
+                kernels::sq8_dot_scalar(&codes, &mins, &steps, &q),
+            );
+            prop_assert!(close(dp, dp_ref, len, scale), "sq8 dot len {len}: {dp} vs {dp_ref}");
+        }
+    }
+
+    /// Every metric, computed through the dispatched kernels via
+    /// [`Metric::distance`], agrees with the scalar formula.
+    #[test]
+    fn metric_distances_match_scalar_formula(seed in 0u64..10_000, scale in 0.1f32..10.0) {
+        for &len in &LENS {
+            if len == 0 {
+                continue; // Cosine is undefined on empty vectors.
+            }
+            let a = vec_of(len, seed, scale);
+            let b = vec_of(len, seed.wrapping_add(1), scale);
+            for metric in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+                let got = metric.distance(&a, &b);
+                let dp = kernels::dot_scalar(&a, &b);
+                let want = match metric {
+                    Metric::L2 => kernels::l2_sq_scalar(&a, &b),
+                    Metric::InnerProduct => -dp,
+                    Metric::Cosine => {
+                        let na = kernels::dot_scalar(&a, &a).sqrt();
+                        let nb = kernels::dot_scalar(&b, &b).sqrt();
+                        if na == 0.0 || nb == 0.0 { 0.0 } else { -(dp / (na * nb)) }
+                    }
+                };
+                prop_assert!(
+                    close(got, want, len, scale),
+                    "{metric:?} len {len}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    /// SQ8 round-trip error is at most half a quantization step per
+    /// dimension (for rows inside the trained range; training covers every
+    /// stored row, so all of them are).
+    #[test]
+    fn sq8_roundtrip_error_within_half_step(
+        n in 1usize..60,
+        dim in 1usize..48,
+        seed in 0u64..10_000,
+        scale in 0.1f32..50.0,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = VectorStore::with_capacity(dim, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-scale..scale)).collect();
+            store.push(&v);
+        }
+        let sq = Sq8Store::train(&store);
+        let mut decoded = Vec::new();
+        for i in 0..n as u32 {
+            sq.decode_into(i, &mut decoded);
+            let orig = store.get(i);
+            for d in 0..dim {
+                let half_step = sq.steps()[d] * 0.5;
+                let err = (orig[d] - decoded[d]).abs();
+                // Slack for the f32 arithmetic of encode/decode itself.
+                let slack = 1e-5 * scale.max(1.0);
+                prop_assert!(
+                    err <= half_step + slack,
+                    "row {i} dim {d}: err {err} > step/2 {half_step}"
+                );
+            }
+        }
+    }
+}

@@ -18,6 +18,12 @@ fail on). Baselines written before the percentile keys existed — or with
 any other missing optional key — are handled by ignoring the key, so the
 gate stays usable across format generations in both directions.
 
+When the fresh file carries the SQ8 vector-tier keys, two additional
+deterministic gates apply (they read only the fresh file, so old baselines
+never block them): `sq8_recall_vs_exact_min` must be at least
+ACORN_BENCH_MIN_SQ8_RECALL (default 0.98), and `sq8_bytes_ratio` must be at
+most ACORN_BENCH_MAX_SQ8_BYTES_RATIO (default 0.45).
+
 Exits 0 when every band passes, 1 otherwise (or on malformed input).
 """
 
@@ -86,8 +92,27 @@ def main():
                 f"fresh {new_p99:.0f} us"
             )
 
+    # SQ8 tier gates: deterministic properties of the fresh run alone
+    # (recall vs the exact tier is measured against the same build; bytes
+    # per row is a structural constant). Skipped for files predating the
+    # vector-tier keys.
+    if "sq8_recall_vs_exact_min" in fresh_doc:
+        min_recall = float(os.environ.get("ACORN_BENCH_MIN_SQ8_RECALL", "0.98"))
+        got = fresh_doc["sq8_recall_vs_exact_min"]
+        verdict = "ok" if got >= min_recall else "FAIL"
+        print(f"sq8 recall vs exact: {got:.4f} (floor {min_recall:.2f}) {verdict}")
+        if got < min_recall:
+            failed = True
+    if "sq8_bytes_ratio" in fresh_doc:
+        max_ratio = float(os.environ.get("ACORN_BENCH_MAX_SQ8_BYTES_RATIO", "0.45"))
+        got = fresh_doc["sq8_bytes_ratio"]
+        verdict = "ok" if got <= max_ratio else "FAIL"
+        print(f"sq8 bytes/row ratio: {got:.3f} (ceiling {max_ratio:.2f}) {verdict}")
+        if got > max_ratio:
+            failed = True
+
     if failed:
-        print(f"FAIL: adaptive QPS fell below {ratio:.2f}x of the committed baseline")
+        print("FAIL: bench gate violated (QPS regression or SQ8 tier bound)")
         return 1
     print("bench regression gate passed")
     return 0
