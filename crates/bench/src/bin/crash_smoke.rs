@@ -1,0 +1,253 @@
+//! `crash_smoke` — end-to-end crash/recovery smoke test for the durable
+//! store: populate → churn → kill at a random injectable fault point →
+//! reopen → verify liveness invariants and recall — repeatedly.
+//!
+//! Each round drives a churn batch (inserts, deletes, freezes, merges, an
+//! occasional checkpoint) against a [`DurableIndex`] running over a
+//! [`FailpointVfs`] armed at a pseudo-random fault point. The injected
+//! fault tears a write and fails everything after it — a process kill.
+//! The directory is then reopened with the real filesystem and checked:
+//!
+//! * `open` must succeed (a committed generation always exists);
+//! * the recovered live-id set must equal the shadow op log's state at a
+//!   **legal prefix**: every acknowledged op survives (fsync = `Always`),
+//!   at most the one in-flight op may additionally have landed;
+//! * every search result must be a live id, sorted by distance;
+//! * after the final round, self-recall@1 over surviving rows must clear
+//!   `ACORN_CRASH_MIN_RECALL` (default 0.9) — crashes must not silently
+//!   degrade the graphs.
+//!
+//! Coverage gate: the disarmed counting batch must reach at least
+//! `ACORN_CRASH_POINTS` (default 20) injectable fault points, so the
+//! protocol can't silently lose sweep surface.
+//!
+//! Knobs: `ACORN_CRASH_N` (populate size, default 900), `ACORN_CRASH_ROUNDS`
+//! (kill rounds, default 10), `ACORN_CRASH_SEED` (default 42).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use acorn_core::durability::{
+    DurabilityOptions, DurableIndex, FailpointVfs, FaultPlan, FsyncPolicy, Vfs,
+};
+use acorn_core::{AcornParams, AcornVariant, MergePolicy, SegmentedAcornIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 16;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn params() -> AcornParams {
+    AcornParams { m: 8, gamma: 2, m_beta: 12, ef_construction: 32, seed: 9, ..Default::default() }
+}
+
+fn opts() -> DurabilityOptions {
+    DurabilityOptions {
+        fsync: FsyncPolicy::Always,
+        wal_max_bytes: 0, // explicit checkpoints only: exact acked accounting
+        snapshot_chunk_bytes: 4 << 10,
+    }
+}
+
+fn random_vec(rng: &mut StdRng) -> Vec<f32> {
+    (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Liveness effect of one batch op, recorded as it is acknowledged.
+#[derive(Debug, Clone, Copy)]
+enum Effect {
+    Insert(u64),
+    Delete(u64),
+    Neutral,
+}
+
+/// Drive one churn batch; returns the effects of *attempted* ops in order
+/// and how many were acknowledged before the injected fault (all of them,
+/// when the armed point lies beyond the batch).
+fn churn_batch(
+    store: &mut DurableIndex,
+    rng: &mut StdRng,
+    vectors: &mut Vec<Vec<f32>>,
+    live: &BTreeSet<u64>,
+) -> (Vec<Effect>, usize) {
+    let mut effects = Vec::new();
+    let mut acked = 0;
+    let mut live_now: Vec<u64> = live.iter().copied().collect();
+    for _ in 0..30 {
+        let roll = rng.gen_range(0u32..100);
+        let r = if roll < 55 || live_now.is_empty() {
+            let v = random_vec(rng);
+            let attempt = store.insert(&v);
+            if let Ok(gid) = attempt {
+                assert_eq!(gid as usize, vectors.len(), "global ids must stay dense");
+                vectors.push(v);
+                live_now.push(gid);
+                effects.push(Effect::Insert(gid));
+            } else {
+                // The in-flight insert may or may not have hit the log; its
+                // gid is the next dense id either way.
+                effects.push(Effect::Insert(vectors.len() as u64));
+                vectors.push(v);
+            }
+            attempt.map(|_| ())
+        } else if roll < 80 {
+            let gid = live_now.swap_remove(rng.gen_range(0..live_now.len()));
+            effects.push(Effect::Delete(gid));
+            store.delete(gid).map(|ok| assert!(ok, "shadow said gid {gid} was live"))
+        } else if roll < 90 {
+            effects.push(Effect::Neutral);
+            store.freeze()
+        } else if roll < 97 {
+            effects.push(Effect::Neutral);
+            store.merge().map(|_| ())
+        } else {
+            // State-neutral: a checkpoint moves bytes, never the live set.
+            effects.push(Effect::Neutral);
+            store.checkpoint()
+        };
+        match r {
+            Ok(()) => acked += 1,
+            Err(_) => return (effects, acked),
+        }
+    }
+    (effects, acked)
+}
+
+fn live_after(base: &BTreeSet<u64>, effects: &[Effect], k: usize) -> BTreeSet<u64> {
+    let mut s = base.clone();
+    for e in &effects[..k] {
+        match e {
+            Effect::Insert(gid) => {
+                s.insert(*gid);
+            }
+            Effect::Delete(gid) => {
+                s.remove(gid);
+            }
+            Effect::Neutral => {}
+        }
+    }
+    s
+}
+
+fn main() {
+    let n0 = env_usize("ACORN_CRASH_N", 900);
+    let rounds = env_usize("ACORN_CRASH_ROUNDS", 10);
+    let min_points = env_usize("ACORN_CRASH_POINTS", 20) as u64;
+    let min_recall = env_f64("ACORN_CRASH_MIN_RECALL", 0.9);
+    let seed = env_usize("ACORN_CRASH_SEED", 42) as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("acorn-crash-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // -- populate -----------------------------------------------------------
+    let plan = FaultPlan::new();
+    let vfs: Arc<dyn Vfs> = Arc::new(FailpointVfs::new(plan.clone()));
+    let idx = SegmentedAcornIndex::new(DIM, params(), AcornVariant::Gamma)
+        .with_policy(MergePolicy { active_max_rows: 256, min_rows: 512, ..Default::default() });
+    let mut store =
+        DurableIndex::create_with_vfs(&dir, idx, opts(), vfs.clone()).expect("create store");
+    let mut vectors: Vec<Vec<f32>> = Vec::new();
+    for _ in 0..n0 {
+        let v = random_vec(&mut rng);
+        store.insert(&v).expect("populate insert");
+        vectors.push(v);
+    }
+    store.checkpoint().expect("populate checkpoint");
+    let mut live: BTreeSet<u64> = (0..n0 as u64).collect();
+
+    // -- counting batch (also part of the workload) -------------------------
+    plan.disarm();
+    let (effects, acked) = churn_batch(&mut store, &mut rng, &mut vectors, &live);
+    assert_eq!(acked, effects.len(), "disarmed batch must complete");
+    live = live_after(&live, &effects, acked);
+    let mut last_points = plan.points_passed();
+    assert!(
+        last_points >= min_points,
+        "coverage gate: batch reached only {last_points} injectable points (need {min_points})"
+    );
+    println!(
+        "crash_smoke: populated n0={n0}, counting batch covered {last_points} fault points \
+         (gate {min_points})"
+    );
+
+    // -- kill rounds --------------------------------------------------------
+    let mut kills = 0;
+    for round in 0..rounds {
+        let point = rng.gen_range(1..=last_points);
+        plan.arm(point);
+        let (effects, acked) = churn_batch(&mut store, &mut rng, &mut vectors, &live);
+        let survived = acked == effects.len();
+        plan.disarm();
+        last_points = last_points.max(plan.points_passed());
+        if !survived {
+            kills += 1;
+            assert!(store.is_poisoned(), "a failed op must poison the handle");
+        }
+
+        // Reopen on the real filesystem, as after a process restart.
+        drop(store);
+        let reopened = DurableIndex::open(&dir, opts()).expect("open after crash");
+        // If the in-flight insert never landed its gid will be reused:
+        // forget the speculative tail of the gid → vector map.
+        vectors.truncate(reopened.index().next_global_id() as usize);
+        let got: BTreeSet<u64> = reopened.index().live_ids().into_iter().collect();
+        let hi = (acked + 1).min(effects.len());
+        let legal = (acked..=hi).any(|k| live_after(&live, &effects, k) == got);
+        assert!(
+            legal,
+            "round {round}: recovered live set matches no legal prefix \
+             (point {point}, acked {acked}/{})",
+            effects.len()
+        );
+        live = got;
+
+        // Serving invariants on the recovered index.
+        if let Some(&probe) = live.iter().next() {
+            let hits = reopened.search(&vectors[probe as usize], 10, 64);
+            for w in hits.windows(2) {
+                assert!(w[0].dist <= w[1].dist, "round {round}: unsorted results");
+            }
+            for h in &hits {
+                assert!(live.contains(&h.id), "round {round}: dead id {} surfaced", h.id);
+            }
+        }
+        // Rebind the store through a fresh fault-injection handle.
+        store = DurableIndex::open_with_vfs(&dir, opts(), vfs.clone()).expect("rebind store");
+        println!(
+            "crash_smoke: round {round}: point {point}, acked {acked}/{}, \
+             recovered {} live rows (gen {})",
+            effects.len(),
+            live.len(),
+            store.generation()
+        );
+    }
+
+    // -- final recall gate --------------------------------------------------
+    let sample: Vec<u64> = live.iter().copied().take(200).collect();
+    let mut hits_at_1 = 0;
+    for &gid in &sample {
+        let hits = store.search(&vectors[gid as usize], 1, 128);
+        if hits.first().map(|h| h.id) == Some(gid) {
+            hits_at_1 += 1;
+        }
+    }
+    let recall = hits_at_1 as f64 / sample.len().max(1) as f64;
+    println!(
+        "crash_smoke: {kills}/{rounds} rounds killed; final self-recall@1 = {recall:.3} \
+         over {} live rows (gate {min_recall})",
+        live.len()
+    );
+    assert!(recall >= min_recall, "recovered index recall {recall:.3} below gate {min_recall}");
+    std::fs::remove_dir_all(&dir).ok();
+    println!("crash_smoke: OK");
+}

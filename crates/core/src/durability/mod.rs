@@ -1,0 +1,718 @@
+//! Crash-safe persistence for [`SegmentedAcornIndex`]: atomic checksummed
+//! snapshots, a write-ahead log, and generation-manifest recovery.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <dir>/
+//!   MANIFEST              20 bytes: magic, version, committed generation, CRC32
+//!   snap-0000000007.acorn v6 snapshot of generation 7 (CRC32 footer)
+//!   wal-0000000007.log    ops applied since snapshot 7 (checksummed records)
+//!   snap-0000000006.acorn previous generation, kept as a bit-rot fallback
+//!   wal-0000000006.log    its WAL (completes the fallback to checkpoint state)
+//!   *.tmp                 in-flight writes; never read, pruned on sight
+//! ```
+//!
+//! # Commit protocol
+//!
+//! A checkpoint installs generation `g+1` in this order, each step made
+//! durable before the next (under [`FsyncPolicy::Always`] /
+//! [`FsyncPolicy::OnCheckpoint`]):
+//!
+//! 1. serialize the snapshot to `snap-<g+1>.acorn.tmp` → fsync → rename to
+//!    its final name → fsync the directory;
+//! 2. create a fresh `wal-<g+1>.log` (header only) → fsync;
+//! 3. **commit point**: write `MANIFEST.tmp` → fsync → rename over
+//!    `MANIFEST` → fsync the directory;
+//! 4. retire files older than generation `g` (kept as fallback).
+//!
+//! A crash anywhere before step 3 leaves `MANIFEST` pointing at `g`, whose
+//! snapshot and WAL are untouched — recovery reopens `g` and the partial
+//! `g+1` files are overwritten or pruned later. A crash after step 3 loses
+//! nothing: `g+1` holds exactly the state `g + wal-g` replays to.
+//!
+//! Every mutation is logged to the WAL **before** it is applied (one write
+//! call per record, fsynced under [`FsyncPolicy::Always`]), so the
+//! recovered index is always the replay of a legal prefix of the op log:
+//! everything acknowledged-and-fsynced survives, and at most the single
+//! in-flight op is lost. Structural ops (freeze/merge/compact) are logged
+//! too — segment boundaries affect approximate answers, and replaying them
+//! makes recovery bit-identical, not merely set-equivalent.
+//!
+//! # Recovery rules
+//!
+//! [`DurableIndex::open`] reads `MANIFEST` (falling back to the highest
+//! generation whose snapshot passes its CRC32 if the manifest is missing or
+//! corrupt), loads the snapshot — the v6 checksum is verified before any
+//! length field is trusted — then replays the valid prefix of the
+//! generation's WAL. If the WAL was torn, missing, or non-trivially
+//! replayed, open immediately checkpoints, so the store never appends after
+//! a torn tail. Any I/O error from a mutating call poisons the store
+//! (mutations fail fast until reopened); the on-disk state stays
+//! consistent. The whole protocol is swept by a fault-injection VFS — see
+//! [`vfs`] and `crates/core/tests/crash_points.rs`.
+
+pub mod vfs;
+pub mod wal;
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use acorn_hnsw::checksum::crc32;
+
+use crate::segment::{GlobalNeighbor, MergeOutcome};
+use crate::snapshot::IndexReader;
+use crate::SegmentedAcornIndex;
+
+pub use vfs::{FailpointVfs, FaultPlan, StdVfs, Vfs, VfsFile};
+pub use wal::WalOp;
+
+const MANIFEST_NAME: &str = "MANIFEST";
+const MANIFEST_MAGIC: &[u8; 4] = b"ACMF";
+const MANIFEST_VERSION: u32 = 1;
+
+/// When the store calls `fsync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync the WAL after every logged op and every checkpoint step. An
+    /// `Ok` from a mutation means the op survives any crash.
+    Always,
+    /// Fsync only during checkpoints. Ops logged since the last checkpoint
+    /// may be lost on a crash (recovery still lands on a legal prefix).
+    OnCheckpoint,
+    /// Never fsync. For tests and benchmarks; crash safety then depends on
+    /// the OS flushing in order.
+    Never,
+}
+
+/// Tuning knobs for a [`DurableIndex`].
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// When to fsync (default [`FsyncPolicy::Always`]).
+    pub fsync: FsyncPolicy,
+    /// Checkpoint automatically once the WAL outgrows this many bytes
+    /// (`0` = only on explicit [`DurableIndex::checkpoint`] calls).
+    /// Default 8 MiB.
+    pub wal_max_bytes: u64,
+    /// Write snapshot files in chunks of this many bytes (default 64 KiB).
+    /// Smaller chunks mean more distinct crash points for the
+    /// fault-injection sweep; the on-disk bytes are identical.
+    pub snapshot_chunk_bytes: usize,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        Self { fsync: FsyncPolicy::Always, wal_max_bytes: 8 << 20, snapshot_chunk_bytes: 64 << 10 }
+    }
+}
+
+/// A [`SegmentedAcornIndex`] bound to a directory with crash-safe
+/// persistence: checksummed snapshots, a write-ahead log, and atomic
+/// generation commits. See the [module docs](self) for the protocol.
+///
+/// All mutations go through this wrapper (there is deliberately no `&mut`
+/// access to the inner index): each one is WAL-logged before it is applied,
+/// which is what makes recovery bit-identical. Reads are free — borrow the
+/// inner index with [`index`](Self::index) or serve concurrently through
+/// [`reader`](Self::reader) handles.
+#[derive(Debug)]
+pub struct DurableIndex {
+    dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    opts: DurabilityOptions,
+    index: SegmentedAcornIndex,
+    generation: u64,
+    wal: Option<Box<dyn VfsFile>>,
+    wal_bytes: u64,
+    recovered_ops: u64,
+    checkpoints: u64,
+    poisoned: bool,
+}
+
+impl DurableIndex {
+    // -- construction -------------------------------------------------------
+
+    /// Create a new durable store in `dir` (created if missing), seeded
+    /// with `index` as generation 0. Fails with `AlreadyExists` if the
+    /// directory already holds a store — use [`open`](Self::open) for that.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        index: SegmentedAcornIndex,
+        opts: DurabilityOptions,
+    ) -> io::Result<Self> {
+        Self::create_with_vfs(dir, index, opts, Arc::new(StdVfs))
+    }
+
+    /// [`create`](Self::create) against an explicit [`Vfs`] (fault
+    /// injection, alternate filesystems).
+    pub fn create_with_vfs(
+        dir: impl AsRef<Path>,
+        index: SegmentedAcornIndex,
+        opts: DurabilityOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        vfs.create_dir_all(&dir)?;
+        if vfs.exists(&dir.join(MANIFEST_NAME))
+            || vfs.list(&dir)?.iter().any(|n| parse_gen(n, "snap-", ".acorn").is_some())
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "directory already holds a durable index; use DurableIndex::open",
+            ));
+        }
+        let mut store = Self {
+            dir,
+            vfs,
+            opts,
+            index,
+            generation: 0,
+            wal: None,
+            wal_bytes: 0,
+            recovered_ops: 0,
+            checkpoints: 0,
+            poisoned: false,
+        };
+        store.run(|s| s.install_generation(0))?;
+        Ok(store)
+    }
+
+    /// Open the durable store in `dir`, recovering per the
+    /// [recovery rules](self#recovery-rules).
+    pub fn open(dir: impl AsRef<Path>, opts: DurabilityOptions) -> io::Result<Self> {
+        Self::open_with_vfs(dir, opts, Arc::new(StdVfs))
+    }
+
+    /// [`open`](Self::open) against an explicit [`Vfs`].
+    pub fn open_with_vfs(
+        dir: impl AsRef<Path>,
+        opts: DurabilityOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let names = vfs.list(&dir)?;
+
+        // Candidate generations: the manifest's first, then every snapshot
+        // on disk from newest to oldest (reached only if the manifest or
+        // its snapshot is damaged — bit rot, not crashes).
+        let manifest_gen = read_manifest(&*vfs, &dir);
+        let mut snap_gens: Vec<u64> =
+            names.iter().filter_map(|n| parse_gen(n, "snap-", ".acorn")).collect();
+        snap_gens.sort_unstable_by(|a, b| b.cmp(a));
+        let mut candidates = Vec::new();
+        candidates.extend(manifest_gen);
+        candidates.extend(snap_gens.into_iter().filter(|g| Some(*g) != manifest_gen));
+
+        let mut last_err =
+            io::Error::new(io::ErrorKind::NotFound, "no durable index found in directory");
+        let mut chosen = None;
+        for g in candidates {
+            match vfs
+                .read(&snap_path(&dir, g))
+                .and_then(|bytes| SegmentedAcornIndex::load(&mut bytes.as_slice()))
+            {
+                Ok(index) => {
+                    chosen = Some((g, index));
+                    break;
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        let Some((generation, mut index)) = chosen else { return Err(last_err) };
+
+        // Replay the valid prefix of this generation's WAL.
+        let wal_file = wal_path(&dir, generation);
+        let (ops, valid_len, file_len, wal_present) = match vfs.read(&wal_file) {
+            Ok(buf) => {
+                let (ops, valid) = wal::parse(&buf, index.dim());
+                (ops, valid, buf.len(), true)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => (Vec::new(), 0, 0, false),
+            Err(e) => return Err(e),
+        };
+        let recovered_ops = ops.len() as u64;
+        for op in &ops {
+            apply(&mut index, op)?;
+        }
+
+        let mut store = Self {
+            dir,
+            vfs,
+            opts,
+            index,
+            generation,
+            wal: None,
+            wal_bytes: 0,
+            recovered_ops,
+            checkpoints: 0,
+            poisoned: false,
+        };
+        let clean = wal_present && file_len >= wal::WAL_HEADER.len() && valid_len == file_len;
+        if clean {
+            // Intact WAL: keep appending to it.
+            store.run(|s| {
+                s.wal = Some(s.vfs.append(&wal_file)?);
+                s.wal_bytes = file_len as u64;
+                s.prune_stale()
+            })?;
+        } else {
+            // Torn tail, missing file, or headerless stub: never append
+            // after garbage — roll a fresh generation instead.
+            store.run(|s| s.install_generation(s.generation + 1))?;
+        }
+        Ok(store)
+    }
+
+    // -- mutations (all WAL-first) ------------------------------------------
+
+    /// Insert a vector, returning its durable global id. The record is
+    /// logged (and fsynced, under [`FsyncPolicy::Always`]) before it is
+    /// applied, so an `Ok` means the insert survives a crash.
+    pub fn insert(&mut self, v: &[f32]) -> io::Result<u64> {
+        assert_eq!(v.len(), self.index.dim(), "inserted vector has wrong dimension");
+        self.run(|s| {
+            let gid = s.index.next_global_id();
+            s.append_op(&WalOp::Insert { gid, vector: v.to_vec() })?;
+            let got = s.index.insert(v);
+            debug_assert_eq!(got, gid);
+            s.maybe_auto_checkpoint()?;
+            Ok(gid)
+        })
+    }
+
+    /// Tombstone `gid`. Returns `false` (and logs nothing) if it was not
+    /// live.
+    pub fn delete(&mut self, gid: u64) -> io::Result<bool> {
+        self.run(|s| {
+            if !s.index.contains(gid) {
+                return Ok(false);
+            }
+            s.append_op(&WalOp::Delete { gid })?;
+            let deleted = s.index.delete(gid);
+            debug_assert!(deleted);
+            s.maybe_auto_checkpoint()?;
+            Ok(true)
+        })
+    }
+
+    /// Seal the active segment (logged; a no-op on an empty active segment
+    /// logs nothing).
+    pub fn freeze(&mut self) -> io::Result<()> {
+        self.run(|s| {
+            if s.index.snapshot().active_segment().is_none() {
+                return Ok(());
+            }
+            s.append_op(&WalOp::Freeze)?;
+            s.index.freeze();
+            s.maybe_auto_checkpoint()
+        })
+    }
+
+    /// Run one policy-driven merge pass (logged).
+    pub fn merge(&mut self) -> io::Result<MergeOutcome> {
+        self.run(|s| {
+            s.append_op(&WalOp::Merge)?;
+            let out = s.index.merge();
+            s.maybe_auto_checkpoint()?;
+            Ok(out)
+        })
+    }
+
+    /// Freeze and compact everything into one segment (logged).
+    pub fn compact_all(&mut self) -> io::Result<MergeOutcome> {
+        self.run(|s| {
+            s.append_op(&WalOp::CompactAll)?;
+            let out = s.index.compact_all();
+            s.maybe_auto_checkpoint()?;
+            Ok(out)
+        })
+    }
+
+    /// Write a new snapshot generation and truncate the WAL (the atomic
+    /// [commit protocol](self#commit-protocol)).
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        self.run(|s| s.install_generation(s.generation + 1))
+    }
+
+    // -- reads --------------------------------------------------------------
+
+    /// The underlying index, for searches and introspection.
+    pub fn index(&self) -> &SegmentedAcornIndex {
+        &self.index
+    }
+
+    /// A lock-free reader handle for concurrent serving.
+    pub fn reader(&self) -> IndexReader {
+        self.index.reader()
+    }
+
+    /// Convenience: unfiltered k-NN search on the current epoch.
+    pub fn search(&self, query: &[f32], k: usize, efs: usize) -> Vec<GlobalNeighbor> {
+        self.index.search(query, k, efs)
+    }
+
+    /// The committed snapshot generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Current WAL size in bytes (header included).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes
+    }
+
+    /// Ops replayed from the WAL when this handle was opened.
+    pub fn recovered_ops(&self) -> u64 {
+        self.recovered_ops
+    }
+
+    /// Checkpoints taken through this handle (auto + explicit + recovery).
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether an earlier I/O error poisoned this handle (mutations fail
+    /// fast; reopen to recover).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    /// Run a mutating step; any error poisons the handle, because a failed
+    /// protocol step leaves the in-memory bookkeeping out of sync with disk
+    /// (the on-disk state itself stays consistent — that is the point).
+    fn run<T>(&mut self, f: impl FnOnce(&mut Self) -> io::Result<T>) -> io::Result<T> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "durable store poisoned by an earlier I/O error; reopen it",
+            ));
+        }
+        let r = f(self);
+        if r.is_err() {
+            self.poisoned = true;
+        }
+        r
+    }
+
+    fn checkpoint_syncs(&self) -> bool {
+        self.opts.fsync != FsyncPolicy::Never
+    }
+
+    fn append_op(&mut self, op: &WalOp) -> io::Result<()> {
+        let rec = wal::encode(op);
+        let w = self.wal.as_mut().expect("store always holds a WAL handle when not poisoned");
+        // One write call per record: a crash tears at most this record,
+        // and the parse-time checksum discards the torn tail.
+        w.write_all(&rec)?;
+        if self.opts.fsync == FsyncPolicy::Always {
+            w.sync()?;
+        }
+        self.wal_bytes += rec.len() as u64;
+        Ok(())
+    }
+
+    fn maybe_auto_checkpoint(&mut self) -> io::Result<()> {
+        if self.opts.wal_max_bytes > 0 && self.wal_bytes > self.opts.wal_max_bytes {
+            self.install_generation(self.generation + 1)?;
+        }
+        Ok(())
+    }
+
+    /// The commit protocol: install `next` as the committed generation.
+    fn install_generation(&mut self, next: u64) -> io::Result<()> {
+        // 1. Snapshot, atomically: tmp + fsync + rename + dir fsync. The
+        //    v6 format carries its own CRC32 footer.
+        let bytes = {
+            let mut b = Vec::new();
+            self.index.snapshot().save(&mut b)?;
+            b
+        };
+        let tmp = self.dir.join(format!("snap-{next:010}.acorn.tmp"));
+        let mut f = self.vfs.create(&tmp)?;
+        for chunk in bytes.chunks(self.opts.snapshot_chunk_bytes.max(1)) {
+            f.write_all(chunk)?;
+        }
+        if self.checkpoint_syncs() {
+            f.sync()?;
+        }
+        drop(f);
+        self.vfs.rename(&tmp, &snap_path(&self.dir, next))?;
+        if self.checkpoint_syncs() {
+            self.vfs.sync_dir(&self.dir)?;
+        }
+
+        // 2. Fresh WAL for the new generation. Created before the commit
+        //    point so a committed generation always has its (possibly
+        //    empty) WAL on disk.
+        self.wal = None;
+        let mut w = self.vfs.create(&wal_path(&self.dir, next))?;
+        w.write_all(&wal::WAL_HEADER)?;
+        if self.checkpoint_syncs() {
+            w.sync()?;
+        }
+
+        // 3. Commit point: the manifest rename.
+        let mut content = Vec::with_capacity(20);
+        content.extend_from_slice(MANIFEST_MAGIC);
+        content.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        content.extend_from_slice(&next.to_le_bytes());
+        content.extend_from_slice(&crc32(&content).to_le_bytes());
+        let mtmp = self.dir.join("MANIFEST.tmp");
+        let mut mf = self.vfs.create(&mtmp)?;
+        mf.write_all(&content)?;
+        if self.checkpoint_syncs() {
+            mf.sync()?;
+        }
+        drop(mf);
+        self.vfs.rename(&mtmp, &self.dir.join(MANIFEST_NAME))?;
+        if self.checkpoint_syncs() {
+            self.vfs.sync_dir(&self.dir)?;
+        }
+
+        self.wal = Some(w);
+        self.wal_bytes = wal::WAL_HEADER.len() as u64;
+        self.generation = next;
+        self.checkpoints += 1;
+
+        // 4. Retire everything older than the previous generation.
+        self.prune_stale()
+    }
+
+    /// Remove `*.tmp` files and generations other than the current one and
+    /// its predecessor (kept, WAL included, as a lossless bit-rot
+    /// fallback to the checkpoint state).
+    fn prune_stale(&mut self) -> io::Result<()> {
+        let keep_from = self.generation.saturating_sub(1);
+        for name in self.vfs.list(&self.dir)? {
+            let stale = if name.ends_with(".tmp") {
+                true
+            } else if let Some(g) = parse_gen(&name, "snap-", ".acorn") {
+                g < keep_from || g > self.generation
+            } else if let Some(g) = parse_gen(&name, "wal-", ".log") {
+                g < keep_from || g > self.generation
+            } else {
+                false
+            };
+            if stale {
+                self.vfs.remove(&self.dir.join(name))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Apply one replayed op. Fails (rather than corrupting) if the record is
+/// inconsistent with the snapshot it claims to extend.
+fn apply(index: &mut SegmentedAcornIndex, op: &WalOp) -> io::Result<()> {
+    match op {
+        WalOp::Insert { gid, vector } => {
+            if vector.len() != index.dim() || *gid != index.next_global_id() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "WAL insert record inconsistent with the snapshot it extends",
+                ));
+            }
+            let got = index.insert(vector);
+            debug_assert_eq!(got, *gid);
+        }
+        WalOp::Delete { gid } => {
+            index.delete(*gid);
+        }
+        WalOp::Freeze => index.freeze(),
+        WalOp::Merge => {
+            index.merge();
+        }
+        WalOp::CompactAll => {
+            index.compact_all();
+        }
+    }
+    Ok(())
+}
+
+fn snap_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("snap-{gen:010}.acorn"))
+}
+
+fn wal_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("wal-{gen:010}.log"))
+}
+
+/// Parse `"<prefix><digits><suffix>"` into the generation number.
+fn parse_gen(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+}
+
+/// The committed generation, if the manifest exists and passes its CRC.
+fn read_manifest(vfs: &dyn Vfs, dir: &Path) -> Option<u64> {
+    let buf = vfs.read(&dir.join(MANIFEST_NAME)).ok()?;
+    if buf.len() != 20 || &buf[..4] != MANIFEST_MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes(buf[4..8].try_into().unwrap()) != MANIFEST_VERSION {
+        return None;
+    }
+    if crc32(&buf[..16]) != u32::from_le_bytes(buf[16..20].try_into().unwrap()) {
+        return None;
+    }
+    Some(u64::from_le_bytes(buf[8..16].try_into().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AcornParams, AcornVariant};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        std::env::temp_dir().join(format!(
+            "acorn-durable-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn params() -> AcornParams {
+        AcornParams {
+            m: 8,
+            gamma: 2,
+            m_beta: 12,
+            ef_construction: 32,
+            seed: 7,
+            ..AcornParams::default()
+        }
+    }
+
+    fn vec_for(i: u64, dim: usize) -> Vec<f32> {
+        (0..dim).map(|d| ((i * 31 + d as u64 * 7) % 97) as f32 / 97.0).collect()
+    }
+
+    fn fast_opts() -> DurabilityOptions {
+        DurabilityOptions { fsync: FsyncPolicy::Never, ..Default::default() }
+    }
+
+    #[test]
+    fn create_insert_reopen_roundtrips_bit_identically() {
+        let dir = tmp_dir("roundtrip");
+        let dim = 6;
+        let idx = SegmentedAcornIndex::new(dim, params(), AcornVariant::Gamma);
+        let mut store = DurableIndex::create(&dir, idx, fast_opts()).unwrap();
+        for i in 0..40u64 {
+            assert_eq!(store.insert(&vec_for(i, dim)).unwrap(), i);
+        }
+        store.freeze().unwrap();
+        for i in 40..60u64 {
+            store.insert(&vec_for(i, dim)).unwrap();
+        }
+        assert!(store.delete(3).unwrap());
+        assert!(!store.delete(3).unwrap(), "double delete is a logged-nothing no-op");
+        store.merge().unwrap();
+
+        let reopened = DurableIndex::open(&dir, fast_opts()).unwrap();
+        let mut a = Vec::new();
+        store.index().snapshot().save(&mut a).unwrap();
+        let mut b = Vec::new();
+        reopened.index().snapshot().save(&mut b).unwrap();
+        assert_eq!(a, b, "recovered index must be bit-identical");
+        assert_eq!(reopened.recovered_ops(), store.wal_records_hint());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_wal_and_survives_reopen() {
+        let dir = tmp_dir("ckpt");
+        let dim = 4;
+        let idx = SegmentedAcornIndex::new(dim, params(), AcornVariant::One);
+        let mut store = DurableIndex::create(&dir, idx, fast_opts()).unwrap();
+        for i in 0..25u64 {
+            store.insert(&vec_for(i, dim)).unwrap();
+        }
+        let wal_before = store.wal_bytes();
+        assert!(wal_before > wal::WAL_HEADER.len() as u64);
+        store.checkpoint().unwrap();
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.wal_bytes(), wal::WAL_HEADER.len() as u64);
+
+        let reopened = DurableIndex::open(&dir, fast_opts()).unwrap();
+        assert_eq!(reopened.generation(), 1);
+        assert_eq!(reopened.recovered_ops(), 0, "a checkpointed store replays nothing");
+        assert_eq!(reopened.index().len(), 25);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_on_wal_growth() {
+        let dir = tmp_dir("auto");
+        let dim = 4;
+        let idx = SegmentedAcornIndex::new(dim, params(), AcornVariant::One);
+        let opts = DurabilityOptions {
+            fsync: FsyncPolicy::Never,
+            wal_max_bytes: 256,
+            ..Default::default()
+        };
+        let mut store = DurableIndex::create(&dir, idx, opts).unwrap();
+        for i in 0..64u64 {
+            store.insert(&vec_for(i, dim)).unwrap();
+        }
+        assert!(store.generation() > 0, "WAL growth must trigger auto-checkpoints");
+        assert!(store.wal_bytes() <= 256 + 64, "WAL stays near the bound");
+        let reopened = DurableIndex::open(&dir, fast_opts()).unwrap();
+        assert_eq!(reopened.index().len(), 64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_an_existing_store_and_open_refuses_an_empty_dir() {
+        let dir = tmp_dir("guard");
+        let dim = 3;
+        let idx = SegmentedAcornIndex::new(dim, params(), AcornVariant::One);
+        let store = DurableIndex::create(&dir, idx, fast_opts()).unwrap();
+        drop(store);
+        let idx2 = SegmentedAcornIndex::new(dim, params(), AcornVariant::One);
+        let err = DurableIndex::create(&dir, idx2, fast_opts()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+
+        let empty = tmp_dir("guard-empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(DurableIndex::open(&empty, fast_opts()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&empty).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_falls_back_to_the_newest_valid_snapshot() {
+        let dir = tmp_dir("fallback");
+        let dim = 4;
+        let idx = SegmentedAcornIndex::new(dim, params(), AcornVariant::One);
+        let mut store = DurableIndex::create(&dir, idx, fast_opts()).unwrap();
+        for i in 0..10u64 {
+            store.insert(&vec_for(i, dim)).unwrap();
+        }
+        store.checkpoint().unwrap();
+        drop(store);
+        std::fs::write(dir.join(MANIFEST_NAME), b"garbage").unwrap();
+        let reopened = DurableIndex::open(&dir, fast_opts()).unwrap();
+        assert_eq!(reopened.index().len(), 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    impl DurableIndex {
+        /// Test helper: ops currently sitting in the WAL (derived, not a
+        /// separate counter, so it can't drift).
+        fn wal_records_hint(&self) -> u64 {
+            // 40 inserts + freeze + 20 inserts + 1 delete + merge = 63 in
+            // the roundtrip test; recomputed there from known op counts.
+            // This helper only exists to keep that assertion honest if the
+            // test evolves — parse the WAL file directly.
+            let buf = self.vfs.read(&wal_path(&self.dir, self.generation)).unwrap();
+            wal::parse(&buf, self.index.dim()).0.len() as u64
+        }
+    }
+}

@@ -177,8 +177,15 @@ impl AcornIndex {
         edges_pruned: u64,
     ) -> Self {
         let n = vecs.len();
+        // One level draw was consumed per inserted node: fast-forward the
+        // fresh sampler past them so resumed inserts continue the exact
+        // stream the original builder was on (load-then-insert must stay
+        // bit-identical to never-having-saved — crash recovery relies on
+        // this).
+        let mut sampler = LevelSampler::new(sampler_m(&params), params.seed);
+        sampler.skip(graph.len());
         Self {
-            sampler: LevelSampler::new(sampler_m(&params), params.seed),
+            sampler,
             scratch: SearchScratch::new(n),
             pool: ScratchPool::new(),
             graph,

@@ -45,6 +45,7 @@
 //! an [`IndexReader`] with one cheap load and serve the whole query
 //! lock-free while merges run on a background maintenance thread.
 
+pub mod durability;
 pub mod engine;
 pub mod index;
 pub mod lookup;
@@ -55,6 +56,7 @@ pub mod segment;
 pub mod serialize;
 pub mod snapshot;
 
+pub use durability::{DurabilityOptions, DurableIndex, FsyncPolicy};
 pub use engine::{BatchOutput, QueryEngine, SegmentedQueryEngine};
 pub use index::{AcornIndex, PredicateStrategy, MATERIALIZE_BELOW_SELECTIVITY};
 pub use params::{AcornParams, AcornVariant};

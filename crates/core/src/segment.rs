@@ -634,6 +634,13 @@ impl SegmentedAcornIndex {
     /// The thread rebuilds off to the side and publishes each merge as a
     /// new epoch; in-flight readers keep serving the epoch they pinned,
     /// bit-identically, until they drop it.
+    ///
+    /// The loop is panic-hardened: each merge cycle runs under
+    /// `catch_unwind`, a panicking cycle bumps the
+    /// [`maintenance_errors`](IndexReader::maintenance_errors) gauge, and
+    /// consecutive failures back the thread off exponentially (doubling up
+    /// to 32× `interval`, capped at 30s) instead of hot-looping on a
+    /// persistent fault. One successful cycle resets the backoff.
     pub fn start_maintenance(&mut self, interval: Duration) {
         if self.maintenance.is_some() {
             return;
@@ -644,18 +651,35 @@ impl SegmentedAcornIndex {
         let join = std::thread::Builder::new()
             .name("acorn-maintenance".into())
             .spawn(move || {
+                const MAX_BACKOFF_SHIFT: u32 = 5;
+                const BACKOFF_CAP: Duration = Duration::from_secs(30);
                 let (lock, cvar) = &*thread_stop;
+                let mut failures: u32 = 0;
                 let mut stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
                 while !*stopped {
-                    let (guard, _) = cvar
-                        .wait_timeout(stopped, interval)
-                        .unwrap_or_else(PoisonError::into_inner);
+                    let wait = if failures == 0 {
+                        interval
+                    } else {
+                        BACKOFF_CAP
+                            .min(interval.saturating_mul(1 << failures.min(MAX_BACKOFF_SHIFT)))
+                    };
+                    let (guard, _) =
+                        cvar.wait_timeout(stopped, wait).unwrap_or_else(PoisonError::into_inner);
                     stopped = guard;
                     if *stopped {
                         break;
                     }
                     drop(stopped);
-                    run_merge(&shared, false);
+                    let cycle = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_merge(&shared, false)
+                    }));
+                    match cycle {
+                        Ok(_) => failures = 0,
+                        Err(_) => {
+                            failures = failures.saturating_add(1);
+                            shared.maintenance_errors.fetch_add(1, AtomicOrdering::Release);
+                        }
+                    }
                     stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
                 }
             })
@@ -679,6 +703,20 @@ impl SegmentedAcornIndex {
     /// True while a background maintenance thread is attached.
     pub fn maintenance_running(&self) -> bool {
         self.maintenance.is_some()
+    }
+
+    /// Background merge cycles that panicked (caught by the maintenance
+    /// thread; see [`IndexReader::maintenance_errors`]).
+    pub fn maintenance_errors(&self) -> u64 {
+        self.shared.maintenance_errors.load(AtomicOrdering::Acquire)
+    }
+
+    /// Test hook: make the next `n` merge cycles (foreground or
+    /// background) panic on entry. Exercises the maintenance thread's
+    /// `catch_unwind` + backoff path.
+    #[doc(hidden)]
+    pub fn inject_merge_panics(&self, n: u64) {
+        self.shared.merge_fault.store(n, AtomicOrdering::Release);
     }
 
     /// Pure ANN search: the `k` nearest live rows, by global id. Pins the
@@ -809,6 +847,15 @@ fn pending_bytes(p: &Pending) -> usize {
 /// by a merge, so a captured source is guaranteed to still be present at
 /// phase 3.
 pub(crate) fn run_merge(shared: &SharedState, select_all: bool) -> MergeOutcome {
+    // Injected fault (tests only): dies before touching any state, so the
+    // panic leaves no gauge or lock residue behind.
+    if shared
+        .merge_fault
+        .fetch_update(AtomicOrdering::AcqRel, AtomicOrdering::Acquire, |n| n.checked_sub(1))
+        .is_ok()
+    {
+        panic!("injected merge panic (SegmentedAcornIndex::inject_merge_panics)");
+    }
     let _serialized = shared.maintenance_lock.lock().unwrap_or_else(PoisonError::into_inner);
 
     // Phase 1: capture.
@@ -1000,6 +1047,47 @@ mod tests {
             out.iter().map(|n| (n.id, n.dist)).collect::<Vec<_>>(),
             after.iter().map(|n| (n.id, n.dist)).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn maintenance_survives_injected_merge_panics_and_reports_them() {
+        let vecs = random_vecs(200, 8, 9);
+        let mut idx = SegmentedAcornIndex::new(8, small_params(8, 2, 5), AcornVariant::Gamma);
+        for v in &vecs[..100] {
+            idx.insert(v);
+        }
+        idx.freeze();
+        for v in &vecs[100..] {
+            idx.insert(v);
+        }
+        idx.freeze();
+        let reader = idx.reader();
+
+        // Foreground merges propagate the injected panic to the caller...
+        idx.inject_merge_panics(1);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| idx.merge())).is_err());
+
+        // ...but the maintenance thread catches it, bumps the gauge, backs
+        // off, and keeps running: later cycles still merge successfully.
+        idx.inject_merge_panics(2);
+        idx.start_maintenance(Duration::from_millis(1));
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while (reader.maintenance_errors() < 2 || reader.merges_completed() == 0)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        idx.stop_maintenance();
+        assert_eq!(reader.maintenance_errors(), 2, "both injected panics were caught and counted");
+        assert!(
+            reader.merges_completed() >= 1,
+            "the thread recovered after the faults and completed a merge"
+        );
+        assert_eq!(idx.maintenance_errors(), reader.maintenance_errors());
+        // The index still works: the two frozen segments were compacted.
+        assert_eq!(idx.len(), 200);
+        let out = idx.search(&vecs[17], 5, 48);
+        assert_eq!(out[0].id, 17);
     }
 
     #[test]

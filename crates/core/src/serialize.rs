@@ -59,11 +59,26 @@
 //! unchanged (policy off, every segment f32); [`SegmentSnapshot::save_compat_v4`]
 //! writes a v4 file for older readers as long as nothing is quantized.
 //!
+//! ## Format v6 — checksummed snapshots
+//!
+//! v6 is the v5 body followed by a 4-byte footer: the CRC32 (IEEE) of every
+//! preceding byte, magic and version included. [`SegmentedAcornIndex::load`]
+//! verifies the footer over the **whole file before parsing a single body
+//! field**, so no length read out of a torn or bit-rotted file is ever
+//! trusted — corruption anywhere yields a clean `InvalidData` error, never
+//! a panic or an attempted giant allocation. Legacy v4/v5 files still load
+//! through the streaming parser with its per-field structural guards (which
+//! also re-run on a v6 body after the checksum passes, as defense in
+//! depth); all three versions reject trailing bytes after the body. This
+//! footer is the commit unit of the [`durability`](crate::durability)
+//! layer: a crash mid-write leaves a file whose checksum cannot match.
+//!
 //! [`CsrGraph`]: acorn_hnsw::CsrGraph
 
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
+use acorn_hnsw::checksum::{ChecksumWriter, Crc32};
 use acorn_hnsw::{LayeredGraph, Metric, VectorStore};
 use acorn_predicate::Bitset;
 
@@ -77,8 +92,12 @@ const MAGIC: &[u8; 4] = b"ACRN";
 const VERSION: u32 = 3;
 /// Legacy segmented format: no quantization policy, untagged f32 segments.
 const SEGMENTED_V4: u32 = 4;
-/// Current segmented format: quantization policy + per-segment encoding tag.
-const SEGMENTED_VERSION: u32 = 5;
+/// Legacy segmented format: quantization policy + per-segment encoding
+/// tag, but no checksum footer.
+const SEGMENTED_V5: u32 = 5;
+/// Current segmented format: the v5 body followed by a CRC32 footer over
+/// every preceding byte, verified before any body field is parsed.
+const SEGMENTED_V6: u32 = 6;
 /// Per-segment encoding tags (v5).
 const ENC_F32: u8 = 0;
 const ENC_SQ8: u8 = 1;
@@ -232,7 +251,7 @@ impl AcornIndex {
         }
         match get_u32(r)? {
             VERSION => {}
-            SEGMENTED_V4 | SEGMENTED_VERSION => {
+            SEGMENTED_V4 | SEGMENTED_V5 | SEGMENTED_V6 => {
                 return Err(bad("this is a segmented index file; use SegmentedAcornIndex::load"))
             }
             _ => return Err(bad("unsupported ACORN index version")),
@@ -423,12 +442,13 @@ fn get_segment(
 
 impl SegmentSnapshot {
     /// Serialize this snapshot — manifest, tombstones, vectors, and
-    /// per-segment graphs — to `w` (format v5). A snapshot is immutable, so
-    /// the bytes are consistent *as of this epoch* no matter how many
-    /// inserts, deletes, or background merges land while the write is in
-    /// flight; saving the same snapshot twice yields identical bytes.
+    /// per-segment graphs — to `w` (format v6: the v5 body plus a CRC32
+    /// footer over every byte written). A snapshot is immutable, so the
+    /// bytes are consistent *as of this epoch* no matter how many inserts,
+    /// deletes, or background merges land while the write is in flight;
+    /// saving the same snapshot twice yields identical bytes.
     pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
-        self.save_version(w, SEGMENTED_VERSION)
+        self.save_version(w, SEGMENTED_V6)
     }
 
     /// Serialize this snapshot in the legacy v4 layout for older readers.
@@ -447,7 +467,19 @@ impl SegmentSnapshot {
     }
 
     fn save_version(&self, w: &mut impl Write, version: u32) -> io::Result<()> {
-        let tagged = version >= SEGMENTED_VERSION;
+        if version == SEGMENTED_V6 {
+            // Stream the whole preamble + body through the checksummer,
+            // then append the sum as the (unhashed) 4-byte footer.
+            let mut cw = ChecksumWriter::new(w);
+            self.save_preamble_and_body(&mut cw, version)?;
+            let sum = cw.sum();
+            return put_u32(cw.inner_mut(), sum);
+        }
+        self.save_preamble_and_body(w, version)
+    }
+
+    fn save_preamble_and_body(&self, w: &mut impl Write, version: u32) -> io::Result<()> {
+        let tagged = version >= SEGMENTED_V5;
         w.write_all(MAGIC)?;
         put_u32(w, version)?;
         put_header(w, self.variant(), self.params())?;
@@ -490,8 +522,8 @@ impl SegmentSnapshot {
 }
 
 impl SegmentedAcornIndex {
-    /// Serialize the whole segmented index to `w` (format v5) by saving the
-    /// currently published [`SegmentSnapshot`] — see
+    /// Serialize the whole segmented index to `w` (format v6, checksummed)
+    /// by saving the currently published [`SegmentSnapshot`] — see
     /// [`SegmentSnapshot::save`] for the snapshot-consistency guarantee. A
     /// loaded index resumes serving from CSR and accepting writes
     /// immediately.
@@ -507,16 +539,18 @@ impl SegmentedAcornIndex {
     }
 
     /// Load an index previously written by [`save`](Self::save) — the
-    /// current v5 format or the legacy v4 one (which loads with the
-    /// quantization policy off and every segment f32).
+    /// current v6 format (whose CRC32 footer is verified over the whole
+    /// file **before** any body field is parsed) or the legacy v5/v4 ones
+    /// (v4 loads with the quantization policy off and every segment f32).
     ///
     /// # Errors
-    /// Returns `InvalidData` on magic/version mismatch, inconsistent
-    /// parameters, a tombstone/segment manifest whose row counts disagree
-    /// with the embedded vector store or graph, non-ascending /
-    /// out-of-range / cross-segment-duplicated global ids, overlapping
-    /// segment gid ranges, tombstone bits beyond a segment's rows, and
-    /// embedded segment headers that disagree with the top-level
+    /// Returns `InvalidData` on magic/version mismatch, a checksum-footer
+    /// mismatch (torn or corrupt v6 file), trailing bytes after the body,
+    /// inconsistent parameters, a tombstone/segment manifest whose row
+    /// counts disagree with the embedded vector store or graph,
+    /// non-ascending / out-of-range / cross-segment-duplicated global ids,
+    /// overlapping segment gid ranges, tombstone bits beyond a segment's
+    /// rows, and embedded segment headers that disagree with the top-level
     /// configuration.
     pub fn load(r: &mut impl Read) -> io::Result<SegmentedAcornIndex> {
         let mut magic = [0u8; 4];
@@ -524,14 +558,50 @@ impl SegmentedAcornIndex {
         if &magic != MAGIC {
             return Err(bad("not an ACORN index file"));
         }
-        let tagged = match get_u32(r)? {
-            SEGMENTED_VERSION => true,
-            SEGMENTED_V4 => false,
-            VERSION => {
-                return Err(bad("this is a plain (non-segmented) index file; use AcornIndex::load"))
+        let version = get_u32(r)?;
+        match version {
+            SEGMENTED_V6 => {
+                // Checksum-first: slurp the rest of the stream (allocation
+                // bounded by bytes actually present, never by a parsed
+                // length), verify the footer over everything, and only then
+                // hand the body to the structural parser.
+                let mut rest = Vec::new();
+                r.read_to_end(&mut rest)?;
+                if rest.len() < 4 {
+                    return Err(bad("segmented index file too short for its checksum footer"));
+                }
+                let body_len = rest.len() - 4;
+                let footer =
+                    u32::from_le_bytes(rest[body_len..].try_into().expect("4 footer bytes"));
+                let mut crc = Crc32::new();
+                crc.update(MAGIC);
+                crc.update(&version.to_le_bytes());
+                crc.update(&rest[..body_len]);
+                if crc.finish() != footer {
+                    return Err(bad("segmented index checksum mismatch (torn or corrupt file)"));
+                }
+                let mut body = &rest[..body_len];
+                let idx = Self::load_body(&mut body, true)?;
+                if !body.is_empty() {
+                    return Err(bad("trailing bytes after segmented index body"));
+                }
+                Ok(idx)
             }
-            _ => return Err(bad("unsupported ACORN index version")),
-        };
+            SEGMENTED_V5 | SEGMENTED_V4 => {
+                let idx = Self::load_body(r, version == SEGMENTED_V5)?;
+                if r.read(&mut [0u8; 1])? != 0 {
+                    return Err(bad("trailing bytes after segmented index body"));
+                }
+                Ok(idx)
+            }
+            VERSION => Err(bad("this is a plain (non-segmented) index file; use AcornIndex::load")),
+            _ => Err(bad("unsupported ACORN index version")),
+        }
+    }
+
+    /// The version-independent body parser (everything after magic +
+    /// version, footer excluded), with every count cross-checked.
+    fn load_body(r: &mut impl Read, tagged: bool) -> io::Result<SegmentedAcornIndex> {
         let (variant, params) = get_header(r)?;
         // `AcornParams::validate` panics; a corrupt file must error instead.
         if params.m < 2
@@ -785,6 +855,17 @@ mod tests {
     /// block leads with its 1-byte encoding tag (f32 here, so no codebook).
     const SEG_N_OFF: usize = SEG_HEADER_BYTES + 1;
 
+    /// Serialize in the legacy (footerless) v5 layout. The structural-guard
+    /// tests poke specific byte offsets and must reach the streaming parser
+    /// directly — on a v6 file the checksum footer would (correctly) reject
+    /// the corruption first. The same guards re-run on v6 bodies after the
+    /// checksum passes.
+    fn save_v5(idx: &crate::SegmentedAcornIndex) -> Vec<u8> {
+        let mut buf = Vec::new();
+        idx.snapshot().save_version(&mut buf, SEGMENTED_V5).unwrap();
+        buf
+    }
+
     #[test]
     fn segmented_roundtrip_preserves_answers_and_accepts_writes() {
         let (idx, vecs) = segmented_fixture();
@@ -822,8 +903,7 @@ mod tests {
     #[test]
     fn segmented_load_rejects_corrupt_row_count_without_huge_alloc() {
         let (idx, _) = segmented_fixture();
-        let mut buf = Vec::new();
-        idx.save(&mut buf).unwrap();
+        let mut buf = save_v5(&idx);
         // First frozen segment's n: an absurd value must error (EOF while
         // reading the manifest), never attempt a proportional allocation.
         buf[SEG_N_OFF..SEG_N_OFF + 8].copy_from_slice(&u64::MAX.to_le_bytes());
@@ -838,8 +918,7 @@ mod tests {
     #[test]
     fn segmented_load_rejects_unsorted_global_ids() {
         let (idx, _) = segmented_fixture();
-        let mut buf = Vec::new();
-        idx.save(&mut buf).unwrap();
+        let mut buf = save_v5(&idx);
         // First gid (value 0) -> 5: now >= the second gid (1).
         let off = SEG_N_OFF + 8;
         buf[off..off + 8].copy_from_slice(&5u64.to_le_bytes());
@@ -850,8 +929,7 @@ mod tests {
     #[test]
     fn segmented_load_rejects_tombstone_bits_beyond_rows() {
         let (idx, _) = segmented_fixture();
-        let mut buf = Vec::new();
-        idx.save(&mut buf).unwrap();
+        let mut buf = save_v5(&idx);
         // Frozen segment: n = 100 -> 2 tombstone words, valid bits 0..36 of
         // the last word. Set bits 40..48.
         let words_off = SEG_N_OFF + 8 + 100 * 8;
@@ -863,8 +941,7 @@ mod tests {
     #[test]
     fn segmented_load_rejects_cross_segment_duplicate_global_ids() {
         let (idx, _) = segmented_fixture();
-        let mut buf = Vec::new();
-        idx.save(&mut buf).unwrap();
+        let mut buf = save_v5(&idx);
         // Frozen segment: gids 0..100. Rewrite the last one (99 -> 149):
         // still strictly ascending within the segment and < next_global
         // (160), but 149 is also owned by the active segment (100..160).
@@ -877,8 +954,7 @@ mod tests {
     #[test]
     fn segmented_load_rejects_overlapping_segment_ranges() {
         let (idx, _) = segmented_fixture();
-        let mut buf = Vec::new();
-        idx.save(&mut buf).unwrap();
+        let mut buf = save_v5(&idx);
         // Raise next_global (160 -> 200, at magic 4 + version 4 + header 59
         // + dim 8 = offset 75), then rewrite the frozen segment's last gid
         // (99 -> 170): every per-id check passes (ascending within the
@@ -894,8 +970,7 @@ mod tests {
     #[test]
     fn segmented_load_rejects_mismatched_embedded_header() {
         let (idx, _) = segmented_fixture();
-        let mut buf = Vec::new();
-        idx.save(&mut buf).unwrap();
+        let mut buf = save_v5(&idx);
         // The frozen segment's embedded v3 blob starts after its manifest
         // (n = 100, dim = 8): 8 + 800 gid bytes + 16 tombstone bytes +
         // 3200 vector bytes. Its metric byte sits 8 (magic + version) + 1
@@ -991,10 +1066,11 @@ mod tests {
         let (idx, _) = segmented_fixture();
         let mut v4 = Vec::new();
         idx.save_compat_v4(&mut v4).unwrap();
-        // The v4 body is 9 header bytes + one tag byte per segment smaller.
-        let mut v5 = Vec::new();
-        idx.save(&mut v5).unwrap();
-        assert_eq!(v4.len() + 9 + 2, v5.len());
+        // The v4 body is 9 header bytes + one tag byte per segment smaller,
+        // and carries no 4-byte checksum footer.
+        let mut v6 = Vec::new();
+        idx.save(&mut v6).unwrap();
+        assert_eq!(v4.len() + 9 + 2 + 4, v6.len());
 
         let loaded = crate::SegmentedAcornIndex::load(&mut v4.as_slice()).unwrap();
         assert_eq!(loaded.quantization(), QuantizationPolicy::default());
@@ -1011,8 +1087,7 @@ mod tests {
     #[test]
     fn load_rejects_corrupt_codebook_and_unknown_encoding_tag() {
         let idx = quantized_fixture();
-        let mut buf = Vec::new();
-        idx.save(&mut buf).unwrap();
+        let buf = save_v5(&idx);
 
         // The frozen block leads with tag 1 | rerank_k u64 | mins [f32; 8]:
         // poison the first step (offset tag 1 + 8 + 32) with 0.0.
@@ -1026,6 +1101,89 @@ mod tests {
         bad_tag[SEG_HEADER_BYTES] = 7;
         let err = crate::SegmentedAcornIndex::load(&mut bad_tag.as_slice()).unwrap_err();
         assert!(err.to_string().contains("encoding tag"), "unexpected: {err}");
+    }
+
+    /// A small segmented fixture (one frozen + one active segment, a few
+    /// tombstones) sized so the exhaustive byte-flip sweep stays fast.
+    fn tiny_fixture() -> crate::SegmentedAcornIndex {
+        let mut rng = StdRng::seed_from_u64(91);
+        let vecs: Vec<Vec<f32>> =
+            (0..48).map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let params =
+            AcornParams { m: 4, gamma: 2, m_beta: 8, ef_construction: 16, ..Default::default() };
+        let mut idx = crate::SegmentedAcornIndex::new(4, params, AcornVariant::Gamma);
+        for v in &vecs[..32] {
+            idx.insert(v);
+        }
+        idx.freeze();
+        for v in &vecs[32..] {
+            idx.insert(v);
+        }
+        for gid in [1u64, 7, 40] {
+            idx.delete(gid);
+        }
+        idx
+    }
+
+    #[test]
+    fn v6_flipping_any_bit_anywhere_is_a_clean_error() {
+        let idx = tiny_fixture();
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        crate::SegmentedAcornIndex::load(&mut buf.as_slice()).expect("pristine file must load");
+        // Exhaustive: every bit of every byte — header, manifest, length
+        // fields, vector data, embedded graphs, and the footer itself. A
+        // flip must yield Err (clean `io::Error`), never a panic and never
+        // a length-driven giant allocation (allocations are bounded by the
+        // actual byte count before the parser ever runs).
+        for i in 0..buf.len() {
+            for bit in 0..8 {
+                buf[i] ^= 1 << bit;
+                let res = crate::SegmentedAcornIndex::load(&mut buf.as_slice());
+                assert!(res.is_err(), "flip at byte {i} bit {bit} loaded successfully");
+                buf[i] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn v6_checksum_is_verified_before_any_length_is_trusted() {
+        let (idx, _) = segmented_fixture();
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        // The same corrupt row count that the structural guard catches on
+        // v5 must now be rejected by the checksum, i.e. before parsing.
+        buf[SEG_N_OFF..SEG_N_OFF + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn v5_legacy_files_still_load_and_answer_identically() {
+        let (idx, _) = segmented_fixture();
+        let buf = save_v5(&idx);
+        let loaded = crate::SegmentedAcornIndex::load(&mut buf.as_slice()).unwrap();
+        let q = vec![0.2; 8];
+        let a: Vec<(u64, f32)> = idx.search(&q, 10, 64).iter().map(|n| (n.id, n.dist)).collect();
+        let b: Vec<(u64, f32)> = loaded.search(&q, 10, 64).iter().map(|n| (n.id, n.dist)).collect();
+        assert_eq!(a, b, "v5-loaded index must answer identically");
+    }
+
+    #[test]
+    fn trailing_bytes_after_the_body_are_rejected_in_every_version() {
+        let (idx, _) = segmented_fixture();
+        // v5: the streaming parser must notice it did not consume the file.
+        let mut v5 = save_v5(&idx);
+        v5.push(0);
+        let err = crate::SegmentedAcornIndex::load(&mut v5.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "unexpected: {err}");
+        // v6: appended garbage lands inside the checksummed region's tail,
+        // so the footer no longer matches.
+        let mut v6 = Vec::new();
+        idx.save(&mut v6).unwrap();
+        v6.push(0);
+        assert!(crate::SegmentedAcornIndex::load(&mut v6.as_slice()).is_err());
     }
 
     #[test]

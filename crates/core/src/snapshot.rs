@@ -673,6 +673,14 @@ pub(crate) struct SharedState {
     pub(crate) merges_in_flight: AtomicUsize,
     /// Merges that published a new epoch since the index was created.
     pub(crate) merges_completed: AtomicU64,
+    /// Maintenance-thread merge cycles that panicked (caught; the thread
+    /// backs off and keeps running). A health gauge: nonzero means merges
+    /// are failing and compaction is stalled.
+    pub(crate) maintenance_errors: AtomicU64,
+    /// Fault injection for tests: the next N merge cycles panic on entry.
+    /// Only ever set through the doc-hidden
+    /// `SegmentedAcornIndex::inject_merge_panics`.
+    pub(crate) merge_fault: AtomicU64,
 }
 
 impl SharedState {
@@ -693,6 +701,8 @@ impl SharedState {
             maintenance_lock: Mutex::new(()),
             merges_in_flight: AtomicUsize::new(0),
             merges_completed: AtomicU64::new(0),
+            maintenance_errors: AtomicU64::new(0),
+            merge_fault: AtomicU64::new(0),
         }
     }
 
@@ -764,6 +774,14 @@ impl IndexReader {
     /// Merges that have published a new epoch since the index was created.
     pub fn merges_completed(&self) -> u64 {
         self.shared.merges_completed.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Background merge cycles that panicked (each one is caught; the
+    /// maintenance thread backs off exponentially and keeps running).
+    /// Monitor this: a nonzero, growing value means compaction is stalled
+    /// and tombstoned rows are accumulating.
+    pub fn maintenance_errors(&self) -> u64 {
+        self.shared.maintenance_errors.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Pure ANN search against the current epoch: the `k` nearest live

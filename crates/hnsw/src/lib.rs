@@ -35,6 +35,7 @@
 //! The ACORN paper (SIGMOD 2024) extends this structure; see the
 //! `acorn-core` crate for the extension.
 
+pub mod checksum;
 pub mod csr;
 pub mod graph;
 pub mod heap;
@@ -49,6 +50,7 @@ pub mod stats;
 pub mod vecs;
 pub mod visited;
 
+pub use checksum::{crc32, ChecksumWriter, Crc32};
 pub use csr::CsrGraph;
 pub use graph::{GraphView, LayeredGraph};
 pub use heap::Neighbor;

@@ -66,9 +66,10 @@ pub use acorn_predicate as predicate;
 /// The most commonly used types, importable in one line.
 pub mod prelude {
     pub use acorn_core::{
-        AcornIndex, AcornParams, AcornVariant, BatchOutput, GlobalNeighbor, IndexReader,
-        MergeOutcome, MergePolicy, PredicateStrategy, PruneStrategy, QueryEngine, SegmentSnapshot,
-        SegmentView, SegmentedAcornIndex, SegmentedQueryEngine,
+        AcornIndex, AcornParams, AcornVariant, BatchOutput, DurabilityOptions, DurableIndex,
+        FsyncPolicy, GlobalNeighbor, IndexReader, MergeOutcome, MergePolicy, PredicateStrategy,
+        PruneStrategy, QueryEngine, SegmentSnapshot, SegmentView, SegmentedAcornIndex,
+        SegmentedQueryEngine,
     };
     pub use acorn_hnsw::{
         CsrGraph, GraphView, HnswIndex, HnswParams, Metric, Neighbor, ScratchPool, SearchScratch,
