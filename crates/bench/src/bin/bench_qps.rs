@@ -1,7 +1,7 @@
 //! `bench_qps` — the QueryEngine throughput benchmark.
 //!
 //! Measures hybrid-search QPS and recall@10 through the
-//! [`QueryEngine`](acorn_core::engine::QueryEngine) batch layer on a
+//! [`acorn_core::engine::QueryEngine`] batch layer on a
 //! TripClick-like dataset with date-range predicates at three selectivity
 //! bands, at 1, 2, and 4 worker threads, across two axes:
 //!

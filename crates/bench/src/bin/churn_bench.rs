@@ -7,7 +7,8 @@
 //! 1. **Baseline ("at rest")** — maintenance is off, so no merges run, but
 //!    a writer thread still churns inserts/deletes (auto-freezing via
 //!    `active_max_rows`) while `ACORN_CHURN_READERS` reader threads each
-//!    take `ACORN_CHURN_REST_QUERIES` timed queries through [`IndexReader`]
+//!    take `ACORN_CHURN_REST_QUERIES` timed queries through
+//!    [`acorn_core::IndexReader`]
 //!    snapshots. This is the serving load *without* merges — same CPU
 //!    contention, same write pressure.
 //! 2. **Merge churn** — the background maintenance thread starts and the
@@ -77,11 +78,7 @@ fn check_hits(snap: &acorn_core::SegmentSnapshot, hits: &[GlobalNeighbor]) {
 
 fn fmt_summary(label: &str, s: Option<LatencySummary>, count: usize) -> String {
     match s {
-        Some(s) => format!(
-            "{label:>12}: n = {count:>6}  p50 = {:>8.1?}  p99 = {:>8.1?}  p999 = {:>8.1?}  \
-             mean = {:>8.1?}  max = {:>8.1?}",
-            s.p50, s.p99, s.p999, s.mean, s.max
-        ),
+        Some(s) => format!("{label:>12}: n = {count:>6}  {s}"),
         None => format!("{label:>12}: n = 0 (no samples)"),
     }
 }

@@ -16,6 +16,7 @@
 //! Output: aligned tables on stdout and CSV files under `results/`.
 
 pub mod methods;
+pub mod workload;
 
 use std::path::PathBuf;
 

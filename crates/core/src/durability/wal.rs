@@ -10,7 +10,7 @@
 //! `crc` is the CRC32 of the length prefix plus the payload, so neither a
 //! corrupted length nor a corrupted body can slip through. Each record is
 //! appended with a **single** write call; a crash therefore tears at most
-//! the final record, and [`parse`] stops cleanly at the first record whose
+//! the final record, and the parser stops cleanly at the first record whose
 //! length, checksum, or payload is invalid — everything before that point
 //! is the legal prefix that recovery replays.
 //!

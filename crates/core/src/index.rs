@@ -734,7 +734,7 @@ impl AcornIndex {
 
     /// [`hybrid_search`](Self::hybrid_search) with an explicit predicate
     /// evaluation strategy. Both strategies sample the **same** rows for the
-    /// selectivity estimate (see [`estimate_selectivity_compiled`]) and
+    /// selectivity estimate (see `estimate_selectivity_compiled`) and
     /// every filter they build answers `passes(id)` identically, so the
     /// routing decision and the returned neighbors are bit-identical across
     /// strategies — only `npred_evaluated` and wall time differ.

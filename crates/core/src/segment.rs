@@ -577,6 +577,57 @@ impl SegmentedAcornIndex {
         self.shared.publish(&mut p);
     }
 
+    /// Bulk-load a whole vector store as one directly-frozen segment,
+    /// returning the contiguous global-id range assigned to its rows (row
+    /// `i` of the store gets gid `range.start + i`).
+    ///
+    /// [`insert`](Self::insert) publishes a clone of the active segment's
+    /// graph per call, which is the right trade for trickle writes but
+    /// quadratic for ingest; `bulk_load` instead builds the chunk's graph
+    /// **off-lock** (queries keep serving the current epoch throughout),
+    /// compacts it straight to the CSR read layout, applies the
+    /// quantization policy, and publishes exactly one new epoch. By the
+    /// determinism contract the resulting segment answers bit-identically
+    /// to inserting the same rows one at a time and freezing.
+    ///
+    /// Any rows in the active segment are sealed first so segments keep
+    /// owning ascending, pairwise-disjoint gid ranges — the invariant
+    /// [`delete`](Self::delete)'s range binary search relies on.
+    ///
+    /// # Panics
+    /// Panics if the store's dimension does not match the index.
+    pub fn bulk_load(&mut self, store: VectorStore) -> std::ops::Range<u64> {
+        assert_eq!(store.dim(), self.shared.dim, "bulk-loaded store has wrong dimension");
+        let n = store.len();
+        if n == 0 {
+            let next = self.shared.pending().next_global;
+            return next..next;
+        }
+        let quant = self.shared.pending().quant;
+        let mut index =
+            AcornIndex::build(Arc::new(store), self.shared.params.clone(), self.shared.variant);
+        index.compact();
+        if quant.sq8_frozen {
+            index.quantize(quant.rerank_k);
+        }
+        let mut p = self.shared.pending();
+        Self::seal_active_locked(&mut self.active, &self.shared, &mut p);
+        let first = p.next_global;
+        p.next_global += n as u64;
+        let global_ids: Vec<u64> = (first..p.next_global).collect();
+        let id = p.next_seg_id;
+        p.next_seg_id += 1;
+        p.frozen.push(FrozenSeg {
+            id,
+            sealed: Arc::new(SealedSegment { index, global_ids }),
+            tombstones: Arc::new(Bitset::new(n)),
+            deleted: 0,
+        });
+        p.frozen.sort_by_key(FrozenSeg::first_gid);
+        self.shared.publish(&mut p);
+        first..p.next_global
+    }
+
     /// Seal `active` into the frozen list of `p`. Caller publishes.
     fn seal_active_locked(active: &mut ActiveSegment, shared: &SharedState, p: &mut Pending) {
         if active.global_ids.is_empty() {

@@ -6,7 +6,7 @@
 //!
 //! * Every mutation ([`insert`], [`delete`], [`freeze`], merges) builds the
 //!   next immutable [`SegmentSnapshot`] and publishes it into the
-//!   [`SnapshotCell`] under the writer's pending lock, bumping the epoch.
+//!   snapshot cell under the writer's pending lock, bumping the epoch.
 //! * A reader calls [`IndexReader::snapshot`] once — a read-lock held only
 //!   long enough to clone an `Arc` — and then serves the entire query from
 //!   that snapshot **without acquiring any lock**: sealed segments are
@@ -681,6 +681,11 @@ pub(crate) struct SharedState {
     /// Only ever set through the doc-hidden
     /// `SegmentedAcornIndex::inject_merge_panics`.
     pub(crate) merge_fault: AtomicU64,
+    /// Epoch pins taken through [`SharedState::snapshot`] since the index
+    /// was created. A read-path traffic gauge: every search pins at least
+    /// one snapshot, so the workload bench reports this next to QPS to show
+    /// how many acquisitions a run actually performed.
+    pub(crate) snapshot_pins: AtomicU64,
 }
 
 impl SharedState {
@@ -703,6 +708,7 @@ impl SharedState {
             merges_completed: AtomicU64::new(0),
             maintenance_errors: AtomicU64::new(0),
             merge_fault: AtomicU64::new(0),
+            snapshot_pins: AtomicU64::new(0),
         }
     }
 
@@ -731,6 +737,7 @@ impl SharedState {
     }
 
     pub(crate) fn snapshot(&self) -> Arc<SegmentSnapshot> {
+        self.snapshot_pins.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.cell.load()
     }
 }
@@ -782,6 +789,13 @@ impl IndexReader {
     /// and tombstoned rows are accumulating.
     pub fn maintenance_errors(&self) -> u64 {
         self.shared.maintenance_errors.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Epoch pins taken across all readers of this index since creation.
+    /// Every search acquires at least one, so this counts read-path
+    /// snapshot traffic; the workload bench reports it next to QPS.
+    pub fn snapshot_pins(&self) -> u64 {
+        self.shared.snapshot_pins.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Pure ANN search against the current epoch: the `k` nearest live

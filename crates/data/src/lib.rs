@@ -19,16 +19,24 @@
 //! * [`workloads`] — query-workload generators: equality, keyword-contains
 //!   with positive/none/negative correlation, date ranges at target
 //!   selectivities, and regex.
-//! * [`ground_truth`] — exact filtered K-NN (parallel brute force).
+//! * [`mod@ground_truth`] — exact filtered K-NN (parallel brute force).
 //! * [`correlation`] — the paper's query-correlation statistic `C(D, Q)`.
+//! * [`scale`] — config-driven correlated-attribute corpora for the
+//!   million-row workload harness ([`CorrelatedSpec`]).
+//! * [`zipf`] — Zipf-distributed rank sampling for skewed query traffic
+//!   ([`Zipf`]).
 
 pub mod captions;
 pub mod correlation;
 pub mod datasets;
 pub mod ground_truth;
+pub mod scale;
 pub mod synth;
 pub mod workloads;
+pub mod zipf;
 
 pub use datasets::HybridDataset;
 pub use ground_truth::ground_truth;
+pub use scale::{correlated_dataset, CorrelatedSpec};
 pub use workloads::{Correlation, HybridQuery, Workload};
+pub use zipf::Zipf;

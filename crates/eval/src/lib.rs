@@ -8,7 +8,7 @@
 //! * [`qps`] — a multi-threaded query driver measuring queries/second, with
 //!   per-thread scratch reuse (the paper reports QPS on a 96-vCPU machine;
 //!   relative QPS at equal recall is what the reproduction targets).
-//! * [`sweep`] — recall-vs-QPS curves by sweeping the search beam width
+//! * [`mod@sweep`] — recall-vs-QPS curves by sweeping the search beam width
 //!   (`efs`/`L`/`nprobe`), the x/y axes of Figures 7–11.
 //! * [`graph_quality`] — predicate-subgraph analysis for Figure 13:
 //!   strongly connected components per level (iterative Tarjan), graph

@@ -4,7 +4,7 @@
 //! `min`/`step` codebook trained on the dataset (`step = (max - min) / 255`,
 //! clamped away from zero). Distances are computed asymmetrically: the query
 //! stays in f32 and codes are dequantized on the fly inside the
-//! [`kernels`](crate::kernels) SQ8 kernels, which keeps the recall loss
+//! [`crate::kernels`] SQ8 kernels, which keeps the recall loss
 //! small while cutting vector memory ~4×.
 //!
 //! [`Sq8Store`] implements [`VectorData`], so it can serve as the traversal

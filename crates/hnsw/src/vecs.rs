@@ -10,7 +10,7 @@
 //! layers are generic over [`VectorData`], so a frozen segment can swap the
 //! f32 tier for the SQ8-quantized [`Sq8Store`](crate::Sq8Store) without
 //! touching traversal logic. All distances route through the
-//! [`kernels`](crate::kernels) module, which picks AVX2/FMA or scalar code
+//! [`crate::kernels`] module, which picks AVX2/FMA or scalar code
 //! once per process.
 
 use crate::kernels;
@@ -43,13 +43,13 @@ impl Metric {
 }
 
 /// Squared Euclidean distance, dispatched through
-/// [`kernels::l2_sq`](crate::kernels::l2_sq) (AVX2/FMA when available).
+/// [`crate::kernels::l2_sq`] (AVX2/FMA when available).
 #[inline]
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
     kernels::l2_sq(a, b)
 }
 
-/// Dot product, dispatched through [`kernels::dot`](crate::kernels::dot).
+/// Dot product, dispatched through [`crate::kernels::dot`].
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     kernels::dot(a, b)

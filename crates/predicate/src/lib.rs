@@ -15,7 +15,7 @@
 //! The hot-path contract consumed by the indices is the [`NodeFilter`] trait:
 //! "does dataset row `id` pass this query's predicate?". Implementations
 //! include lazy AST evaluation ([`PredicateFilter`]) and a precomputed
-//! [`Bitset`](bitmap::Bitset) ([`BitmapFilter`]), mirroring the two
+//! [`bitmap::Bitset`] ([`BitmapFilter`]), mirroring the two
 //! strategies real systems (Weaviate, Milvus) use.
 //!
 //! The [`compiled`] module lowers the AST into a flat, constant-folded

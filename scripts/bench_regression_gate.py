@@ -2,6 +2,16 @@
 """Bench regression gate: compare a fresh BENCH_hybrid.json to the committed one.
 
 Usage: bench_regression_gate.py COMMITTED_JSON FRESH_JSON
+       bench_regression_gate.py --workload COMMITTED_JSON FRESH_JSON
+
+The second form validates a fresh BENCH_workload.json (from workload_bench):
+structural checks always run (all five op classes present, search classes
+with enough samples carry percentiles, zero maintenance errors, live rows
+remain); the per-class p99 regression comparison additionally runs when the
+committed and fresh runs used the same row/op counts (the committed run is
+1M rows, CI smoke is env-scaled, so cross-scale latencies are deliberately
+not compared). The regression ceiling is
+ACORN_WORKLOAD_MAX_P99_REGRESSION (default 3.0) times the committed p99.
 
 For every selectivity band, the best-across-threads adaptive QPS (the `qps`
 field of each run) of the fresh file must be at least
@@ -53,7 +63,82 @@ def band_best_p99(doc):
     return out
 
 
+SEARCH_CLASSES = ("hybrid", "filtered", "pure")
+ALL_CLASSES = SEARCH_CLASSES + ("insert", "delete")
+MIN_SAMPLES = 20
+
+
+def workload_gate(committed_doc, fresh_doc):
+    """Validate a fresh BENCH_workload.json; compare p99 when scale matches."""
+    failed = False
+    for key in ("config", "load", "mixed", "index"):
+        if key not in fresh_doc:
+            print(f"FAIL: workload JSON missing top-level key `{key}`")
+            return 1
+    classes = {c["class"]: c for c in fresh_doc["mixed"]["classes"]}
+    if set(classes) != set(ALL_CLASSES):
+        print(f"FAIL: op classes are {sorted(classes)}, want {sorted(ALL_CLASSES)}")
+        return 1
+    for name in SEARCH_CLASSES:
+        c = classes[name]
+        if c["count"] >= MIN_SAMPLES and c.get("lat_p999_us") is None:
+            print(f"FAIL: class {name} has {c['count']} samples but no percentiles")
+            failed = True
+        print(
+            f"class {name}: {c['count']} ops, {c['qps']:.1f} QPS, "
+            f"p99 = {c.get('lat_p99_us') or float('nan'):.0f} us"
+        )
+    index = fresh_doc["index"]
+    if index["maintenance_errors"] != 0:
+        print(f"FAIL: {index['maintenance_errors']} maintenance errors during the run")
+        failed = True
+    if index["live_rows"] <= 0:
+        print("FAIL: no live rows survived the workload")
+        failed = True
+
+    same_scale = (
+        committed_doc.get("config", {}).get("rows") == fresh_doc["config"]["rows"]
+        and committed_doc.get("config", {}).get("ops") == fresh_doc["config"]["ops"]
+    )
+    if not same_scale:
+        print(
+            "p99 regression comparison skipped: committed run is "
+            f"{committed_doc.get('config', {}).get('rows')} rows, "
+            f"fresh is {fresh_doc['config']['rows']} (cross-scale latencies "
+            "do not compare)"
+        )
+    else:
+        ceiling = float(os.environ.get("ACORN_WORKLOAD_MAX_P99_REGRESSION", "3.0"))
+        committed_classes = {c["class"]: c for c in committed_doc["mixed"]["classes"]}
+        for name in SEARCH_CLASSES:
+            old = committed_classes.get(name, {}).get("lat_p99_us")
+            new = classes[name].get("lat_p99_us")
+            if old is None or new is None or classes[name]["count"] < MIN_SAMPLES:
+                print(f"class {name}: p99 comparison skipped (too few samples)")
+                continue
+            got = new / old if old > 0 else float("inf")
+            verdict = "ok" if got <= ceiling else "REGRESSION"
+            print(
+                f"class {name}: committed p99 {old:.0f} us, fresh {new:.0f} us "
+                f"({got:.2f}x, ceiling {ceiling:.1f}x) {verdict}"
+            )
+            if got > ceiling:
+                failed = True
+
+    if failed:
+        print("FAIL: workload gate violated")
+        return 1
+    print("workload gate passed")
+    return 0
+
+
 def main():
+    if len(sys.argv) == 4 and sys.argv[1] == "--workload":
+        with open(sys.argv[2]) as f:
+            committed_doc = json.load(f)
+        with open(sys.argv[3]) as f:
+            fresh_doc = json.load(f)
+        return workload_gate(committed_doc, fresh_doc)
     if len(sys.argv) != 3:
         print(__doc__)
         return 1
